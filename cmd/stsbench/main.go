@@ -1,0 +1,58 @@
+// Command stsbench regenerates the evaluation artifacts of the STS paper
+// (ICDE 2021): every figure of Section VI, as formatted tables of the same
+// series the paper plots.
+//
+// Usage:
+//
+//	stsbench -figure 4               # one figure, both datasets
+//	stsbench -figure 4+5             # a shared sweep, both panels
+//	stsbench -figure complexity      # the Section V-C cost-model check
+//	stsbench -all                    # everything (tens of minutes)
+//	stsbench -figure 8 -n 40         # bigger datasets
+//	stsbench -figure 11 -format csv  # machine-readable output
+//
+// Dataset sizes default to a laptop-friendly 20 mall objects / 60 taxis;
+// the paper's absolute numbers used far larger corpora (and hours of
+// Python runtime), so expect the same shapes, not the same decimals.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/stslib/sts/internal/experiments"
+)
+
+func main() {
+	var (
+		figure  = flag.String("figure", "", "figure to regenerate: 4..14, or 4+5, 6+7, 8+9, 12+13+14")
+		all     = flag.Bool("all", false, "regenerate every figure")
+		n       = flag.Int("n", 0, "mall objects (default 20; taxis default to 3x)")
+		seed    = flag.Int64("seed", 0, "random seed (default 1)")
+		workers = flag.Int("workers", 0, "scoring goroutines (default GOMAXPROCS)")
+		pairs   = flag.Int("pairs", 0, "pairs for the cross-similarity experiment (default 100)")
+		format  = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{N: *n, Seed: *seed, Workers: *workers, Pairs: *pairs}
+	start := time.Now()
+	var err error
+	switch {
+	case *all:
+		err = experiments.RunAll(cfg, os.Stdout)
+	case *figure != "":
+		err = experiments.RunFormat(*figure, cfg, os.Stdout, *format)
+	default:
+		fmt.Fprintln(os.Stderr, "stsbench: specify -figure <id> or -all")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stsbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("done in %.1fs\n", time.Since(start).Seconds())
+}

@@ -1,0 +1,110 @@
+package sts_test
+
+import (
+	"fmt"
+
+	sts "github.com/stslib/sts"
+)
+
+// Two objects walk the same corridor, observed at different times; a
+// third walks a corridor 60 m away. STS scores the co-located pair far
+// above the unrelated one even though no timestamps coincide.
+func ExampleMeasure_Similarity() {
+	walk := func(id string, offsetY, phase float64) sts.Trajectory {
+		tr := sts.Trajectory{ID: id}
+		for t := phase; t < 300; t += 15 {
+			tr.Samples = append(tr.Samples, sts.Sample{
+				Loc: sts.Point{X: 1.2 * t, Y: 50 + offsetY},
+				T:   t,
+			})
+		}
+		return tr
+	}
+	a := walk("a", 0, 0)
+	b := walk("b", 1, 7) // same corridor, asynchronous sampling
+	c := walk("c", 60, 7)
+
+	grid, _ := sts.NewGrid(sts.NewRect(sts.Point{}, sts.Point{X: 400, Y: 150}), 3)
+	m, _ := sts.NewMeasure(sts.MeasureOptions{Grid: grid, NoiseSigma: 3})
+
+	same, _ := m.Similarity(a, b)
+	diff, _ := m.Similarity(a, c)
+	fmt.Println("co-located pair scores higher:", same > diff)
+	fmt.Println("unrelated pair is near zero:", diff < 1e-6)
+	// Output:
+	// co-located pair scores higher: true
+	// unrelated pair is near zero: true
+}
+
+// AlternateSplit builds the paired matching datasets of the paper's
+// evaluation: even-indexed samples to one half, odd-indexed to the other.
+func ExampleAlternateSplit() {
+	tr := sts.Trajectory{ID: "obj"}
+	for i := 0; i < 6; i++ {
+		tr.Samples = append(tr.Samples, sts.Sample{
+			Loc: sts.Point{X: float64(i)},
+			T:   float64(i * 10),
+		})
+	}
+	a, b := sts.AlternateSplit(tr)
+	fmt.Println("first half times: ", a.Timestamps())
+	fmt.Println("second half times:", b.Timestamps())
+	// Output:
+	// first half times:  [0 20 40]
+	// second half times: [10 30 50]
+}
+
+// MergeByTime interleaves two trajectories — the merged trajectory whose
+// timestamps STS averages over (Eq. 10).
+func ExampleMergeByTime() {
+	mk := func(id string, times ...float64) sts.Trajectory {
+		tr := sts.Trajectory{ID: id}
+		for _, t := range times {
+			tr.Samples = append(tr.Samples, sts.Sample{T: t})
+		}
+		return tr
+	}
+	m := sts.MergeByTime(mk("a", 0, 20), mk("b", 10, 30))
+	fmt.Println(m.Timestamps())
+	// Output:
+	// [0 10 20 30]
+}
+
+// Feasible is the FTL-style velocity compatibility pre-filter: two
+// trajectories can only belong to one object if linking them never
+// requires impossible speeds.
+func ExampleFeasible() {
+	a := sts.Trajectory{ID: "a", Samples: []sts.Sample{
+		{Loc: sts.Point{X: 0}, T: 0},
+		{Loc: sts.Point{X: 100}, T: 100}, // 1 m/s
+	}}
+	tooFar := sts.Trajectory{ID: "b", Samples: []sts.Sample{
+		{Loc: sts.Point{X: 5000}, T: 50}, // needs 100 m/s from a's start
+	}}
+	fmt.Println(sts.Feasible(a, tooFar, 2.0, 1))
+	// Output:
+	// false
+}
+
+// ContactEpisodes turns the continuous co-location probability into
+// "when were they together" intervals.
+func ExampleContactEpisodes() {
+	walk := func(id string, phase float64) sts.Trajectory {
+		tr := sts.Trajectory{ID: id}
+		for t := phase; t < 200; t += 12 {
+			tr.Samples = append(tr.Samples, sts.Sample{
+				Loc: sts.Point{X: 1.2 * t, Y: 50},
+				T:   t,
+			})
+		}
+		return tr
+	}
+	grid, _ := sts.NewGrid(sts.NewRect(sts.Point{}, sts.Point{X: 300, Y: 100}), 3)
+	m, _ := sts.NewMeasure(sts.MeasureOptions{Grid: grid, NoiseSigma: 3})
+	pa, _ := m.Prepare(walk("a", 0))
+	pb, _ := m.Prepare(walk("b", 5))
+	episodes, _ := sts.ContactEpisodes(pa, pb, 5, 1e-4)
+	fmt.Println("in contact:", len(episodes) > 0)
+	// Output:
+	// in contact: true
+}

@@ -1,0 +1,79 @@
+// Quickstart: measure the spatial-temporal similarity of two trajectories
+// with the public sts API.
+//
+// Two pedestrians walk through a small venue. The first pair of
+// trajectories observes the same walk (sampled at different times, with
+// location noise); the third trajectory is an unrelated walk elsewhere in
+// the venue. STS should score the co-located pair far above the unrelated
+// one, even though the co-located trajectories share no common timestamps
+// and no identical locations.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	sts "github.com/stslib/sts"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// A shared ground-truth walk: west to east along a corridor at
+	// ~1.2 m/s, 300 seconds.
+	walk := func(offsetY float64) []sts.Point {
+		pts := make([]sts.Point, 0, 301)
+		for t := 0; t <= 300; t++ {
+			pts = append(pts, sts.Point{X: 1.2 * float64(t), Y: 50 + offsetY})
+		}
+		return pts
+	}
+
+	// observe samples a path sporadically with Gaussian location noise.
+	observe := func(id string, path []sts.Point, meanGap, noise float64) sts.Trajectory {
+		tr := sts.Trajectory{ID: id}
+		for t := 0.0; t < float64(len(path)); t += meanGap * (0.5 + rng.Float64()) {
+			p := path[int(t)]
+			tr.Samples = append(tr.Samples, sts.Sample{
+				Loc: sts.Point{X: p.X + noise*rng.NormFloat64(), Y: p.Y + noise*rng.NormFloat64()},
+				T:   t,
+			})
+		}
+		return tr
+	}
+
+	// Two sensing systems observe the same walk, asynchronously.
+	a := observe("alice-wifi", walk(0), 12, 3)
+	b := observe("alice-payments", walk(0.5), 20, 3)
+	// A different person walks a parallel corridor 40 m away.
+	c := observe("bob-wifi", walk(40), 12, 3)
+
+	// Partition the venue into 3 m grid cells (matching the 3 m location
+	// error, as the paper recommends) and build the measure.
+	grid, err := sts.NewGrid(sts.NewRect(sts.Point{X: -20, Y: 0}, sts.Point{X: 400, Y: 120}), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measure, err := sts.NewMeasure(sts.MeasureOptions{Grid: grid, NoiseSigma: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	same, err := measure.Similarity(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diff, err := measure.Similarity(a, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("STS(%s, %s) = %.5f   <- same walk, different sensors\n", a.ID, b.ID, same)
+	fmt.Printf("STS(%s, %s) = %.5f   <- different people\n", a.ID, c.ID, diff)
+	if same > diff {
+		fmt.Println("co-located pair correctly scores higher")
+	} else {
+		fmt.Println("unexpected: unrelated pair scored higher")
+	}
+}

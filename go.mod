@@ -1,0 +1,3 @@
+module github.com/stslib/sts
+
+go 1.22

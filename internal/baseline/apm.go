@@ -1,0 +1,64 @@
+package baseline
+
+import (
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+// APMCalibrate performs the anchor-point calibration of Su et al. (SIGMOD
+// 2013) as configured in Section VI-A of the STS paper: the space is
+// divided into grids, the grid centers serve as anchor points, and every
+// sample snaps to its nearest anchor. Consecutive duplicate anchors are
+// collapsed, and geometry-based completion inserts the intermediate
+// anchors along the straight line between two non-adjacent anchors so the
+// calibrated trajectory has a unified spatial granularity.
+func APMCalibrate(tr model.Trajectory, grid *geo.Grid) model.Trajectory {
+	out := model.Trajectory{ID: tr.ID}
+	lastCell := -1
+	var lastT float64
+	for _, s := range tr.Samples {
+		cell := grid.Cell(s.Loc)
+		if cell == lastCell {
+			continue
+		}
+		if lastCell >= 0 {
+			// Geometry-based completion: walk the straight line between
+			// the two anchors and insert every crossed cell center.
+			from := grid.Center(lastCell)
+			to := grid.Center(cell)
+			steps := int(from.Dist(to)/grid.CellSize()) + 1
+			for k := 1; k < steps; k++ {
+				f := float64(k) / float64(steps)
+				mid := grid.Cell(from.Lerp(to, f))
+				if mid != lastCell && mid != cell {
+					t := lastT + (s.T-lastT)*f
+					out.Samples = appendAnchor(out.Samples, grid.Center(mid), t)
+					lastCell = mid
+				}
+			}
+		}
+		out.Samples = appendAnchor(out.Samples, grid.Center(cell), s.T)
+		lastCell = cell
+		lastT = s.T
+	}
+	return out
+}
+
+// appendAnchor appends an anchor sample, nudging the timestamp forward if
+// it would collide with the previous one so calibrated trajectories stay
+// strictly time-ordered.
+func appendAnchor(samples []model.Sample, loc geo.Point, t float64) []model.Sample {
+	if n := len(samples); n > 0 && t <= samples[n-1].T {
+		t = samples[n-1].T + 1e-6
+	}
+	return append(samples, model.Sample{Loc: loc, T: t})
+}
+
+// APM returns the APM baseline distance: both trajectories are calibrated
+// to the grid's anchor points and compared with DTW, as Section VI-A
+// prescribes ("DTW is used as the similarity metric after calibration").
+func APM(a, b model.Trajectory, grid *geo.Grid) float64 {
+	ca := APMCalibrate(a, grid)
+	cb := APMCalibrate(b, grid)
+	return DTW(ca, cb)
+}

@@ -1,0 +1,296 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+// pathEast builds a trajectory moving east at speed from origin, n
+// samples step seconds apart, starting at time t0.
+func pathEast(id string, origin geo.Point, speed, step, t0 float64, n int) model.Trajectory {
+	tr := model.Trajectory{ID: id}
+	for i := 0; i < n; i++ {
+		tt := t0 + float64(i)*step
+		tr.Samples = append(tr.Samples, model.Sample{
+			Loc: geo.Point{X: origin.X + speed*(tt-t0), Y: origin.Y},
+			T:   tt,
+		})
+	}
+	return tr
+}
+
+// discriminates asserts that a measure scores a co-located pair strictly
+// better than a separated pair. For similarities better means higher, for
+// distances lower.
+func discriminates(t *testing.T, name string, score func(a, b model.Trajectory) float64, higherIsBetter bool) {
+	t.Helper()
+	a := pathEast("a", geo.Point{Y: 50}, 1.2, 10, 0, 12)
+	near := pathEast("b", geo.Point{X: 1, Y: 51}, 1.2, 13, 2, 9) // same route, async sampling
+	far := pathEast("c", geo.Point{Y: 400}, 1.2, 13, 2, 9)       // 350 m north
+	sNear := score(a, near)
+	sFar := score(a, far)
+	ok := sNear > sFar
+	if !higherIsBetter {
+		ok = sNear < sFar
+	}
+	if !ok {
+		t.Errorf("%s does not discriminate: near=%v far=%v", name, sNear, sFar)
+	}
+}
+
+func TestCATSDiscriminates(t *testing.T) {
+	p := CATSParams{Eps: 12, Tau: 40}
+	discriminates(t, "CATS", func(a, b model.Trajectory) float64 { return CATS(a, b, p) }, true)
+}
+
+func TestCATSRange(t *testing.T) {
+	p := CATSParams{Eps: 12, Tau: 40}
+	a := pathEast("a", geo.Point{Y: 50}, 1, 10, 0, 10)
+	if got := CATS(a, a, p); got <= 0 || got > 1 {
+		t.Errorf("CATS(a,a)=%v", got)
+	}
+	if got := CATS(a, model.Trajectory{}, p); got != 0 {
+		t.Errorf("CATS vs empty=%v", got)
+	}
+	if got := CATSDistance(a, a, p); got < 0 || got >= 1 {
+		t.Errorf("CATSDistance(a,a)=%v", got)
+	}
+}
+
+func TestCATSIdenticalIsPerfect(t *testing.T) {
+	p := CATSParams{Eps: 12, Tau: 40}
+	a := pathEast("a", geo.Point{Y: 50}, 1, 10, 0, 10)
+	if got := CATS(a, a.Clone(), p); math.Abs(got-1) > 1e-12 {
+		t.Errorf("CATS of identical copies=%v want 1", got)
+	}
+}
+
+func TestCATSTemporalWindow(t *testing.T) {
+	p := CATSParams{Eps: 12, Tau: 5}
+	a := pathEast("a", geo.Point{Y: 50}, 0, 10, 0, 5)    // stationary at origin
+	b := pathEast("b", geo.Point{Y: 50}, 0, 10, 1000, 5) // same place, much later
+	if got := CATS(a, b, p); got != 0 {
+		t.Errorf("CATS outside window=%v want 0", got)
+	}
+}
+
+func TestEDwPIdentityAndDiscrimination(t *testing.T) {
+	a := pathEast("a", geo.Point{Y: 50}, 1, 10, 0, 8)
+	if got := EDwP(a, a.Clone()); got != 0 {
+		t.Errorf("EDwP(a,a)=%v", got)
+	}
+	discriminates(t, "EDwP", EDwP, false)
+}
+
+func TestEDwPRobustToResampling(t *testing.T) {
+	// The same straight path sampled at 10 s vs 5 s: EDwP's projections
+	// should keep the distance near zero, far below a parallel path 30 m
+	// away.
+	a := pathEast("a", geo.Point{Y: 50}, 1, 10, 0, 8)
+	dense := pathEast("b", geo.Point{Y: 50}, 1, 5, 0, 15)
+	off := pathEast("c", geo.Point{Y: 80}, 1, 10, 0, 8)
+	dSame := EDwP(a, dense)
+	dOff := EDwP(a, off)
+	if dSame >= dOff {
+		t.Errorf("resampled same path %v >= offset path %v", dSame, dOff)
+	}
+}
+
+func TestEDwPEdgeCases(t *testing.T) {
+	if got := EDwP(model.Trajectory{}, model.Trajectory{}); got != 0 {
+		t.Errorf("empty-empty=%v", got)
+	}
+	a := pathEast("a", geo.Point{}, 1, 10, 0, 3)
+	if got := EDwP(a, model.Trajectory{}); !math.IsInf(got, 1) {
+		t.Errorf("vs empty=%v", got)
+	}
+	p1 := model.Trajectory{Samples: []model.Sample{{Loc: geo.Point{X: 1}, T: 0}}}
+	p2 := model.Trajectory{Samples: []model.Sample{{Loc: geo.Point{X: 4}, T: 0}}}
+	if got := EDwP(p1, p2); got != 3 {
+		t.Errorf("single-single=%v want 3", got)
+	}
+}
+
+func TestAPMCalibrate(t *testing.T) {
+	g, err := geo.NewGrid(geo.NewRect(geo.Point{}, geo.Point{X: 100, Y: 100}), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path crossing three cells horizontally.
+	tr := pathEast("a", geo.Point{X: 5, Y: 5}, 1, 10, 0, 3) // x: 5,15,25
+	cal := APMCalibrate(tr, g)
+	if err := cal.Validate(); err != nil {
+		t.Fatalf("calibrated trajectory invalid: %v", err)
+	}
+	// Every calibrated location is a cell center.
+	for _, s := range cal.Samples {
+		c := g.Cell(s.Loc)
+		if g.Center(c) != s.Loc {
+			t.Errorf("location %v is not an anchor", s.Loc)
+		}
+	}
+	// Consecutive anchors are distinct.
+	for i := 1; i < cal.Len(); i++ {
+		if cal.Samples[i].Loc == cal.Samples[i-1].Loc {
+			t.Error("duplicate consecutive anchor")
+		}
+	}
+}
+
+func TestAPMCompletionFillsGaps(t *testing.T) {
+	g, err := geo.NewGrid(geo.NewRect(geo.Point{}, geo.Point{X: 100, Y: 100}), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jump across 5 cells in one step: completion must insert the
+	// intermediate anchors.
+	tr := model.Trajectory{ID: "j", Samples: []model.Sample{
+		{Loc: geo.Point{X: 5, Y: 5}, T: 0},
+		{Loc: geo.Point{X: 55, Y: 5}, T: 10},
+	}}
+	cal := APMCalibrate(tr, g)
+	if cal.Len() < 4 {
+		t.Errorf("completion inserted too few anchors: %d", cal.Len())
+	}
+}
+
+func TestAPMDiscriminates(t *testing.T) {
+	g, err := geo.NewGrid(geo.NewRect(geo.Point{X: -50, Y: -50}, geo.Point{X: 600, Y: 600}), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	discriminates(t, "APM", func(a, b model.Trajectory) float64 { return APM(a, b, g) }, false)
+}
+
+func TestKalmanEstimateSmoothsNoise(t *testing.T) {
+	// Noisy observations of a straight walk: the filtered positions
+	// should be closer to the truth than the raw ones on average.
+	truth := pathEast("t", geo.Point{Y: 50}, 1, 5, 0, 40)
+	noisy := truth.Clone()
+	// Deterministic zig-zag "noise" of amplitude 6 m.
+	for i := range noisy.Samples {
+		if i%2 == 0 {
+			noisy.Samples[i].Loc.Y += 6
+		} else {
+			noisy.Samples[i].Loc.Y -= 6
+		}
+	}
+	filtered := KalmanEstimate(noisy, KalmanParams{ProcessNoise: 0.05, MeasurementNoise: 6})
+	var rawErr, filtErr float64
+	for i := range truth.Samples {
+		rawErr += noisy.Samples[i].Loc.Dist(truth.Samples[i].Loc)
+		filtErr += filtered.Samples[i].Loc.Dist(truth.Samples[i].Loc)
+	}
+	if filtErr >= rawErr {
+		t.Errorf("filtering did not help: raw=%v filtered=%v", rawErr, filtErr)
+	}
+}
+
+func TestKalmanPredictAt(t *testing.T) {
+	tr := pathEast("t", geo.Point{Y: 50}, 2, 5, 0, 10) // x = 2t
+	p := DefaultKalmanParams(1)
+	// Prediction beyond the last sample extrapolates the velocity.
+	got, ok := KalmanPredictAt(tr, p, 50)
+	if !ok {
+		t.Fatal("prediction failed")
+	}
+	if math.Abs(got.X-100) > 10 || math.Abs(got.Y-50) > 5 {
+		t.Errorf("predicted %v, want near (100,50)", got)
+	}
+	if _, ok := KalmanPredictAt(model.Trajectory{}, p, 0); ok {
+		t.Error("empty trajectory produced a prediction")
+	}
+	if _, ok := KalmanPredictAt(tr, p, -10); ok {
+		t.Error("time before first observation produced a prediction")
+	}
+}
+
+func TestKFDiscriminates(t *testing.T) {
+	p := DefaultKalmanParams(3)
+	discriminates(t, "KF", func(a, b model.Trajectory) float64 { return KF(a, b, p) }, false)
+}
+
+func TestKFEmpty(t *testing.T) {
+	p := DefaultKalmanParams(3)
+	a := pathEast("a", geo.Point{}, 1, 10, 0, 3)
+	if got := KF(a, model.Trajectory{}, p); !math.IsInf(got, 1) {
+		t.Errorf("KF vs empty=%v", got)
+	}
+}
+
+func TestWGM(t *testing.T) {
+	p := DefaultWGMParams(100, 100)
+	a := pathEast("a", geo.Point{Y: 50}, 1, 10, 0, 10)
+	if got := WGM(a, a.Clone(), p); math.Abs(got-1) > 1e-9 {
+		t.Errorf("WGM(a,a)=%v want 1", got)
+	}
+	if got := WGM(a, model.Trajectory{}, p); got != 0 {
+		t.Errorf("WGM vs empty=%v", got)
+	}
+	discriminates(t, "WGM", func(a, b model.Trajectory) float64 { return WGM(a, b, p) }, true)
+	if got := WGMDistance(a, a.Clone(), p); math.Abs(got) > 1e-9 {
+		t.Errorf("WGMDistance(a,a)=%v", got)
+	}
+}
+
+func TestWGMWeightExtremes(t *testing.T) {
+	a := pathEast("a", geo.Point{Y: 50}, 1, 10, 0, 6)
+	// Same spatial path, shifted in time.
+	b := pathEast("b", geo.Point{Y: 50}, 1, 10, 500, 6)
+	spatialOnly := WGMParams{SpatialScale: 10, TemporalScale: 10, SpatialWeight: 1, Pairs: 6}
+	temporalOnly := WGMParams{SpatialScale: 10, TemporalScale: 10, SpatialWeight: 0, Pairs: 6}
+	// With weight 1 the time shift is invisible...
+	if got := WGM(a, b, spatialOnly); got < 0.4 {
+		t.Errorf("spatial-only WGM=%v", got)
+	}
+	// ...with weight 0 it dominates.
+	if got := WGM(a, b, temporalOnly); got > 1e-9 {
+		t.Errorf("temporal-only WGM=%v", got)
+	}
+}
+
+func TestSST(t *testing.T) {
+	p := DefaultSSTParams(10, 60)
+	a := pathEast("a", geo.Point{Y: 50}, 1, 10, 0, 10)
+	if got := SST(a, a.Clone(), p); math.Abs(got-1) > 1e-9 {
+		t.Errorf("SST(a,a)=%v want 1", got)
+	}
+	if got := SST(a, model.Trajectory{}, p); got != 0 {
+		t.Errorf("SST vs empty=%v", got)
+	}
+	discriminates(t, "SST", func(a, b model.Trajectory) float64 { return SST(a, b, p) }, true)
+	if got := SSTDistance(a, a.Clone(), p); math.Abs(got) > 1e-9 {
+		t.Errorf("SSTDistance(a,a)=%v", got)
+	}
+}
+
+func TestSSTHandlesAsynchronousSampling(t *testing.T) {
+	p := DefaultSSTParams(10, 60)
+	// Same walk, sampled at offset times: synchronized matching should
+	// stay near perfect because interpolation lands on the path.
+	a := pathEast("a", geo.Point{Y: 50}, 1, 10, 0, 10)
+	b := pathEast("b", geo.Point{X: 5, Y: 50}, 1, 10, 5, 9)
+	if got := SST(a, b, p); got < 0.8 {
+		t.Errorf("async same-path SST=%v", got)
+	}
+}
+
+func TestSSTSinglePointTrajectory(t *testing.T) {
+	p := DefaultSSTParams(10, 60)
+	a := pathEast("a", geo.Point{Y: 50}, 1, 10, 0, 10)
+	single := model.Trajectory{ID: "s", Samples: []model.Sample{{Loc: geo.Point{X: 30, Y: 50}, T: 30}}}
+	got := SST(a, single, p)
+	if got <= 0 || got > 1 {
+		t.Errorf("SST vs single=%v", got)
+	}
+}
+
+func TestSuggestedCATSParams(t *testing.T) {
+	p := SuggestedCATSParams(3, 20)
+	if p.Eps != 12 || p.Tau != 80 {
+		t.Errorf("SuggestedCATSParams=%+v", p)
+	}
+}

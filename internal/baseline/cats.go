@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"sort"
+
+	"github.com/stslib/sts/internal/model"
+)
+
+// CATSParams holds the two manually defined parameters CATS relies on to
+// tackle location noise and heterogeneous sampling (Section VI-A): a
+// spatial tolerance Eps (meters) and a temporal window Tau (seconds).
+type CATSParams struct {
+	// Eps is the spatial matching tolerance: a clue farther than Eps
+	// contributes nothing, a clue at zero distance contributes 1.
+	Eps float64
+	// Tau is the temporal window within which two samples may be coupled.
+	Tau float64
+}
+
+// CATS returns the Clue-Aware Trajectory Similarity of Hung, Peng and Lee
+// (VLDB Journal 2015) as a *similarity* in [0, 1]: higher means more
+// similar. CATS couples as many spatially and temporally co-located sample
+// pairs as possible; each sample of one trajectory collects the best
+// "clue" — a linearly decaying spatial score — among the other
+// trajectory's samples within the temporal window. The result is the
+// symmetric average of the two directed scores.
+func CATS(a, b model.Trajectory, p CATSParams) float64 {
+	if a.Len() == 0 || b.Len() == 0 {
+		return 0
+	}
+	return (catsDirected(a, b, p) + catsDirected(b, a, p)) / 2
+}
+
+// catsDirected averages, over the samples of a, the best clue found in b.
+func catsDirected(a, b model.Trajectory, p CATSParams) float64 {
+	var total float64
+	j := 0
+	for _, sa := range a.Samples {
+		// Advance j to the first sample of b inside the window; b is
+		// time-sorted so the window slides monotonically.
+		for j < b.Len() && b.Samples[j].T < sa.T-p.Tau {
+			j++
+		}
+		best := 0.0
+		for k := j; k < b.Len() && b.Samples[k].T <= sa.T+p.Tau; k++ {
+			d := sa.Loc.Dist(b.Samples[k].Loc)
+			if d >= p.Eps {
+				continue
+			}
+			clue := 1 - d/p.Eps
+			if clue > best {
+				best = clue
+			}
+		}
+		total += best
+	}
+	return total / float64(a.Len())
+}
+
+// CATSDistance adapts CATS to the distance convention of this package:
+// 1 − CATS, in [0, 1].
+func CATSDistance(a, b model.Trajectory, p CATSParams) float64 {
+	return 1 - CATS(a, b, p)
+}
+
+// SuggestedCATSParams scales the thresholds with the scene, following the
+// usual guidance for clue-based matching: the spatial tolerance is a few
+// noise radii and the temporal window a few median sampling gaps.
+func SuggestedCATSParams(spatialScale, medianGap float64) CATSParams {
+	return CATSParams{Eps: 4 * spatialScale, Tau: 4 * medianGap}
+}
+
+// MedianSamplingGap returns the median time gap between consecutive
+// samples across the dataset, a robust scale for temporal windows. Zero is
+// returned for datasets with no consecutive pairs.
+func MedianSamplingGap(ds model.Dataset) float64 {
+	var gaps []float64
+	for _, tr := range ds {
+		for i := 1; i < tr.Len(); i++ {
+			gaps = append(gaps, tr.Samples[i].T-tr.Samples[i-1].T)
+		}
+	}
+	if len(gaps) == 0 {
+		return 0
+	}
+	return median(gaps)
+}
+
+func median(xs []float64) float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

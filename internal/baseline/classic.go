@@ -1,0 +1,216 @@
+// Package baseline implements the trajectory similarity measures STS is
+// compared against in Section VI-A — CATS, EDwP, APM, KF, WGM and SST —
+// plus the classic spatial metrics (DTW, LCSS, EDR, ERP, discrete Fréchet)
+// those methods build on or that the related-work section discusses.
+//
+// All functions in this package are distances unless documented otherwise:
+// smaller values mean more similar trajectories. The eval package adapts
+// them to a common "higher is more similar" scorer interface.
+package baseline
+
+import (
+	"math"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+// DTW returns the Dynamic Time Warping distance between the location
+// sequences of a and b under Euclidean ground distance (Yi et al., ICDE
+// 1998). Only the spatial dimension is compared; timestamps are ignored
+// beyond their ordering. Empty inputs yield +Inf.
+func DTW(a, b model.Trajectory) float64 {
+	n, m := a.Len(), b.Len()
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	// Rolling two-row DP: dp[0][0]=0, dp[0][j>0]=dp[i>0][0]=+Inf.
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = math.Inf(1)
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = math.Inf(1)
+		for j := 1; j <= m; j++ {
+			d := a.Samples[i-1].Loc.Dist(b.Samples[j-1].Loc)
+			cur[j] = d + math.Min(prev[j], math.Min(cur[j-1], prev[j-1]))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// LCSS returns the Longest Common SubSequence *distance* between a and b
+// (Vlachos et al., ICDE 2002): 1 − |LCSS| / min(|a|, |b|). Two samples
+// match when their locations are within eps meters and their timestamps
+// within delta seconds. Empty inputs yield 1 (maximally dissimilar).
+func LCSS(a, b model.Trajectory, eps, delta float64) float64 {
+	n, m := a.Len(), b.Len()
+	if n == 0 || m == 0 {
+		return 1
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for i := 1; i <= n; i++ {
+		sa := a.Samples[i-1]
+		for j := 1; j <= m; j++ {
+			sb := b.Samples[j-1]
+			if sa.Loc.Dist(sb.Loc) <= eps && math.Abs(sa.T-sb.T) <= delta {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	lcss := prev[m]
+	return 1 - float64(lcss)/float64(min(n, m))
+}
+
+// EDR returns the Edit Distance on Real sequences (Chen et al., SIGMOD
+// 2005), normalized by the longer length so the result lies in [0, 1].
+// Two samples match (substitution cost 0) when their locations are within
+// eps meters; otherwise substitution, insertion and deletion all cost 1.
+func EDR(a, b model.Trajectory, eps float64) float64 {
+	n, m := a.Len(), b.Len()
+	if n == 0 && m == 0 {
+		return 0
+	}
+	if n == 0 || m == 0 {
+		return 1
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		for j := 1; j <= m; j++ {
+			subCost := 1
+			if a.Samples[i-1].Loc.Dist(b.Samples[j-1].Loc) <= eps {
+				subCost = 0
+			}
+			cur[j] = min(prev[j-1]+subCost, min(prev[j]+1, cur[j-1]+1))
+		}
+		prev, cur = cur, prev
+	}
+	return float64(prev[m]) / float64(max(n, m))
+}
+
+// ERP returns the Edit distance with Real Penalty (Chen & Ng, VLDB 2004):
+// a metric edit distance where gaps are compared against a fixed reference
+// point g instead of costing a constant.
+func ERP(a, b model.Trajectory, g geo.Point) float64 {
+	n, m := a.Len(), b.Len()
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = prev[j-1] + b.Samples[j-1].Loc.Dist(g)
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = prev[0] + a.Samples[i-1].Loc.Dist(g)
+		for j := 1; j <= m; j++ {
+			match := prev[j-1] + a.Samples[i-1].Loc.Dist(b.Samples[j-1].Loc)
+			gapA := prev[j] + a.Samples[i-1].Loc.Dist(g)
+			gapB := cur[j-1] + b.Samples[j-1].Loc.Dist(g)
+			cur[j] = math.Min(match, math.Min(gapA, gapB))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// DiscreteFrechet returns the discrete Fréchet distance between the
+// location sequences of a and b: the minimax coupling distance. Empty
+// inputs yield +Inf.
+func DiscreteFrechet(a, b model.Trajectory) float64 {
+	n, m := a.Len(), b.Len()
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	prev := make([]float64, m)
+	cur := make([]float64, m)
+	prev[0] = a.Samples[0].Loc.Dist(b.Samples[0].Loc)
+	for j := 1; j < m; j++ {
+		prev[j] = math.Max(prev[j-1], a.Samples[0].Loc.Dist(b.Samples[j].Loc))
+	}
+	for i := 1; i < n; i++ {
+		cur[0] = math.Max(prev[0], a.Samples[i].Loc.Dist(b.Samples[0].Loc))
+		for j := 1; j < m; j++ {
+			d := a.Samples[i].Loc.Dist(b.Samples[j].Loc)
+			cur[j] = math.Max(math.Min(prev[j-1], math.Min(prev[j], cur[j-1])), d)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m-1]
+}
+
+// TimeSyncMaxDist returns the time-synchronized Fréchet-style distance the
+// related-work section attributes to the (continuous) Fréchet distance:
+// the largest distance between the two objects' linearly interpolated
+// positions over the overlap of their observation intervals, evaluated at
+// the union of their timestamps. +Inf when the intervals do not overlap.
+func TimeSyncMaxDist(a, b model.Trajectory) float64 {
+	if a.Len() == 0 || b.Len() == 0 {
+		return math.Inf(1)
+	}
+	lo := math.Max(a.Start(), b.Start())
+	hi := math.Min(a.End(), b.End())
+	if lo > hi {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	eval := func(t float64) {
+		if t < lo || t > hi {
+			return
+		}
+		pa, _ := a.InterpolateAt(t)
+		pb, _ := b.InterpolateAt(t)
+		if d := pa.Dist(pb); d > worst {
+			worst = d
+		}
+	}
+	for _, s := range a.Samples {
+		eval(s.T)
+	}
+	for _, s := range b.Samples {
+		eval(s.T)
+	}
+	eval(lo)
+	eval(hi)
+	return worst
+}
+
+// Hausdorff returns the (symmetric) Hausdorff distance between the two
+// trajectories' sample sets: the largest distance from any sample of one
+// to its nearest sample of the other. A purely spatial, order-free
+// metric, listed here for completeness of the classic comparison set.
+func Hausdorff(a, b model.Trajectory) float64 {
+	if a.Len() == 0 || b.Len() == 0 {
+		return math.Inf(1)
+	}
+	return math.Max(directedHausdorff(a, b), directedHausdorff(b, a))
+}
+
+func directedHausdorff(a, b model.Trajectory) float64 {
+	var worst float64
+	for _, sa := range a.Samples {
+		best := math.Inf(1)
+		for _, sb := range b.Samples {
+			if d := sa.Loc.Dist(sb.Loc); d < best {
+				best = d
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return worst
+}

@@ -1,0 +1,188 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+// seq builds a trajectory from (x, y, t) triples.
+func seq(triples ...[3]float64) model.Trajectory {
+	tr := model.Trajectory{ID: "s"}
+	for _, v := range triples {
+		tr.Samples = append(tr.Samples, model.Sample{Loc: geo.Point{X: v[0], Y: v[1]}, T: v[2]})
+	}
+	return tr
+}
+
+func TestDTWIdentity(t *testing.T) {
+	a := seq([3]float64{0, 0, 0}, [3]float64{1, 0, 1}, [3]float64{2, 0, 2})
+	if got := DTW(a, a); got != 0 {
+		t.Errorf("DTW(a,a)=%v", got)
+	}
+}
+
+func TestDTWKnownValue(t *testing.T) {
+	// Two parallel lines 1 m apart, same length: every match costs 1.
+	a := seq([3]float64{0, 0, 0}, [3]float64{1, 0, 1}, [3]float64{2, 0, 2})
+	b := seq([3]float64{0, 1, 0}, [3]float64{1, 1, 1}, [3]float64{2, 1, 2})
+	if got := DTW(a, b); math.Abs(got-3) > 1e-12 {
+		t.Errorf("DTW=%v want 3", got)
+	}
+}
+
+func TestDTWHandlesDifferentLengths(t *testing.T) {
+	a := seq([3]float64{0, 0, 0}, [3]float64{2, 0, 2})
+	b := seq([3]float64{0, 0, 0}, [3]float64{1, 0, 1}, [3]float64{2, 0, 2})
+	got := DTW(a, b)
+	// Optimal warp: (0,0)->(0,0), then a[0] or a[1] matches b[1] at cost
+	// 1, then (2,0)->(2,0): total 1.
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("DTW=%v want 1", got)
+	}
+}
+
+func TestDTWEmpty(t *testing.T) {
+	a := seq([3]float64{0, 0, 0})
+	if got := DTW(a, model.Trajectory{}); !math.IsInf(got, 1) {
+		t.Errorf("DTW vs empty = %v", got)
+	}
+}
+
+func TestLCSS(t *testing.T) {
+	a := seq([3]float64{0, 0, 0}, [3]float64{1, 0, 1}, [3]float64{2, 0, 2})
+	// Identical: distance 0.
+	if got := LCSS(a, a, 0.5, 0.5); got != 0 {
+		t.Errorf("LCSS(a,a)=%v", got)
+	}
+	// Far away: no matches, distance 1.
+	b := seq([3]float64{100, 0, 0}, [3]float64{101, 0, 1})
+	if got := LCSS(a, b, 0.5, 0.5); got != 1 {
+		t.Errorf("LCSS far=%v", got)
+	}
+	// Temporal window excludes matches even when space agrees.
+	c := seq([3]float64{0, 0, 100}, [3]float64{1, 0, 101})
+	if got := LCSS(a, c, 0.5, 0.5); got != 1 {
+		t.Errorf("LCSS time-shifted=%v", got)
+	}
+	if got := LCSS(a, model.Trajectory{}, 0.5, 0.5); got != 1 {
+		t.Errorf("LCSS vs empty=%v", got)
+	}
+}
+
+func TestEDR(t *testing.T) {
+	a := seq([3]float64{0, 0, 0}, [3]float64{1, 0, 1})
+	if got := EDR(a, a, 0.5); got != 0 {
+		t.Errorf("EDR(a,a)=%v", got)
+	}
+	b := seq([3]float64{50, 50, 0}, [3]float64{51, 50, 1})
+	if got := EDR(a, b, 0.5); got != 1 {
+		t.Errorf("EDR far=%v", got)
+	}
+	// One extra point costs one edit over max length 3.
+	c := seq([3]float64{0, 0, 0}, [3]float64{1, 0, 1}, [3]float64{2, 0, 2})
+	if got := EDR(a, c, 0.5); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("EDR one-insert=%v", got)
+	}
+	if got := EDR(model.Trajectory{}, model.Trajectory{}, 0.5); got != 0 {
+		t.Errorf("EDR empty-empty=%v", got)
+	}
+	if got := EDR(a, model.Trajectory{}, 0.5); got != 1 {
+		t.Errorf("EDR vs empty=%v", got)
+	}
+}
+
+func TestERP(t *testing.T) {
+	g := geo.Point{}
+	a := seq([3]float64{1, 0, 0}, [3]float64{2, 0, 1})
+	if got := ERP(a, a, g); got != 0 {
+		t.Errorf("ERP(a,a)=%v", got)
+	}
+	// ERP against empty charges each point's distance to the gap point.
+	if got := ERP(a, model.Trajectory{}, g); math.Abs(got-3) > 1e-12 {
+		t.Errorf("ERP vs empty=%v want 3", got)
+	}
+	// Metric property spot check: triangle inequality on three fixed
+	// trajectories.
+	b := seq([3]float64{1, 1, 0}, [3]float64{2, 1, 1})
+	c := seq([3]float64{1, 2, 0}, [3]float64{2, 2, 1})
+	ab, bc, ac := ERP(a, b, g), ERP(b, c, g), ERP(a, c, g)
+	if ac > ab+bc+1e-9 {
+		t.Errorf("ERP triangle violated: %v > %v + %v", ac, ab, bc)
+	}
+}
+
+func TestDiscreteFrechet(t *testing.T) {
+	a := seq([3]float64{0, 0, 0}, [3]float64{1, 0, 1}, [3]float64{2, 0, 2})
+	if got := DiscreteFrechet(a, a); got != 0 {
+		t.Errorf("Frechet(a,a)=%v", got)
+	}
+	b := seq([3]float64{0, 3, 0}, [3]float64{1, 3, 1}, [3]float64{2, 3, 2})
+	if got := DiscreteFrechet(a, b); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Frechet parallel=%v want 3", got)
+	}
+	if got := DiscreteFrechet(a, model.Trajectory{}); !math.IsInf(got, 1) {
+		t.Errorf("Frechet vs empty=%v", got)
+	}
+	// Frechet is at least the endpoint distances.
+	c := seq([3]float64{0, 0, 0}, [3]float64{10, 10, 1})
+	if got := DiscreteFrechet(a, c); got < a.Samples[2].Loc.Dist(c.Samples[1].Loc) {
+		t.Errorf("Frechet=%v below endpoint distance", got)
+	}
+}
+
+func TestTimeSyncMaxDist(t *testing.T) {
+	a := seq([3]float64{0, 0, 0}, [3]float64{10, 0, 10})
+	b := seq([3]float64{0, 2, 0}, [3]float64{10, 2, 10})
+	if got := TimeSyncMaxDist(a, b); math.Abs(got-2) > 1e-12 {
+		t.Errorf("parallel sync distance=%v want 2", got)
+	}
+	// Same spatial path walked at different epochs: no temporal overlap.
+	c := seq([3]float64{0, 0, 100}, [3]float64{10, 0, 110})
+	if got := TimeSyncMaxDist(a, c); !math.IsInf(got, 1) {
+		t.Errorf("disjoint epochs=%v want +Inf", got)
+	}
+	// Crossing paths: max at the window edges.
+	d := seq([3]float64{10, 0, 0}, [3]float64{0, 0, 10})
+	if got := TimeSyncMaxDist(a, d); math.Abs(got-10) > 1e-12 {
+		t.Errorf("crossing=%v want 10", got)
+	}
+}
+
+func TestMedianSamplingGap(t *testing.T) {
+	ds := model.Dataset{
+		seq([3]float64{0, 0, 0}, [3]float64{0, 0, 10}, [3]float64{0, 0, 20}),
+		seq([3]float64{0, 0, 0}, [3]float64{0, 0, 30}),
+	}
+	if got := MedianSamplingGap(ds); got != 10 {
+		t.Errorf("median gap=%v want 10", got)
+	}
+	if got := MedianSamplingGap(nil); got != 0 {
+		t.Errorf("empty median gap=%v", got)
+	}
+}
+
+func TestHausdorff(t *testing.T) {
+	a := seq([3]float64{0, 0, 0}, [3]float64{10, 0, 1})
+	if got := Hausdorff(a, a); got != 0 {
+		t.Errorf("Hausdorff(a,a)=%v", got)
+	}
+	b := seq([3]float64{0, 3, 0}, [3]float64{10, 3, 1})
+	if got := Hausdorff(a, b); got != 3 {
+		t.Errorf("parallel Hausdorff=%v want 3", got)
+	}
+	// Asymmetric coverage: b covers a, but a has a far outlier.
+	c := seq([3]float64{0, 0, 0}, [3]float64{10, 0, 1}, [3]float64{100, 0, 2})
+	if got := Hausdorff(a, c); got != 90 {
+		t.Errorf("outlier Hausdorff=%v want 90", got)
+	}
+	if got := Hausdorff(a, model.Trajectory{}); !math.IsInf(got, 1) {
+		t.Errorf("vs empty=%v", got)
+	}
+	// Symmetry.
+	if Hausdorff(a, c) != Hausdorff(c, a) {
+		t.Error("not symmetric")
+	}
+}

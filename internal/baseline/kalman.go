@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"math"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+// KalmanParams configures the constant-velocity Kalman filter used by the
+// KF baseline.
+type KalmanParams struct {
+	// ProcessNoise is the acceleration noise spectral density q
+	// ((m/s²)²): how much the object's velocity is allowed to wander.
+	ProcessNoise float64
+	// MeasurementNoise is the standard deviation of the location
+	// measurements in meters.
+	MeasurementNoise float64
+}
+
+// DefaultKalmanParams returns parameters scaled to a scene: measurement
+// noise equal to the expected location error and a process noise loose
+// enough to track turning objects.
+func DefaultKalmanParams(locationError float64) KalmanParams {
+	if locationError <= 0 {
+		locationError = 1
+	}
+	return KalmanParams{ProcessNoise: 0.5, MeasurementNoise: locationError}
+}
+
+// kalman2D is a constant-velocity Kalman filter over the state
+// [x, y, vx, vy], with the two axes filtered independently (the CV model
+// decouples them).
+type kalman2D struct {
+	q, r float64
+	// Per-axis state: position, velocity, and 2x2 covariance.
+	x, y axisState
+}
+
+type axisState struct {
+	pos, vel      float64
+	p00, p01, p11 float64
+	init          bool
+}
+
+func (a *axisState) predict(dt, q float64) {
+	if !a.init {
+		return
+	}
+	a.pos += a.vel * dt
+	// P = F P Fᵀ + Q with F = [[1,dt],[0,1]] and the standard CV Q.
+	p00 := a.p00 + dt*(a.p01+a.p01) + dt*dt*a.p11
+	p01 := a.p01 + dt*a.p11
+	p11 := a.p11
+	dt2 := dt * dt
+	a.p00 = p00 + q*dt2*dt2/4
+	a.p01 = p01 + q*dt2*dt/2
+	a.p11 = p11 + q*dt2
+}
+
+func (a *axisState) update(z, r float64) {
+	if !a.init {
+		a.pos = z
+		a.vel = 0
+		a.p00 = r * r
+		a.p01 = 0
+		a.p11 = 100 // uninformative velocity prior
+		a.init = true
+		return
+	}
+	s := a.p00 + r*r
+	k0 := a.p00 / s
+	k1 := a.p01 / s
+	innov := z - a.pos
+	a.pos += k0 * innov
+	a.vel += k1 * innov
+	p00 := (1 - k0) * a.p00
+	p01 := (1 - k0) * a.p01
+	p11 := a.p11 - k1*a.p01
+	a.p00, a.p01, a.p11 = p00, p01, p11
+}
+
+// KalmanEstimate runs a constant-velocity Kalman filter over tr and
+// returns the filtered trajectory: the posterior position estimate at each
+// original timestamp. This is the location-estimation step of the KF
+// baseline ("KF is used to estimate the object location at a given time").
+func KalmanEstimate(tr model.Trajectory, p KalmanParams) model.Trajectory {
+	out := model.Trajectory{ID: tr.ID, Samples: make([]model.Sample, 0, tr.Len())}
+	var f kalman2D
+	f.q, f.r = p.ProcessNoise, p.MeasurementNoise
+	var lastT float64
+	for i, s := range tr.Samples {
+		if i > 0 {
+			dt := s.T - lastT
+			f.x.predict(dt, f.q)
+			f.y.predict(dt, f.q)
+		}
+		f.x.update(s.Loc.X, f.r)
+		f.y.update(s.Loc.Y, f.r)
+		lastT = s.T
+		out.Samples = append(out.Samples, model.Sample{
+			Loc: geo.Point{X: f.x.pos, Y: f.y.pos},
+			T:   s.T,
+		})
+	}
+	return out
+}
+
+// KalmanPredictAt extrapolates the filter state of tr to time t and
+// returns the predicted position. ok is false for empty trajectories or
+// times before the first observation.
+func KalmanPredictAt(tr model.Trajectory, p KalmanParams, t float64) (geo.Point, bool) {
+	if tr.Len() == 0 || t < tr.Start() {
+		return geo.Point{}, false
+	}
+	var f kalman2D
+	f.q, f.r = p.ProcessNoise, p.MeasurementNoise
+	var lastT float64
+	for i, s := range tr.Samples {
+		if s.T > t {
+			break
+		}
+		if i > 0 {
+			f.x.predict(s.T-lastT, f.q)
+			f.y.predict(s.T-lastT, f.q)
+		}
+		f.x.update(s.Loc.X, f.r)
+		f.y.update(s.Loc.Y, f.r)
+		lastT = s.T
+	}
+	if dt := t - lastT; dt > 0 {
+		f.x.predict(dt, f.q)
+		f.y.predict(dt, f.q)
+	}
+	return geo.Point{X: f.x.pos, Y: f.y.pos}, true
+}
+
+// KF returns the KF baseline distance of Section VI-A: each trajectory's
+// locations are re-estimated with a constant-velocity Kalman filter, and
+// the filtered trajectories are compared with DTW.
+func KF(a, b model.Trajectory, p KalmanParams) float64 {
+	fa := KalmanEstimate(a, p)
+	fb := KalmanEstimate(b, p)
+	if fa.Len() == 0 || fb.Len() == 0 {
+		return math.Inf(1)
+	}
+	return DTW(fa, fb)
+}

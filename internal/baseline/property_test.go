@@ -1,0 +1,195 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+// randomTrajectory derives a plausible random trajectory from a seed.
+func randomTrajectory(seed int64, id string) model.Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(12)
+	tr := model.Trajectory{ID: id}
+	t := rng.Float64() * 100
+	p := geo.Point{X: rng.Float64() * 500, Y: rng.Float64() * 500}
+	for i := 0; i < n; i++ {
+		tr.Samples = append(tr.Samples, model.Sample{Loc: p, T: t})
+		t += 1 + rng.Float64()*30
+		p.X += rng.NormFloat64() * 20
+		p.Y += rng.NormFloat64() * 20
+	}
+	return tr
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 60}
+}
+
+func TestDTWProperties(t *testing.T) {
+	symmetric := func(s1, s2 int64) bool {
+		a, b := randomTrajectory(s1, "a"), randomTrajectory(s2, "b")
+		return math.Abs(DTW(a, b)-DTW(b, a)) < 1e-9
+	}
+	if err := quick.Check(symmetric, quickCfg()); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+	identity := func(s int64) bool {
+		a := randomTrajectory(s, "a")
+		return DTW(a, a) == 0
+	}
+	if err := quick.Check(identity, quickCfg()); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+	nonNegative := func(s1, s2 int64) bool {
+		return DTW(randomTrajectory(s1, "a"), randomTrajectory(s2, "b")) >= 0
+	}
+	if err := quick.Check(nonNegative, quickCfg()); err != nil {
+		t.Errorf("non-negativity: %v", err)
+	}
+}
+
+func TestEDRSymmetricAndBounded(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a, b := randomTrajectory(s1, "a"), randomTrajectory(s2, "b")
+		d1, d2 := EDR(a, b, 25), EDR(b, a, 25)
+		return d1 == d2 && d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLCSSBounded(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a, b := randomTrajectory(s1, "a"), randomTrajectory(s2, "b")
+		d := LCSS(a, b, 25, 30)
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestERPTriangleInequality(t *testing.T) {
+	g := geo.Point{X: 250, Y: 250}
+	f := func(s1, s2, s3 int64) bool {
+		a := randomTrajectory(s1, "a")
+		b := randomTrajectory(s2, "b")
+		c := randomTrajectory(s3, "c")
+		return ERP(a, c, g) <= ERP(a, b, g)+ERP(b, c, g)+1e-6
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiscreteFrechetProperties(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a, b := randomTrajectory(s1, "a"), randomTrajectory(s2, "b")
+		d := DiscreteFrechet(a, b)
+		// Symmetric, non-negative, and at least the endpoint distances.
+		if math.Abs(d-DiscreteFrechet(b, a)) > 1e-9 || d < 0 {
+			return false
+		}
+		start := a.Samples[0].Loc.Dist(b.Samples[0].Loc)
+		end := a.Samples[a.Len()-1].Loc.Dist(b.Samples[b.Len()-1].Loc)
+		return d >= start-1e-9 && d >= end-1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrechetDominatesDTWAverage(t *testing.T) {
+	// DTW total cost / coupling length can never exceed the Fréchet
+	// (minimax) distance times the coupling length; weaker but checkable:
+	// Fréchet ≥ max over the optimal DTW coupling's per-step costs is not
+	// directly available, so check Fréchet ≥ DTW / (len(a)+len(b)), a
+	// loose but always-valid bound.
+	f := func(s1, s2 int64) bool {
+		a, b := randomTrajectory(s1, "a"), randomTrajectory(s2, "b")
+		return DiscreteFrechet(a, b) >= DTW(a, b)/float64(a.Len()+b.Len())-1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCATSSymmetricAndBounded(t *testing.T) {
+	p := CATSParams{Eps: 40, Tau: 60}
+	f := func(s1, s2 int64) bool {
+		a, b := randomTrajectory(s1, "a"), randomTrajectory(s2, "b")
+		v1, v2 := CATS(a, b, p), CATS(b, a, p)
+		return math.Abs(v1-v2) < 1e-9 && v1 >= 0 && v1 <= 1
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSSTSymmetricAndBounded(t *testing.T) {
+	p := DefaultSSTParams(30, 60)
+	f := func(s1, s2 int64) bool {
+		a, b := randomTrajectory(s1, "a"), randomTrajectory(s2, "b")
+		v1, v2 := SST(a, b, p), SST(b, a, p)
+		return math.Abs(v1-v2) < 1e-9 && v1 >= 0 && v1 <= 1
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWGMSymmetricAndBounded(t *testing.T) {
+	p := DefaultWGMParams(100, 100)
+	f := func(s1, s2 int64) bool {
+		a, b := randomTrajectory(s1, "a"), randomTrajectory(s2, "b")
+		v1, v2 := WGM(a, b, p), WGM(b, a, p)
+		return math.Abs(v1-v2) < 1e-9 && v1 >= 0 && v1 <= 1
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEDwPSymmetricNonNegative(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a, b := randomTrajectory(s1, "a"), randomTrajectory(s2, "b")
+		v1, v2 := EDwP(a, b), EDwP(b, a)
+		return math.Abs(v1-v2) < 1e-6 && v1 >= 0
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKFFiniteOnRandomInputs(t *testing.T) {
+	p := DefaultKalmanParams(10)
+	f := func(s1, s2 int64) bool {
+		a, b := randomTrajectory(s1, "a"), randomTrajectory(s2, "b")
+		v := KF(a, b, p)
+		return !math.IsNaN(v) && v >= 0
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAPMPreservesValidity(t *testing.T) {
+	g, err := geo.NewGrid(geo.NewRect(geo.Point{X: -200, Y: -200}, geo.Point{X: 800, Y: 800}), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(s int64) bool {
+		tr := randomTrajectory(s, "a")
+		cal := APMCalibrate(tr, g)
+		return cal.Validate() == nil
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

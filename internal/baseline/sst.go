@@ -1,0 +1,97 @@
+package baseline
+
+import (
+	"math"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+// SSTParams configures the SST measure.
+type SSTParams struct {
+	// SpatialScale converts point-to-segment distances to similarities
+	// via exp(−d/SpatialScale).
+	SpatialScale float64
+	// TemporalScale converts the temporal mismatch of the matched
+	// position to a similarity the same way.
+	TemporalScale float64
+}
+
+// DefaultSSTParams scales SST to a scene.
+func DefaultSSTParams(spatialScale, temporalScale float64) SSTParams {
+	return SSTParams{SpatialScale: spatialScale, TemporalScale: temporalScale}
+}
+
+// SST returns the synchronized spatial-temporal similarity of Zhao et al.
+// (GeoInformatica 2020) in [0, 1]. Each point of one trajectory is matched
+// against the other trajectory using the strategy of minimal
+// point-to-segment distance and maximal point-to-point similarity: the
+// point is compared with the other trajectory's segment that is
+// temporally synchronized with it (the segment whose time span contains
+// the point's timestamp), falling back to the nearest segment in time at
+// the boundaries. The spatial and temporal similarities multiply, and the
+// directed scores average symmetrically.
+func SST(a, b model.Trajectory, p SSTParams) float64 {
+	if a.Len() == 0 || b.Len() == 0 {
+		return 0
+	}
+	return (sstDirected(a, b, p) + sstDirected(b, a, p)) / 2
+}
+
+// SSTDistance adapts SST to the distance convention: 1 − SST.
+func SSTDistance(a, b model.Trajectory, p SSTParams) float64 {
+	return 1 - SST(a, b, p)
+}
+
+func sstDirected(a, b model.Trajectory, p SSTParams) float64 {
+	var total float64
+	for _, sa := range a.Samples {
+		d, dt := matchPointToTrajectory(sa, b)
+		spatial := math.Exp(-d / p.SpatialScale)
+		temporal := math.Exp(-dt / p.TemporalScale)
+		total += spatial * temporal
+	}
+	return total / float64(a.Len())
+}
+
+// matchPointToTrajectory returns the spatial distance and temporal
+// mismatch of the best synchronized match of sample s on trajectory tr.
+// Inside tr's time span the match is the time-synchronized interpolated
+// position (temporal mismatch 0 by construction); outside, the match is
+// the nearest endpoint in time, and the temporal mismatch is the gap. The
+// point-to-segment rule additionally lets the match slide along the
+// bracketing segment when that is spatially closer, the "minimal
+// point-to-segment similarity" of the SST definition.
+func matchPointToTrajectory(s model.Sample, tr model.Trajectory) (dist, dt float64) {
+	if tr.Len() == 1 {
+		return s.Loc.Dist(tr.Samples[0].Loc), math.Abs(s.T - tr.Samples[0].T)
+	}
+	switch {
+	case s.T <= tr.Start():
+		d, _ := geo.PointSegmentDist(s.Loc, tr.Samples[0].Loc, tr.Samples[1].Loc)
+		return d, tr.Start() - s.T
+	case s.T >= tr.End():
+		n := tr.Len()
+		d, _ := geo.PointSegmentDist(s.Loc, tr.Samples[n-2].Loc, tr.Samples[n-1].Loc)
+		return d, s.T - tr.End()
+	}
+	exact, before, after := tr.Bracket(s.T)
+	if exact >= 0 {
+		return s.Loc.Dist(tr.Samples[exact].Loc), 0
+	}
+	pa, pb := tr.Samples[before], tr.Samples[after]
+	// Time-synchronized position on the bracketing segment.
+	f := (s.T - pa.T) / (pb.T - pa.T)
+	sync := pa.Loc.Lerp(pb.Loc, f)
+	dSync := s.Loc.Dist(sync)
+	// Minimal point-to-segment distance with the implied temporal slide.
+	dSeg, fSeg := geo.PointSegmentDist(s.Loc, pa.Loc, pb.Loc)
+	dtSeg := math.Abs(fSeg-f) * (pb.T - pa.T)
+	// Pick the match maximizing combined similarity; with equal scales
+	// this is the smaller of dSync and dSeg+dtSeg in similarity space,
+	// which we approximate by comparing the summed mismatch.
+	if dSeg+dtSeg < dSync {
+		return dSeg, dtSeg
+	}
+	return dSync, 0
+}

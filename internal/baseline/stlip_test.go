@@ -1,0 +1,75 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+func TestLIPIdenticalIsZero(t *testing.T) {
+	a := pathEast("a", geo.Point{Y: 10}, 1, 10, 0, 8)
+	if got := LIP(a, a.Clone(), 32); got != 0 {
+		t.Errorf("LIP(a,a)=%v", got)
+	}
+}
+
+func TestLIPParallelLinesArea(t *testing.T) {
+	// Two parallel 70 m lines 5 m apart enclose a 350 m² strip.
+	a := pathEast("a", geo.Point{Y: 0}, 1, 10, 0, 8) // length 70
+	b := pathEast("b", geo.Point{Y: 5}, 1, 10, 0, 8) // length 70
+	got := LIP(a, b, 64)
+	if math.Abs(got-350) > 1 {
+		t.Errorf("LIP=%v want ~350", got)
+	}
+}
+
+func TestLIPScalesWithSeparation(t *testing.T) {
+	a := pathEast("a", geo.Point{Y: 0}, 1, 10, 0, 8)
+	near := pathEast("b", geo.Point{Y: 3}, 1, 10, 0, 8)
+	far := pathEast("c", geo.Point{Y: 30}, 1, 10, 0, 8)
+	if LIP(a, near, 32) >= LIP(a, far, 32) {
+		t.Error("LIP does not grow with separation")
+	}
+}
+
+func TestLIPEdgeCases(t *testing.T) {
+	if got := LIP(model.Trajectory{}, model.Trajectory{}, 32); !math.IsInf(got, 1) {
+		t.Errorf("empty LIP=%v", got)
+	}
+	// Two stationary objects: point gap.
+	p1 := model.Trajectory{Samples: []model.Sample{{Loc: geo.Point{X: 0}, T: 0}}}
+	p2 := model.Trajectory{Samples: []model.Sample{{Loc: geo.Point{X: 7}, T: 0}}}
+	if got := LIP(p1, p2, 32); got != 7 {
+		t.Errorf("stationary LIP=%v want 7", got)
+	}
+}
+
+func TestSTLIPTemporalPenalty(t *testing.T) {
+	a := pathEast("a", geo.Point{Y: 0}, 1, 10, 0, 8)
+	sameTime := pathEast("b", geo.Point{Y: 5}, 1, 10, 0, 8)
+	shifted := sameTime.Clone()
+	for i := range shifted.Samples {
+		shifted.Samples[i].T += 500
+	}
+	p := STLIPParams{Samples: 32, TemporalWeight: 1}
+	// Same shape, same epoch: no penalty beyond the spatial area.
+	if got, want := STLIP(a, sameTime, p), LIP(a, sameTime, 32); math.Abs(got-want) > 1e-9 {
+		t.Errorf("aligned STLIP=%v want %v", got, want)
+	}
+	// Same shape, shifted epoch: penalized.
+	if STLIP(a, shifted, p) <= STLIP(a, sameTime, p) {
+		t.Error("temporal shift not penalized")
+	}
+	// Zero weight disables the penalty.
+	p0 := STLIPParams{Samples: 32}
+	if got, want := STLIP(a, shifted, p0), LIP(a, shifted, 32); got != want {
+		t.Errorf("w=0 STLIP=%v want %v", got, want)
+	}
+}
+
+func TestSTLIPDiscriminates(t *testing.T) {
+	p := STLIPParams{Samples: 32, TemporalWeight: 0.5}
+	discriminates(t, "STLIP", func(a, b model.Trajectory) float64 { return STLIP(a, b, p) }, false)
+}

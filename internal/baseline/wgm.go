@@ -1,0 +1,86 @@
+package baseline
+
+import (
+	"math"
+
+	"github.com/stslib/sts/internal/model"
+)
+
+// WGMParams configures the WGM measure.
+type WGMParams struct {
+	// SpatialScale converts distances to similarities: a point pair d
+	// meters apart has spatial similarity exp(−d/SpatialScale).
+	SpatialScale float64
+	// TemporalScale does the same for timestamp differences in seconds.
+	TemporalScale float64
+	// SpatialWeight w ∈ [0,1] is the exponent of the spatial similarity in
+	// the weighted geometric mean; the temporal similarity gets 1−w.
+	SpatialWeight float64
+	// Pairs is the number of aligned point pairs sampled by index
+	// fraction (origin vs origin, destination vs destination, and evenly
+	// in between). Zero selects 10.
+	Pairs int
+}
+
+// DefaultWGMParams scales WGM to a scene.
+func DefaultWGMParams(spatialScale, temporalScale float64) WGMParams {
+	return WGMParams{
+		SpatialScale:  spatialScale,
+		TemporalScale: temporalScale,
+		SpatialWeight: 0.5,
+		Pairs:         10,
+	}
+}
+
+// WGM returns the similarity of Ketabi, Alipour and Helmy (SIGSPATIAL
+// 2018) in [0, 1]: the arithmetic mean of point-wise similarities (origin
+// vs. origin, destination vs. destination, and proportionally aligned
+// interior points), each the weighted geometric mean of a Euclidean
+// spatial similarity and a temporal similarity. The original formulation
+// assumes trajectories of equal length; index-fraction alignment extends
+// it to unequal lengths, degrading exactly as the paper observes when
+// sampling is sporadic.
+func WGM(a, b model.Trajectory, p WGMParams) float64 {
+	if a.Len() == 0 || b.Len() == 0 {
+		return 0
+	}
+	pairs := p.Pairs
+	if pairs <= 0 {
+		pairs = 10
+	}
+	if a.Len() == 1 || b.Len() == 1 {
+		pairs = 1
+	}
+	w := math.Min(1, math.Max(0, p.SpatialWeight))
+	var total float64
+	for k := 0; k < pairs; k++ {
+		var f float64
+		if pairs > 1 {
+			f = float64(k) / float64(pairs-1)
+		}
+		sa := sampleAtFraction(a, f)
+		sb := sampleAtFraction(b, f)
+		spatial := math.Exp(-sa.Loc.Dist(sb.Loc) / p.SpatialScale)
+		temporal := math.Exp(-math.Abs(sa.T-sb.T) / p.TemporalScale)
+		total += math.Pow(spatial, w) * math.Pow(temporal, 1-w)
+	}
+	return total / float64(pairs)
+}
+
+// WGMDistance adapts WGM to the distance convention: 1 − WGM.
+func WGMDistance(a, b model.Trajectory, p WGMParams) float64 {
+	return 1 - WGM(a, b, p)
+}
+
+// sampleAtFraction returns the sample at index fraction f ∈ [0,1] of the
+// trajectory (nearest index).
+func sampleAtFraction(tr model.Trajectory, f float64) model.Sample {
+	i := int(f*float64(tr.Len()-1) + 0.5)
+	if i < 0 {
+		i = 0
+	}
+	if i >= tr.Len() {
+		i = tr.Len() - 1
+	}
+	return tr.Samples[i]
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/kde"
+	"github.com/stslib/sts/internal/model"
+	"github.com/stslib/sts/internal/stprob"
+)
+
+// This file cross-checks the optimized estimator against a naive
+// reference implementation transcribed directly from the paper's
+// formulas (Eq. 3, Eq. 4, Eq. 5, Algorithm 1 and Eq. 10), with every sum
+// ranging over the full grid and no shared code with the production path
+// beyond the speed model.
+
+// naiveNoise evaluates Eq. 3 (squared-distance Gaussian, unnormalized).
+func naiveNoise(r, obs geo.Point, sigma float64) float64 {
+	d := r.Dist(obs)
+	return math.Exp(-d * d / (2 * sigma * sigma))
+}
+
+// naiveSTP returns the normalized STP(·, t, Tra) over all cells (Eq. 5).
+func naiveSTP(g *geo.Grid, sm *kde.SpeedModel, tr model.Trajectory, t, sigma float64) []float64 {
+	out := make([]float64, g.N())
+	if tr.Len() == 0 || t < tr.Start() || t > tr.End() {
+		return out
+	}
+	exact, before, after := tr.Bracket(t)
+	if exact >= 0 {
+		obs := tr.Samples[exact].Loc
+		for c := 0; c < g.N(); c++ {
+			out[c] = naiveNoise(g.Center(c), obs, sigma)
+		}
+		return normalize(out)
+	}
+	prev, next := tr.Samples[before], tr.Samples[after]
+	// Eq. 4 numerator for every candidate cell r_i; the denominator is
+	// constant over cells and cancels under normalization.
+	for ri := 0; ri < g.N(); ri++ {
+		rc := g.Center(ri)
+		var sumA float64
+		for rj := 0; rj < g.N(); rj++ {
+			w := naiveNoise(g.Center(rj), prev.Loc, sigma)
+			sumA += w * sm.Transition(g.Center(rj), prev.T, rc, t)
+		}
+		var sumB float64
+		for rk := 0; rk < g.N(); rk++ {
+			w := naiveNoise(g.Center(rk), next.Loc, sigma)
+			sumB += w * sm.Transition(rc, t, g.Center(rk), next.T)
+		}
+		out[ri] = sumA * sumB
+	}
+	return normalize(out)
+}
+
+func normalize(xs []float64) []float64 {
+	var total float64
+	for _, x := range xs {
+		total += x
+	}
+	if total <= 0 {
+		return xs
+	}
+	for i := range xs {
+		xs[i] /= total
+	}
+	return xs
+}
+
+// naiveCP implements Algorithm 1 at one timestamp: normalized location
+// distributions of both trajectories multiplied cell-wise and summed.
+func naiveCP(g *geo.Grid, smA, smB *kde.SpeedModel, a, b model.Trajectory, t, sigma float64) float64 {
+	da := naiveSTP(g, smA, a, t, sigma)
+	db := naiveSTP(g, smB, b, t, sigma)
+	var cp float64
+	for c := 0; c < g.N(); c++ {
+		cp += da[c] * db[c]
+	}
+	return cp
+}
+
+// naiveSTS implements Eq. 10.
+func naiveSTS(g *geo.Grid, a, b model.Trajectory, sigma float64) float64 {
+	smA, err := kde.NewSpeedModel(a)
+	if err != nil {
+		panic(err)
+	}
+	smB, err := kde.NewSpeedModel(b)
+	if err != nil {
+		panic(err)
+	}
+	var total float64
+	for _, s := range a.Samples {
+		total += naiveCP(g, smA, smB, a, b, s.T, sigma)
+	}
+	for _, s := range b.Samples {
+		total += naiveCP(g, smA, smB, a, b, s.T, sigma)
+	}
+	return total / float64(a.Len()+b.Len())
+}
+
+// TestExactModeMatchesNaiveAlgorithm1 compares the production measure in
+// Exact mode against the naive transcription on a small grid. The two
+// share only the KDE speed model; grid iteration, noise handling,
+// normalization and the Eq. 10 averaging are implemented independently.
+func TestExactModeMatchesNaiveAlgorithm1(t *testing.T) {
+	g, err := geo.NewGrid(geo.NewRect(geo.Point{X: -10, Y: -10}, geo.Point{X: 60, Y: 60}), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sigma = 4.0
+	a := walk("a", geo.Point{Y: 20}, 0.9, 0.1, 11, 0, 5)
+	b := walk("b", geo.Point{Y: 22}, 0.9, 0.1, 14, 3, 4)
+
+	m, err := New(Options{Grid: g, Noise: stprob.GaussianNoise{Sigma: sigma}, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Similarity(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveSTS(g, a, b, sigma)
+	if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+		t.Errorf("exact measure %v vs naive Algorithm 1 %v", got, want)
+	}
+	if want <= 0 {
+		t.Fatalf("naive STS is zero; test setup lost its signal")
+	}
+}
+
+// TestTruncatedCloseToNaive bounds the truncation error of the default
+// (fast) configuration against the naive reference.
+func TestTruncatedCloseToNaive(t *testing.T) {
+	g, err := geo.NewGrid(geo.NewRect(geo.Point{X: -10, Y: -10}, geo.Point{X: 60, Y: 60}), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sigma = 4.0
+	a := walk("a", geo.Point{Y: 20}, 0.9, 0.1, 11, 0, 5)
+	b := walk("b", geo.Point{Y: 22}, 0.9, 0.1, 14, 3, 4)
+
+	// SpeedSlack is a deliberate deviation from the textbook evaluation;
+	// disable it so this test isolates the support truncation.
+	m, err := New(Options{Grid: g, Noise: stprob.GaussianNoise{Sigma: sigma}, SpeedSlack: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Similarity(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveSTS(g, a, b, sigma)
+	if rel := math.Abs(got-want) / want; rel > 0.05 {
+		t.Errorf("truncated %v vs naive %v (rel err %.3f)", got, want, rel)
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/stslib/sts/internal/geo"
+)
+
+// TestConcurrentSimilarity exercises a shared Measure and shared Prepared
+// values from many goroutines; with -race this guards the documented
+// concurrency-safety of the measure.
+func TestConcurrentSimilarity(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	a := walk("a", geo.Point{Y: 100}, 1.1, 0, 12, 0, 9)
+	b := walk("b", geo.Point{Y: 101}, 1.1, 0, 17, 4, 8)
+	pa, err := m.Prepare(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := m.Prepare(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.SimilarityPrepared(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				got, err := m.SimilarityPrepared(pa, pb)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != want {
+					t.Errorf("concurrent result %v differs from %v", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// Episode is a maximal time interval during which two objects' co-location
+// probability stayed at or above a threshold — a "contact episode" in the
+// contact-tracing reading of the paper's introduction.
+type Episode struct {
+	// Start and End bound the episode in seconds.
+	Start, End float64
+	// Peak is the highest co-location probability observed inside it.
+	Peak float64
+	// Mean is the average co-location probability over its grid of
+	// evaluation points.
+	Mean float64
+}
+
+// Duration returns the episode length in seconds.
+func (e Episode) Duration() float64 { return e.End - e.Start }
+
+// ContactEpisodes scans the overlap of two prepared trajectories' time
+// windows on a uniform step and returns the maximal intervals where
+// CP(t | Tra1, Tra2) ≥ threshold. The scan augments Eq. 10's
+// timestamp-only evaluation: because STP is defined at *any* time
+// (Eq. 5), the co-location probability is a continuous function of t and
+// can be probed between observations, which is what turns a similarity
+// measure into actionable "when were they together" intervals.
+//
+// step must be positive; threshold should be calibrated against the
+// measure's self-similarity scale (co-location probabilities are diluted
+// by the noise model's support size; see the quickstart example).
+func ContactEpisodes(a, b *Prepared, step, threshold float64) ([]Episode, error) {
+	if step <= 0 || math.IsNaN(step) {
+		return nil, errors.New("core: step must be positive")
+	}
+	if a.Tr.Len() == 0 || b.Tr.Len() == 0 {
+		return nil, errors.New("core: empty trajectory")
+	}
+	lo := math.Max(a.Tr.Start(), b.Tr.Start())
+	hi := math.Min(a.Tr.End(), b.Tr.End())
+	if lo > hi {
+		return nil, nil
+	}
+	var (
+		episodes []Episode
+		open     bool
+		cur      Episode
+		sum      float64
+		count    int
+	)
+	flush := func(end float64) {
+		if !open {
+			return
+		}
+		cur.End = end
+		if count > 0 {
+			cur.Mean = sum / float64(count)
+		}
+		episodes = append(episodes, cur)
+		open = false
+		sum, count = 0, 0
+	}
+	prevT := lo
+	for t := lo; ; t += step {
+		if t > hi {
+			break
+		}
+		cp, err := CoLocation(a, b, t)
+		if err != nil {
+			return nil, err
+		}
+		if cp >= threshold {
+			if !open {
+				open = true
+				cur = Episode{Start: t, Peak: cp}
+			}
+			if cp > cur.Peak {
+				cur.Peak = cp
+			}
+			sum += cp
+			count++
+		} else {
+			flush(prevT)
+		}
+		prevT = t
+	}
+	flush(math.Min(prevT, hi))
+	return episodes, nil
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/stslib/sts/internal/geo"
+)
+
+func prepare2(t *testing.T, m *Measure, a, b walkSpec) (*Prepared, *Prepared) {
+	t.Helper()
+	pa, err := m.Prepare(walk(a.id, a.origin, a.vx, a.vy, a.step, a.phase, a.n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := m.Prepare(walk(b.id, b.origin, b.vx, b.vy, b.step, b.phase, b.n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pa, pb
+}
+
+type walkSpec struct {
+	id          string
+	origin      geo.Point
+	vx, vy      float64
+	step, phase float64
+	n           int
+}
+
+func TestContactEpisodesDetectsCoMovement(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	// Same corridor, asynchronous sampling: contact throughout.
+	pa, pb := prepare2(t, m,
+		walkSpec{"a", geo.Point{Y: 100}, 1.2, 0, 13, 0, 12},
+		walkSpec{"b", geo.Point{Y: 100}, 1.2, 0, 17, 5, 9},
+	)
+	eps, err := ContactEpisodes(pa, pb, 5, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) == 0 {
+		t.Fatal("no contact episodes for co-moving objects")
+	}
+	var total float64
+	for _, e := range eps {
+		if e.End < e.Start {
+			t.Fatalf("inverted episode %+v", e)
+		}
+		if e.Peak < e.Mean {
+			t.Fatalf("peak below mean: %+v", e)
+		}
+		total += e.Duration()
+	}
+	overlap := pb.Tr.End() - pb.Tr.Start()
+	if total < overlap/3 {
+		t.Errorf("contact covers only %v of %v seconds", total, overlap)
+	}
+}
+
+func TestContactEpisodesEmptyForSeparatedObjects(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	pa, pb := prepare2(t, m,
+		walkSpec{"a", geo.Point{Y: 40}, 1.2, 0, 13, 0, 12},
+		walkSpec{"c", geo.Point{Y: 200}, 1.2, 0, 17, 5, 9},
+	)
+	eps, err := ContactEpisodes(pa, pb, 5, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 0 {
+		t.Errorf("episodes for objects 160 m apart: %+v", eps)
+	}
+}
+
+func TestContactEpisodesDisjointWindows(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	pa, pb := prepare2(t, m,
+		walkSpec{"a", geo.Point{Y: 100}, 1, 0, 10, 0, 5},
+		walkSpec{"b", geo.Point{Y: 100}, 1, 0, 10, 1000, 5},
+	)
+	eps, err := ContactEpisodes(pa, pb, 5, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps != nil {
+		t.Errorf("episodes across disjoint time windows: %+v", eps)
+	}
+}
+
+func TestContactEpisodesValidation(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	pa, pb := prepare2(t, m,
+		walkSpec{"a", geo.Point{Y: 100}, 1, 0, 10, 0, 5},
+		walkSpec{"b", geo.Point{Y: 100}, 1, 0, 10, 3, 5},
+	)
+	if _, err := ContactEpisodes(pa, pb, 0, 0.1); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := ContactEpisodes(pa, pb, -1, 0.1); err == nil {
+		t.Error("negative step accepted")
+	}
+}
+
+func TestContactEpisodesSplitByGap(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	// b walks with a, then detours 100 m north, then rejoins: two
+	// episodes separated by the detour.
+	a := walk("a", geo.Point{Y: 100}, 1, 0, 10, 0, 19) // t in [0,180]
+	b := a.Clone()
+	b.ID = "b"
+	for i := range b.Samples {
+		ti := b.Samples[i].T
+		if ti > 60 && ti < 120 {
+			b.Samples[i].Loc.Y += 100
+		}
+		b.Samples[i].T += 2 // asynchronous
+	}
+	pa, err := m.Prepare(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := m.Prepare(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, err := ContactEpisodes(pa, pb, 4, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) < 2 {
+		t.Fatalf("detour not detected: %d episodes (%+v)", len(eps), eps)
+	}
+	// No episode may span the detour's core.
+	for _, e := range eps {
+		if e.Start < 80 && e.End > 100 {
+			t.Errorf("episode %+v spans the detour", e)
+		}
+	}
+}
+
+// TestSpeedSlackRescuesConstantSpeed is the regression test for the grid
+// speed-quantization blind spot: at constant object speed, the
+// personalized speed support is narrower than the cell/Δt speed quantum
+// and the textbook evaluation zeroes every in-between co-location. The
+// default SpeedSlack must keep the co-moving pair's contact visible.
+func TestSpeedSlackRescuesConstantSpeed(t *testing.T) {
+	g := testGrid(t)
+	spec1 := walkSpec{"a", geo.Point{Y: 100}, 1.2, 0, 13, 0, 12}
+	spec2 := walkSpec{"b", geo.Point{Y: 100}, 1.2, 0, 17, 5, 9}
+
+	withSlack := mustSTS(t, g, 3)
+	pa, pb := prepare2(t, withSlack, spec1, spec2)
+	var nonZero int
+	for tt := 5.0; tt <= 140; tt += 5 {
+		cp, err := CoLocation(pa, pb, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp > 1e-6 {
+			nonZero++
+		}
+	}
+	if nonZero < 20 {
+		t.Errorf("with slack, only %d/28 probe times show co-location", nonZero)
+	}
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/kde"
+	"github.com/stslib/sts/internal/markov"
+	"github.com/stslib/sts/internal/model"
+	"github.com/stslib/sts/internal/stprob"
+)
+
+func testGrid(t *testing.T) *geo.Grid {
+	t.Helper()
+	g, err := geo.NewGrid(geo.NewRect(geo.Point{X: -30, Y: -30}, geo.Point{X: 230, Y: 230}), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// walk returns a trajectory along the given heading at speed m/s, sampled
+// every step seconds with optional phase offset, n samples.
+func walk(id string, origin geo.Point, vx, vy, step, phase float64, n int) model.Trajectory {
+	tr := model.Trajectory{ID: id}
+	for i := 0; i < n; i++ {
+		tt := phase + float64(i)*step
+		tr.Samples = append(tr.Samples, model.Sample{
+			Loc: geo.Point{X: origin.X + vx*tt, Y: origin.Y + vy*tt},
+			T:   tt,
+		})
+	}
+	return tr
+}
+
+func mustSTS(t *testing.T, g *geo.Grid, sigma float64) *Measure {
+	t.Helper()
+	m, err := NewSTS(g, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("New without grid should fail")
+	}
+	g := testGrid(t)
+	m, err := New(Options{Grid: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Grid() != g {
+		t.Error("Grid() accessor")
+	}
+}
+
+func TestSimilarityCoLocatedBeatsSeparate(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	// Two objects on the same path, observed asynchronously.
+	a := walk("a", geo.Point{Y: 100}, 1.2, 0, 13, 0, 12)
+	b := walk("b", geo.Point{Y: 100}, 1.2, 0, 17, 5, 9)
+	// A third object 80 m north.
+	c := walk("c", geo.Point{Y: 180}, 1.2, 0, 17, 5, 9)
+
+	same, err := m.Similarity(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := m.Similarity(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(same > diff) {
+		t.Errorf("co-located %v <= separate %v", same, diff)
+	}
+	if same <= 0 {
+		t.Error("co-located similarity is zero")
+	}
+}
+
+func TestSimilaritySymmetric(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	a := walk("a", geo.Point{Y: 100}, 1, 0, 10, 0, 10)
+	b := walk("b", geo.Point{Y: 105}, 1, 0.1, 15, 3, 8)
+	ab, err := m.Similarity(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := m.Similarity(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ab-ba) > 1e-12 {
+		t.Errorf("STS(a,b)=%v STS(b,a)=%v", ab, ba)
+	}
+}
+
+func TestSimilarityBounds(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func(id string) model.Trajectory {
+			return walk(id,
+				geo.Point{X: r.Float64() * 200, Y: r.Float64() * 200},
+				r.Float64()*2-1, r.Float64()*2-1,
+				5+r.Float64()*20, r.Float64()*10, 4+r.Intn(8))
+		}
+		a, b := mk("a"), mk("b")
+		v, err := m.Similarity(a, b)
+		if err != nil {
+			return false
+		}
+		return v >= 0 && v <= 1
+	}
+	cfg := &quick.Config{MaxCount: 20, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilarityDisjointTimesIsZero(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	a := walk("a", geo.Point{Y: 100}, 1, 0, 10, 0, 5)    // t in [0,40]
+	b := walk("b", geo.Point{Y: 100}, 1, 0, 10, 1000, 5) // t in [1000,1040]
+	v, err := m.Similarity(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("disjoint time windows: STS=%v want 0", v)
+	}
+}
+
+func TestSimilarityRejectsInvalidTrajectory(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	good := walk("a", geo.Point{Y: 100}, 1, 0, 10, 0, 5)
+	bad := model.Trajectory{ID: "bad", Samples: []model.Sample{{T: 2}, {T: 1}}}
+	if _, err := m.Similarity(good, bad); err == nil {
+		t.Error("unsorted trajectory accepted")
+	}
+	if _, err := m.Similarity(model.Trajectory{}, good); err == nil {
+		t.Error("empty trajectory accepted")
+	}
+}
+
+func TestPreparedMatchesOneShot(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	a := walk("a", geo.Point{Y: 100}, 1.1, 0, 12, 0, 9)
+	b := walk("b", geo.Point{Y: 102}, 1.1, 0, 19, 4, 7)
+	oneShot, err := m.Similarity(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := m.Prepare(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := m.Prepare(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepared, err := m.SimilarityPrepared(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(oneShot-prepared) > 1e-12 {
+		t.Errorf("one-shot %v vs prepared %v", oneShot, prepared)
+	}
+}
+
+func TestCoLocationBounds(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	a := walk("a", geo.Point{Y: 100}, 1, 0, 10, 0, 8)
+	b := walk("b", geo.Point{Y: 100}, 1, 0, 14, 3, 6)
+	pa, _ := m.Prepare(a)
+	pb, _ := m.Prepare(b)
+	for _, tt := range []float64{0, 5, 17, 33, 70, -10} {
+		cp, err := CoLocation(pa, pb, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp < 0 || cp > 1 {
+			t.Errorf("CP(%v)=%v out of [0,1]", tt, cp)
+		}
+	}
+}
+
+func TestSingleSampleTrajectory(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	single := model.Trajectory{ID: "s", Samples: []model.Sample{{Loc: geo.Point{X: 50, Y: 100}, T: 10}}}
+	other := walk("o", geo.Point{Y: 100}, 1, 0, 5, 0, 12)
+	v, err := m.Similarity(single, other)
+	if err != nil {
+		t.Fatalf("single-sample trajectory: %v", err)
+	}
+	if v < 0 || v > 1 {
+		t.Errorf("similarity %v out of range", v)
+	}
+}
+
+func TestVariantsProduceDifferentMeasures(t *testing.T) {
+	g := testGrid(t)
+	a := walk("a", geo.Point{Y: 100}, 1.2, 0, 13, 0, 10)
+	b := walk("b", geo.Point{Y: 100}, 1.2, 0, 17, 5, 8)
+	ds := model.Dataset{a, b}
+
+	full := mustSTS(t, g, 3)
+	noNoise, err := NewSTSN(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := kde.NewPooledSpeedModel(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := NewSTSG(g, 3, pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq, err := markov.Train(g, ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqM, err := NewSTSF(g, 3, freq, pooled.MaxSpeed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		m    *Measure
+	}{{"STS", full}, {"STS-N", noNoise}, {"STS-G", global}, {"STS-F", freqM}} {
+		v, err := tc.m.Similarity(a, b)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if v < 0 || v > 1 {
+			t.Errorf("%s similarity %v out of range", tc.name, v)
+		}
+	}
+}
+
+func TestVariantConstructorErrors(t *testing.T) {
+	g := testGrid(t)
+	if _, err := NewSTSG(g, 3, nil); err == nil {
+		// NewSTSG succeeds at construction; the error surfaces at Prepare.
+		m, _ := NewSTSG(g, 3, nil)
+		a := walk("a", geo.Point{Y: 100}, 1, 0, 10, 0, 5)
+		if _, err := m.Prepare(a); err == nil {
+			t.Error("STS-G without a model prepared successfully")
+		}
+	}
+	m, err := NewSTSF(g, 3, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := walk("a", geo.Point{Y: 100}, 1, 0, 10, 0, 5)
+	if _, err := m.Prepare(a); err == nil {
+		t.Error("STS-F without a model prepared successfully")
+	}
+}
+
+func TestExactModeAgreesOnRanking(t *testing.T) {
+	// A coarse grid keeps the exact mode affordable.
+	g, err := geo.NewGrid(geo.NewRect(geo.Point{X: -20, Y: -20}, geo.Point{X: 120, Y: 120}), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slack off so truncated and exact evaluate the same formula.
+	fast, err := New(Options{Grid: g, Noise: stprob.GaussianNoise{Sigma: 5}, SpeedSlack: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := New(Options{Grid: g, Noise: stprob.GaussianNoise{Sigma: 5}, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := walk("a", geo.Point{Y: 50}, 1, 0, 15, 0, 6)
+	b := walk("b", geo.Point{Y: 50}, 1, 0, 21, 4, 5)
+	c := walk("c", geo.Point{Y: 90}, 1, 0, 21, 4, 5)
+
+	fab, _ := fast.Similarity(a, b)
+	fac, _ := fast.Similarity(a, c)
+	eab, _ := exact.Similarity(a, b)
+	eac, _ := exact.Similarity(a, c)
+	if (fab > fac) != (eab > eac) {
+		t.Errorf("ranking differs: fast (%v,%v), exact (%v,%v)", fab, fac, eab, eac)
+	}
+	// The truncated twin score should be close to the exact one.
+	if eab > 0 && math.Abs(fab-eab)/eab > 0.1 {
+		t.Errorf("twin score: fast %v vs exact %v", fab, eab)
+	}
+}

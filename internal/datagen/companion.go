@@ -1,0 +1,50 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"github.com/stslib/sts/internal/model"
+)
+
+// CompanionConfig controls the synthesis of a companion: a second object
+// following (almost) the same continuous path — two people walking
+// together, the scenario behind the paper's contact-tracing and companion
+// -detection motivation (Figure 1(b)).
+type CompanionConfig struct {
+	// Lag is the time offset of the companion along the path in seconds
+	// (a friend half a step behind).
+	Lag float64
+	// Wobble is the standard deviation in meters of the companion's
+	// independent positional deviation from the shared path (walking side
+	// by side, not in lockstep).
+	Wobble float64
+	// MeanGap, MinGap, MaxGap shape the companion's own independent
+	// sporadic sampling process; its observation times are asynchronous
+	// with the first object's, exactly as in Figure 1(b).
+	MeanGap, MinGap, MaxGap float64
+}
+
+// DefaultCompanionConfig returns a plausible walking-together setting.
+func DefaultCompanionConfig() CompanionConfig {
+	return CompanionConfig{Lag: 2, Wobble: 1.5, MeanGap: 25, MinGap: 5, MaxGap: 90}
+}
+
+// Companion samples a companion trajectory from path p: the same
+// continuous movement, time-shifted by Lag, perturbed by Wobble, and
+// observed at its own independent sporadic times.
+func Companion(p Path, id string, cfg CompanionConfig, rng *rand.Rand) model.Trajectory {
+	if len(p.Waypoints) == 0 {
+		return model.Trajectory{ID: id}
+	}
+	start := p.Waypoints[0].T
+	end := p.Waypoints[len(p.Waypoints)-1].T
+	times := SporadicTimes(start, end, cfg.MeanGap, cfg.MinGap, cfg.MaxGap, rng)
+	tr := model.Trajectory{ID: id, Samples: make([]model.Sample, 0, len(times))}
+	for _, t := range times {
+		loc := p.At(t - cfg.Lag)
+		loc.X += cfg.Wobble * rng.NormFloat64()
+		loc.Y += cfg.Wobble * rng.NormFloat64()
+		tr.Samples = append(tr.Samples, model.Sample{Loc: loc, T: t})
+	}
+	return tr
+}

@@ -1,0 +1,146 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+// MallConfig parameterizes the synthetic shopping-mall pedestrian workload
+// standing in for the paper's WiFi-fingerprint dataset.
+type MallConfig struct {
+	// N is the number of pedestrians (= trajectories).
+	N int
+	// Width and Height are the floorplan extent in meters.
+	Width, Height float64
+	// CorridorSpacing is the grid pitch of the corridor network in meters.
+	CorridorSpacing float64
+	// MedianSpeed is the median walking speed across pedestrians (m/s);
+	// each pedestrian draws a personal base speed log-normally around it,
+	// matching the observation (paper's reference [26]) that walking
+	// speed distributions differ per person.
+	MedianSpeed float64
+	// SpeedShape is the log-normal shape of the across-person spread.
+	SpeedShape float64
+	// Wobble is the lateral standard deviation in meters of the walker's
+	// deviation from the straight corridor line. Real pedestrians weave,
+	// cut corners and drift in open spaces; perfectly straight synthetic
+	// paths would make linear-interpolation measures unrealistically
+	// exact.
+	Wobble float64
+	// DwellProb is the probability of pausing at a corridor node (window
+	// shopping / entering a store).
+	DwellProb float64
+	// DwellMin and DwellMax bound pause durations in seconds.
+	DwellMin, DwellMax float64
+	// MinDuration and MaxDuration bound a visit's duration in seconds.
+	MinDuration, MaxDuration float64
+	// MeanGap, MinGap and MaxGap shape the sporadic sampling process in
+	// seconds: WiFi sightings arrive with independent clipped-exponential
+	// gaps, heterogeneous across people and time.
+	MeanGap, MinGap, MaxGap float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultMallConfig mirrors the paper's mall setting: a large floorplan,
+// slow personalized walking speeds with dwell stops, and sporadic
+// asynchronous sampling.
+func DefaultMallConfig(n int) MallConfig {
+	return MallConfig{
+		N:               n,
+		Width:           200,
+		Height:          150,
+		CorridorSpacing: 12,
+		MedianSpeed:     1.1,
+		SpeedShape:      0.2,
+		Wobble:          1.2,
+		DwellProb:       0.3,
+		DwellMin:        20,
+		DwellMax:        120,
+		MinDuration:     1800,
+		MaxDuration:     3600,
+		MeanGap:         25,
+		MinGap:          5,
+		MaxGap:          90,
+		Seed:            2,
+	}
+}
+
+// GenerateMall synthesizes cfg.N pedestrian trajectories: random walks on
+// a corridor grid with dwell stops, observed sporadically.
+func GenerateMall(cfg MallConfig) (model.Dataset, []Path) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := make(model.Dataset, 0, cfg.N)
+	paths := make([]Path, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		p := mallPath(cfg, pathID("ped", i), rng)
+		times := SporadicTimes(p.Waypoints[0].T, p.Waypoints[len(p.Waypoints)-1].T,
+			cfg.MeanGap, cfg.MinGap, cfg.MaxGap, rng)
+		tr := p.Sample(times)
+		ds = append(ds, tr)
+		paths = append(paths, p)
+	}
+	return ds, paths
+}
+
+// mallPath builds one pedestrian's continuous path: a random walk over
+// the corridor grid with occasional dwell stops.
+func mallPath(cfg MallConfig, id string, rng *rand.Rand) Path {
+	cols := int(cfg.Width/cfg.CorridorSpacing) + 1
+	rows := int(cfg.Height/cfg.CorridorSpacing) + 1
+	node := func(c, r int) geo.Point {
+		return geo.Point{X: float64(c) * cfg.CorridorSpacing, Y: float64(r) * cfg.CorridorSpacing}
+	}
+	bounds := geo.NewRect(geo.Point{}, geo.Point{X: cfg.Width, Y: cfg.Height})
+	c, r := rng.Intn(cols), rng.Intn(rows)
+	baseSpeed := lognormal(rng, cfg.MedianSpeed, cfg.SpeedShape)
+	duration := cfg.MinDuration + rng.Float64()*(cfg.MaxDuration-cfg.MinDuration)
+	start := rng.Float64() * 3600
+
+	p := Path{ID: id}
+	t := start
+	cur := node(c, r)
+	p.Waypoints = append(p.Waypoints, model.Sample{Loc: cur, T: t})
+	// Biased random walk: keep a heading to avoid unrealistic jitter.
+	dirs := [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	heading := rng.Intn(4)
+	for t-start < duration {
+		// Mostly continue straight; sometimes turn.
+		if rng.Float64() < 0.4 {
+			heading = rng.Intn(4)
+		}
+		nc, nr := c+dirs[heading][0], r+dirs[heading][1]
+		if nc < 0 || nc >= cols || nr < 0 || nr >= rows {
+			heading = rng.Intn(4)
+			continue
+		}
+		c, r = nc, nr
+		next := node(c, r)
+		// Walk the corridor in short steps with lateral wobble so the
+		// true path is not a perfect straight line.
+		segLen := cur.Dist(next)
+		steps := int(segLen/3) + 1
+		dir := next.Sub(cur).Scale(1 / segLen)
+		perp := geo.Point{X: -dir.Y, Y: dir.X}
+		for k := 1; k <= steps; k++ {
+			wp := cur.Lerp(next, float64(k)/float64(steps))
+			if k < steps && cfg.Wobble > 0 {
+				wp = wp.Add(perp.Scale(cfg.Wobble * rng.NormFloat64()))
+				wp = bounds.Clamp(wp)
+			}
+			speed := baseSpeed * (0.85 + 0.3*rng.Float64())
+			last := p.Waypoints[len(p.Waypoints)-1].Loc
+			t += last.Dist(wp) / speed
+			p.Waypoints = append(p.Waypoints, model.Sample{Loc: wp, T: t})
+		}
+		cur = next
+		if rng.Float64() < cfg.DwellProb {
+			dwell := cfg.DwellMin + rng.Float64()*(cfg.DwellMax-cfg.DwellMin)
+			t += dwell
+			p.Waypoints = append(p.Waypoints, model.Sample{Loc: cur, T: t})
+		}
+	}
+	return p
+}

@@ -1,0 +1,161 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+// TaxiConfig parameterizes the synthetic city taxi workload standing in
+// for the Porto taxi dataset.
+type TaxiConfig struct {
+	// N is the number of taxis (= trajectories).
+	N int
+	// CitySize is the side length of the square city in meters.
+	CitySize float64
+	// RoadSpacing is the distance between parallel roads of the grid
+	// street network in meters.
+	RoadSpacing float64
+	// MedianSpeed is the median cruise speed across taxis in m/s; each
+	// taxi draws a personal base speed log-normally around it.
+	MedianSpeed float64
+	// SpeedShape is the log-normal shape of the across-taxi speed spread.
+	SpeedShape float64
+	// MinDuration and MaxDuration bound trip durations in seconds.
+	MinDuration, MaxDuration float64
+	// ReportPeriod is the location reporting period in seconds (the Porto
+	// terminals report every 15 s).
+	ReportPeriod float64
+	// StopProb is the probability of pausing at an intersection (traffic
+	// lights, pickups); StopMin/StopMax bound the pause in seconds.
+	// Constant-speed straight-line movement would make linear
+	// interpolation exact, which no real taxi trace is.
+	StopProb         float64
+	StopMin, StopMax float64
+	// SpeedJitter is the per-step multiplicative speed fluctuation
+	// (traffic): each ~100 m of road is driven at base speed times a
+	// uniform factor in [1-SpeedJitter, 1+SpeedJitter].
+	SpeedJitter float64
+	// Hotspots is the number of popular destinations (stations, malls,
+	// airport). Real taxi corpora concentrate on a few attractors, which
+	// is what makes trajectories confusable; without it every trip is
+	// trivially distinct.
+	Hotspots int
+	// HotspotBias is the probability that a waypoint is drawn from the
+	// hotspot set rather than uniformly.
+	HotspotBias float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultTaxiConfig mirrors the scale of the paper's taxi setting: a
+// city-sized area, 15-second reporting, and trips long enough to keep ≥ 20
+// samples after filtering.
+func DefaultTaxiConfig(n int) TaxiConfig {
+	return TaxiConfig{
+		N:            n,
+		CitySize:     6000,
+		RoadSpacing:  250,
+		MedianSpeed:  10,
+		SpeedShape:   0.25,
+		MinDuration:  1200,
+		MaxDuration:  2400,
+		ReportPeriod: 15,
+		StopProb:     0.4,
+		StopMin:      5,
+		StopMax:      45,
+		SpeedJitter:  0.5,
+		Hotspots:     6,
+		HotspotBias:  0.65,
+		Seed:         1,
+	}
+}
+
+// GenerateTaxi synthesizes cfg.N taxi trajectories. Each taxi drives
+// Manhattan routes between random intersections of a grid street network
+// at a personalized speed (log-normal base speed with ±20% per-segment
+// jitter) and reports its position periodically.
+func GenerateTaxi(cfg TaxiConfig) (model.Dataset, []Path) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cols := int(cfg.CitySize/cfg.RoadSpacing) + 1
+	hotspots := make([]geo.Point, cfg.Hotspots)
+	for i := range hotspots {
+		hotspots[i] = geo.Point{
+			X: float64(rng.Intn(cols)) * cfg.RoadSpacing,
+			Y: float64(rng.Intn(cols)) * cfg.RoadSpacing,
+		}
+	}
+	ds := make(model.Dataset, 0, cfg.N)
+	paths := make([]Path, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		p := taxiPath(cfg, pathID("taxi", i), hotspots, rng)
+		times := PeriodicTimes(p.Waypoints[0].T, p.Waypoints[len(p.Waypoints)-1].T,
+			cfg.ReportPeriod, 0, rng)
+		ds = append(ds, p.Sample(times))
+		paths = append(paths, p)
+	}
+	return ds, paths
+}
+
+// taxiPath builds one taxi's continuous path.
+func taxiPath(cfg TaxiConfig, id string, hotspots []geo.Point, rng *rand.Rand) Path {
+	cols := int(cfg.CitySize/cfg.RoadSpacing) + 1
+	intersection := func() geo.Point {
+		if len(hotspots) > 0 && rng.Float64() < cfg.HotspotBias {
+			return hotspots[rng.Intn(len(hotspots))]
+		}
+		return geo.Point{
+			X: float64(rng.Intn(cols)) * cfg.RoadSpacing,
+			Y: float64(rng.Intn(cols)) * cfg.RoadSpacing,
+		}
+	}
+	baseSpeed := lognormal(rng, cfg.MedianSpeed, cfg.SpeedShape)
+	duration := cfg.MinDuration + rng.Float64()*(cfg.MaxDuration-cfg.MinDuration)
+	start := rng.Float64() * 3600 // trips start within an hour-long window
+
+	p := Path{ID: id}
+	cur := intersection()
+	t := start
+	p.Waypoints = append(p.Waypoints, model.Sample{Loc: cur, T: t})
+	for t-start < duration {
+		dest := intersection()
+		if dest == cur {
+			continue
+		}
+		// Manhattan route: first along x, then along y (or the reverse),
+		// broken at the corner.
+		corner := geo.Point{X: dest.X, Y: cur.Y}
+		if rng.Intn(2) == 0 {
+			corner = geo.Point{X: cur.X, Y: dest.Y}
+		}
+		for _, wp := range []geo.Point{corner, dest} {
+			d := cur.Dist(wp)
+			if d == 0 {
+				continue
+			}
+			// Drive the leg in ~100 m steps, each at its own speed, so
+			// the position between reports is not a linear function of
+			// time.
+			steps := int(d/100) + 1
+			from := cur
+			for k := 1; k <= steps; k++ {
+				next := from.Lerp(wp, float64(k)/float64(steps))
+				jitter := 1 + cfg.SpeedJitter*(2*rng.Float64()-1)
+				speed := baseSpeed * jitter
+				if speed < 1 {
+					speed = 1
+				}
+				t += cur.Dist(next) / speed
+				cur = next
+				p.Waypoints = append(p.Waypoints, model.Sample{Loc: cur, T: t})
+			}
+			// Pause at the intersection with some probability.
+			if rng.Float64() < cfg.StopProb {
+				t += cfg.StopMin + rng.Float64()*(cfg.StopMax-cfg.StopMin)
+				p.Waypoints = append(p.Waypoints, model.Sample{Loc: cur, T: t})
+			}
+		}
+	}
+	return p
+}

@@ -1,0 +1,121 @@
+// Package dataset reads and writes trajectory datasets as CSV, the
+// interchange format the command-line tools use.
+//
+// The format is one sample per row with a header:
+//
+//	id,t,x,y
+//	taxi-0001,0.0,1200.5,900.25
+//
+// Rows of the same id must be contiguous or will be grouped; samples are
+// sorted by time on load.
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+// Write encodes ds to w in CSV form.
+func Write(w io.Writer, ds model.Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "t", "x", "y"}); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	row := make([]string, 4)
+	for _, tr := range ds {
+		for _, s := range tr.Samples {
+			row[0] = tr.ID
+			row[1] = strconv.FormatFloat(s.T, 'g', -1, 64)
+			row[2] = strconv.FormatFloat(s.Loc.X, 'g', -1, 64)
+			row[3] = strconv.FormatFloat(s.Loc.Y, 'g', -1, 64)
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("dataset: write row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFile writes ds to the named file, creating or truncating it.
+func WriteFile(path string, ds model.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, ds); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read decodes a dataset from r. Trajectories appear in order of first
+// occurrence of their id; each trajectory's samples are sorted by time.
+func Read(r io.Reader) (model.Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	if header[0] != "id" || header[1] != "t" || header[2] != "x" || header[3] != "y" {
+		return nil, fmt.Errorf("dataset: unexpected header %v, want [id t x y]", header)
+	}
+	index := make(map[string]int)
+	var ds model.Dataset
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		t, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad t %q: %w", line, rec[1], err)
+		}
+		x, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad x %q: %w", line, rec[2], err)
+		}
+		y, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad y %q: %w", line, rec[3], err)
+		}
+		i, ok := index[rec[0]]
+		if !ok {
+			i = len(ds)
+			index[rec[0]] = i
+			ds = append(ds, model.Trajectory{ID: rec[0]})
+		}
+		ds[i].Samples = append(ds[i].Samples, model.Sample{Loc: geo.Point{X: x, Y: y}, T: t})
+	}
+	for i := range ds {
+		ds[i].SortByTime()
+		if err := ds[i].Validate(); err != nil {
+			return nil, fmt.Errorf("dataset: %w", err)
+		}
+	}
+	return ds, nil
+}
+
+// ReadFile reads a dataset from the named file.
+func ReadFile(path string) (model.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,178 @@
+package dataset
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+func sample(x, y, t float64) model.Sample {
+	return model.Sample{Loc: geo.Point{X: x, Y: y}, T: t}
+}
+
+func testDataset() model.Dataset {
+	return model.Dataset{
+		{ID: "a", Samples: []model.Sample{sample(1, 2, 0), sample(3.5, -4.25, 15)}},
+		{ID: "b", Samples: []model.Sample{sample(100, 200, 7)}},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	ds := testDataset()
+	var sb strings.Builder
+	if err := Write(&sb, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ds) {
+		t.Fatalf("got %d trajectories", len(got))
+	}
+	for i := range ds {
+		if got[i].ID != ds[i].ID || got[i].Len() != ds[i].Len() {
+			t.Fatalf("trajectory %d mismatch", i)
+		}
+		for j := range ds[i].Samples {
+			if got[i].Samples[j] != ds[i].Samples[j] {
+				t.Fatalf("sample %d/%d: %v vs %v", i, j, got[i].Samples[j], ds[i].Samples[j])
+			}
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ds.csv")
+	ds := testDataset()
+	if err := WriteFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "a" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReadSortsOutOfOrderRows(t *testing.T) {
+	in := "id,t,x,y\na,10,1,1\na,5,0,0\n"
+	ds, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds[0].Samples[0].T != 5 || ds[0].Samples[1].T != 10 {
+		t.Errorf("rows not sorted: %v", ds[0].Samples)
+	}
+}
+
+func TestReadGroupsInterleavedIDs(t *testing.T) {
+	in := "id,t,x,y\na,0,0,0\nb,0,9,9\na,1,1,1\n"
+	ds, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 || ds[0].ID != "a" || ds[0].Len() != 2 || ds[1].ID != "b" {
+		t.Errorf("grouping failed: %v", ds)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"bad header", "foo,bar,baz,qux\n"},
+		{"bad t", "id,t,x,y\na,xx,1,1\n"},
+		{"bad x", "id,t,x,y\na,0,xx,1\n"},
+		{"bad y", "id,t,x,y\na,0,1,xx\n"},
+		{"wrong field count", "id,t,x,y\na,0,1\n"},
+		{"duplicate timestamps", "id,t,x,y\na,0,1,1\na,0,2,2\n"},
+	}
+	for _, tt := range tests {
+		if _, err := Read(strings.NewReader(tt.in)); err == nil {
+			t.Errorf("%s: no error", tt.name)
+		}
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	ds, err := Read(strings.NewReader(""))
+	if err != nil || ds != nil {
+		t.Errorf("empty input: %v, %v", ds, err)
+	}
+	ds, err = Read(strings.NewReader("id,t,x,y\n"))
+	if err != nil || len(ds) != 0 {
+		t.Errorf("header only: %v, %v", ds, err)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file: no error")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	ds := testDataset()
+	var sb strings.Builder
+	if err := WriteJSON(&sb, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ds) {
+		t.Fatalf("got %d trajectories", len(got))
+	}
+	for i := range ds {
+		if got[i].ID != ds[i].ID || got[i].Len() != ds[i].Len() {
+			t.Fatalf("trajectory %d mismatch", i)
+		}
+		for j := range ds[i].Samples {
+			if got[i].Samples[j] != ds[i].Samples[j] {
+				t.Fatalf("sample %d/%d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestJSONFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ds.json")
+	if err := WriteJSONFile(path, testDataset()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d", len(got))
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("malformed json accepted")
+	}
+	// Unsorted samples are repaired; duplicates rejected.
+	in := `[{"id":"a","samples":[[10,1,1],[5,0,0]]}]`
+	ds, err := ReadJSON(strings.NewReader(in))
+	if err != nil || ds[0].Samples[0].T != 5 {
+		t.Errorf("sorting on read: %v %v", ds, err)
+	}
+	dup := `[{"id":"a","samples":[[5,1,1],[5,0,0]]}]`
+	if _, err := ReadJSON(strings.NewReader(dup)); err == nil {
+		t.Error("duplicate timestamps accepted")
+	}
+	empty := `[{"id":"a","samples":[]}]`
+	if _, err := ReadJSON(strings.NewReader(empty)); err == nil {
+		t.Error("empty trajectory accepted")
+	}
+}

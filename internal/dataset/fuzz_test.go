@@ -1,0 +1,40 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes to the CSV decoder: whatever the input,
+// Read must either return an error or a dataset that validates, and a
+// successful parse must survive a write/read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add("id,t,x,y\na,0,1,2\na,5,3,4\n")
+	f.Add("id,t,x,y\n")
+	f.Add("")
+	f.Add("id,t,x,y\nb,1e300,-1e300,0\n")
+	f.Add("id,t,x,y\na,nan,1,1\n")
+	f.Add("id,t,x,y\na,0,1\n")
+	f.Add("not,a,header,row\nx,y,z,w\n")
+	f.Add("id,t,x,y\n\"a\"\"b\",1,2,3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if vErr := ds.Validate(); vErr != nil {
+			t.Fatalf("Read accepted an invalid dataset: %v", vErr)
+		}
+		var sb strings.Builder
+		if err := Write(&sb, ds); err != nil {
+			t.Fatalf("Write failed on parsed dataset: %v", err)
+		}
+		back, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back) != len(ds) {
+			t.Fatalf("round trip changed trajectory count: %d vs %d", len(back), len(ds))
+		}
+	})
+}

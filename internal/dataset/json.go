@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+// jsonTrajectory is the compact wire form: one object per trajectory with
+// samples as [t, x, y] triples.
+type jsonTrajectory struct {
+	ID      string       `json:"id"`
+	Samples [][3]float64 `json:"samples"`
+}
+
+// WriteJSON encodes ds as a JSON array of {id, samples:[[t,x,y]…]}
+// objects — a convenient interchange form for web tooling; CSV (Write)
+// stays the canonical format for large corpora.
+func WriteJSON(w io.Writer, ds model.Dataset) error {
+	out := make([]jsonTrajectory, len(ds))
+	for i, tr := range ds {
+		jt := jsonTrajectory{ID: tr.ID, Samples: make([][3]float64, tr.Len())}
+		for j, s := range tr.Samples {
+			jt.Samples[j] = [3]float64{s.T, s.Loc.X, s.Loc.Y}
+		}
+		out[i] = jt
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("dataset: encode json: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON decodes a dataset written by WriteJSON. Samples are sorted by
+// time and validated.
+func ReadJSON(r io.Reader) (model.Dataset, error) {
+	var in []jsonTrajectory
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("dataset: decode json: %w", err)
+	}
+	ds := make(model.Dataset, len(in))
+	for i, jt := range in {
+		tr := model.Trajectory{ID: jt.ID, Samples: make([]model.Sample, len(jt.Samples))}
+		for j, s := range jt.Samples {
+			tr.Samples[j] = model.Sample{T: s[0], Loc: geo.Point{X: s[1], Y: s[2]}}
+		}
+		tr.SortByTime()
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("dataset: %w", err)
+		}
+		ds[i] = tr
+	}
+	return ds, nil
+}
+
+// WriteJSONFile writes ds to the named file as JSON.
+func WriteJSONFile(path string, ds model.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, ds); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadJSONFile reads a JSON dataset from the named file.
+func ReadJSONFile(path string) (model.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/stslib/sts/internal/model"
+)
+
+// MatrixScorer is an optional Scorer extension for measures that can score
+// a whole dataset-against-dataset matrix more efficiently than pair by
+// pair (e.g. STS, which prepares per-trajectory state once).
+type MatrixScorer interface {
+	Scorer
+	ScoreMatrix(rows, cols model.Dataset, workers int) ([][]float64, error)
+}
+
+// ScoreMatrix computes scores[i][j] = Score(rows[i], cols[j]) for every
+// pair, in parallel across `workers` goroutines (0 selects GOMAXPROCS).
+// Scorers implementing MatrixScorer are given the whole matrix at once.
+func ScoreMatrix(rows, cols model.Dataset, s Scorer, workers int) ([][]float64, error) {
+	if ms, ok := s.(MatrixScorer); ok {
+		m, err := ms.ScoreMatrix(rows, cols, workers)
+		if err != nil {
+			return nil, err
+		}
+		for i := range m {
+			for j := range m[i] {
+				m[i][j] = sanitize(m[i][j])
+			}
+		}
+		return m, nil
+	}
+	return parallelMatrix(len(rows), len(cols), workers, func(i, j int) (float64, error) {
+		v, err := s.Score(rows[i], cols[j])
+		return sanitize(v), err
+	})
+}
+
+// parallelMatrix fills an n×m matrix with f(i, j), parallelizing over
+// rows. The first error aborts the computation.
+func parallelMatrix(n, m, workers int, f func(i, j int) (float64, error)) ([][]float64, error) {
+	out := make([][]float64, n)
+	err := parallelFor(n, workers, func(i int) error {
+		row := make([]float64, m)
+		for j := 0; j < m; j++ {
+			v, err := f(i, j)
+			if err != nil {
+				return err
+			}
+			row[j] = v
+		}
+		out[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parallelFor runs f(0..n-1) across workers goroutines (0 selects
+// GOMAXPROCS) and returns the first error encountered.
+func parallelFor(n, workers int, f func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				if err := f(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,69 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankOfProperties(t *testing.T) {
+	// Ranks stay within [1, n] and the best strictly-greatest entry has
+	// rank exactly 1.
+	bounded := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = rng.Float64()
+		}
+		truth := rng.Intn(n)
+		r := RankOf(scores, truth)
+		return r >= 1 && r <= float64(n)
+	}
+	if err := quick.Check(bounded, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("bounded: %v", err)
+	}
+	sumInvariant := func(seed int64) bool {
+		// Over all choices of truth, ranks must sum to n(n+1)/2: the
+		// expected-rank tie convention preserves the rank total.
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(5)) // force ties
+		}
+		var sum float64
+		for truth := 0; truth < n; truth++ {
+			sum += RankOf(scores, truth)
+		}
+		want := float64(n*(n+1)) / 2
+		return sum > want-1e-9 && sum < want+1e-9
+	}
+	if err := quick.Check(sumInvariant, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("rank-sum invariant: %v", err)
+	}
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	f := func(nRaw uint8, workersRaw uint8) bool {
+		n := int(nRaw % 64)
+		workers := int(workersRaw%8) + 1
+		hit := make([]bool, n)
+		err := parallelFor(n, workers, func(i int) error {
+			hit[i] = true
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		for _, h := range hit {
+			if !h {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package eval implements the evaluation protocol of Section VI: the
+// trajectory-matching task with its precision (Eq. 11) and mean rank
+// (Eq. 12) metrics, the cross-similarity deviation (Eq. 13), and the
+// parallel scoring machinery the experiments are built on.
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/stslib/sts/internal/core"
+	"github.com/stslib/sts/internal/model"
+)
+
+// Scorer assigns a similarity score to a pair of trajectories. Higher
+// scores mean more similar. Implementations must be safe for concurrent
+// use; the harness fans out over goroutines.
+type Scorer interface {
+	// Name identifies the measure in experiment output ("STS", "CATS" …).
+	Name() string
+	// Score returns the similarity of a and b.
+	Score(a, b model.Trajectory) (float64, error)
+}
+
+// FuncScorer adapts a similarity function to the Scorer interface.
+type FuncScorer struct {
+	N string
+	F func(a, b model.Trajectory) (float64, error)
+}
+
+// Name implements Scorer.
+func (s FuncScorer) Name() string { return s.N }
+
+// Score implements Scorer.
+func (s FuncScorer) Score(a, b model.Trajectory) (float64, error) { return s.F(a, b) }
+
+// FromDistance adapts a distance function (smaller = more similar) to a
+// Scorer by negation. Infinite distances map to −Inf scores, which rank
+// last, matching the intuition that an undefined distance is a non-match.
+func FromDistance(name string, f func(a, b model.Trajectory) float64) Scorer {
+	return FuncScorer{N: name, F: func(a, b model.Trajectory) (float64, error) {
+		return -f(a, b), nil
+	}}
+}
+
+// STSScorer wraps a core.Measure, caching the per-trajectory preparation
+// (personalized speed model, observed-timestamp distributions) so that
+// scoring a full n×m matrix prepares each trajectory once rather than
+// n+m times. It implements MatrixScorer.
+type STSScorer struct {
+	name string
+	m    *core.Measure
+}
+
+// NewSTSScorer names and wraps a measure.
+func NewSTSScorer(name string, m *core.Measure) *STSScorer {
+	return &STSScorer{name: name, m: m}
+}
+
+// Name implements Scorer.
+func (s *STSScorer) Name() string { return s.name }
+
+// Measure exposes the wrapped measure.
+func (s *STSScorer) Measure() *core.Measure { return s.m }
+
+// Score implements Scorer for one-off pairs.
+func (s *STSScorer) Score(a, b model.Trajectory) (float64, error) {
+	return s.m.Similarity(a, b)
+}
+
+// ScoreMatrix implements MatrixScorer with per-trajectory preparation.
+func (s *STSScorer) ScoreMatrix(rows, cols model.Dataset, workers int) ([][]float64, error) {
+	prows, err := s.prepareAll(rows)
+	if err != nil {
+		return nil, err
+	}
+	pcols, err := s.prepareAll(cols)
+	if err != nil {
+		return nil, err
+	}
+	return parallelMatrix(len(rows), len(cols), workers, func(i, j int) (float64, error) {
+		return s.m.SimilarityPrepared(prows[i], pcols[j])
+	})
+}
+
+func (s *STSScorer) prepareAll(ds model.Dataset) ([]*core.Prepared, error) {
+	out := make([]*core.Prepared, len(ds))
+	err := parallelFor(len(ds), 0, func(i int) error {
+		p, err := s.m.Prepare(ds[i])
+		if err != nil {
+			return fmt.Errorf("eval: prepare %q: %w", ds[i].ID, err)
+		}
+		out[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// sanitize maps NaN scores (which would poison rankings) to −Inf.
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) {
+		return math.Inf(-1)
+	}
+	return v
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/stslib/sts/internal/core"
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+// ComplexityCheck measures one pair's similarity time at growing
+// trajectory lengths (equal |Tra| = |Tra′| = n) and relates it to the
+// cost model of Section V-C, O(|Tra| · |Tra′| · |R|²).
+//
+// The paper's quadratic length factor comes from evaluating the KDE sum
+// (O(|S|) = O(|Tra|) per transition) inside every transition evaluation.
+// This implementation tabulates the KDE once per trajectory (O(1) per
+// transition) and caches the observed-timestamp distributions, so the
+// per-pair cost drops to O((|Tra| + |Tra′|) · s²) where s is the bounded
+// support size — *linear* in trajectory length. The measured log-log
+// slope should therefore sit near 1, an asymptotic improvement over the
+// paper's analysis; run the measure with Exact mode and kde.Mass (the
+// untabulated path) to recover the textbook scaling.
+//
+// The returned table has one row per length with the measured seconds;
+// callers can regress the log-log slope (ComplexitySlope does).
+func ComplexityCheck(sc Scenario, lengths []int, cfg Config) (Table, error) {
+	cfg = cfg.WithDefaults()
+	if len(sc.Base) < 1 {
+		return Table{}, fmt.Errorf("experiments: scenario %s has no trajectories", sc.Name)
+	}
+	grid, err := sc.Grid(sc.GridSize, 0)
+	if err != nil {
+		return Table{}, err
+	}
+	m, err := core.NewSTS(grid, sc.Sigma(0))
+	if err != nil {
+		return Table{}, err
+	}
+	// Stitch a long trajectory by cycling the scenario's samples; only
+	// length matters for the cost model.
+	long := stitch(sc.Base, lengths[len(lengths)-1]+1)
+	t := Table{
+		Title:   fmt.Sprintf("Section V-C (%s): similarity time vs trajectory length", sc.Name),
+		XLabel:  "samples",
+		Columns: []string{"time(s)"},
+	}
+	for _, n := range lengths {
+		a := model.Trajectory{ID: "a", Samples: long.Samples[:n]}
+		b := model.Trajectory{ID: "b", Samples: offsetSamples(long.Samples[:n], 1.5)}
+		start := time.Now()
+		if _, err := m.Similarity(a, b); err != nil {
+			return Table{}, err
+		}
+		t.AddRow(float64(n), time.Since(start).Seconds())
+	}
+	return t, nil
+}
+
+// ComplexitySlope fits the log-log slope of a ComplexityCheck table: the
+// empirical exponent of runtime in trajectory length.
+func ComplexitySlope(t Table) float64 {
+	// Least-squares fit of log(time) on log(n).
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for _, r := range t.Rows {
+		if r.Values[0] <= 0 || r.X <= 0 {
+			continue
+		}
+		x := logOf(r.X)
+		y := logOf(r.Values[0])
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		n++
+	}
+	if n < 2 {
+		return 0
+	}
+	fn := float64(n)
+	return (fn*sxy - sx*sy) / (fn*sxx - sx*sx)
+}
+
+func logOf(v float64) float64 { return math.Log(v) }
+
+// stitch cycles dataset samples into one long, strictly time-increasing
+// trajectory.
+func stitch(ds model.Dataset, n int) model.Trajectory {
+	out := model.Trajectory{ID: "stitched"}
+	t := 0.0
+	for len(out.Samples) < n {
+		for _, tr := range ds {
+			for i := 1; i < tr.Len() && len(out.Samples) < n; i++ {
+				dt := tr.Samples[i].T - tr.Samples[i-1].T
+				if dt <= 0 {
+					dt = 1
+				}
+				t += dt
+				out.Samples = append(out.Samples, model.Sample{Loc: tr.Samples[i].Loc, T: t})
+			}
+		}
+	}
+	return out
+}
+
+// offsetSamples shifts every sample by a small spatial offset and half a
+// time step, producing a plausibly co-located partner trajectory.
+func offsetSamples(in []model.Sample, d float64) []model.Sample {
+	out := make([]model.Sample, len(in))
+	for i, s := range in {
+		out[i] = model.Sample{
+			Loc: s.Loc.Add(geo.Point{X: d, Y: -d / 2}),
+			T:   s.T + 0.5,
+		}
+	}
+	return out
+}

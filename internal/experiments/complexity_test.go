@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+func TestComplexityCheckQuadraticGrowth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	sc, err := (Config{N: 6, TaxiN: 6}).Scenario("taxi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ComplexityCheck(sc, []int{20, 40, 80, 160}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	slope := ComplexitySlope(tab)
+	// The tabulated evaluator is linear in trajectory length (see the
+	// ComplexityCheck doc comment); allow a generous band for constant
+	// overheads and single-shot timer noise.
+	if slope < 0.4 || slope > 2.2 {
+		t.Errorf("log-log slope %.2f outside the expected band", slope)
+	}
+}
+
+func TestComplexitySlopeExactQuadratic(t *testing.T) {
+	tab := Table{}
+	for _, n := range []float64{10, 20, 40, 80} {
+		tab.AddRow(n, n*n)
+	}
+	if got := ComplexitySlope(tab); got < 1.99 || got > 2.01 {
+		t.Errorf("slope of exact quadratic = %v", got)
+	}
+	if got := ComplexitySlope(Table{}); got != 0 {
+		t.Errorf("empty slope = %v", got)
+	}
+}

@@ -1,0 +1,331 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/stslib/sts/internal/eval"
+	"github.com/stslib/sts/internal/model"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.N != 20 || c.Seed != 1 || c.Pairs != 100 || len(c.Rates) != 10 {
+		t.Errorf("defaults: %+v", c)
+	}
+	// Explicit values survive.
+	c2 := Config{N: 5, Seed: 9, Pairs: 3, Rates: []float64{0.5}}.WithDefaults()
+	if c2.N != 5 || c2.Seed != 9 || c2.Pairs != 3 || len(c2.Rates) != 1 {
+		t.Errorf("explicit config overwritten: %+v", c2)
+	}
+}
+
+func TestScenarioConstruction(t *testing.T) {
+	for _, name := range []string{"mall", "taxi"} {
+		sc, err := Config{N: 6}.Scenario(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sc.Name != name {
+			t.Errorf("name %q", sc.Name)
+		}
+		if len(sc.Base) == 0 {
+			t.Fatalf("%s: empty base dataset", name)
+		}
+		if len(sc.D1) != len(sc.Base) || len(sc.D2) != len(sc.Base) {
+			t.Errorf("%s: split sizes %d,%d vs %d", name, len(sc.D1), len(sc.D2), len(sc.Base))
+		}
+		for i := range sc.Base {
+			if sc.Base[i].Len() < MinTrajectoryLen {
+				t.Errorf("%s: trajectory %d shorter than filter", name, i)
+			}
+			if sc.D1[i].ID != sc.Base[i].ID || sc.D2[i].ID != sc.Base[i].ID {
+				t.Errorf("%s: pairing broken at %d", name, i)
+			}
+		}
+		if sc.MedianGap <= 0 {
+			t.Errorf("%s: median gap %v", name, sc.MedianGap)
+		}
+		if sc.GridSize <= 0 || sc.BaseNoise <= 0 {
+			t.Errorf("%s: scales %v %v", name, sc.GridSize, sc.BaseNoise)
+		}
+	}
+	if _, err := (Config{}).Scenario("ocean"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestScenarioSigma(t *testing.T) {
+	sc := Scenario{BaseNoise: 3}
+	if got := sc.Sigma(0); got != 3 {
+		t.Errorf("Sigma(0)=%v", got)
+	}
+	if got := sc.Sigma(4); got != 5 {
+		t.Errorf("Sigma(4)=%v want 5 (3-4-5)", got)
+	}
+}
+
+func TestScenarioGrid(t *testing.T) {
+	sc, err := Config{N: 4}.Scenario("mall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sc.Grid(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CellSize() != 3 {
+		t.Errorf("cell size %v", g.CellSize())
+	}
+	// The padded grid must contain every noisy observation's support.
+	if !g.Bounds().Contains(sc.Bounds.Min) || !g.Bounds().Contains(sc.Bounds.Max) {
+		t.Error("grid does not cover the scenario bounds")
+	}
+}
+
+func TestBuildScorersAllMethods(t *testing.T) {
+	sc, err := Config{N: 4}.Scenario("mall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scorers, err := BuildScorers(sc, sc.GridSize, 0, AllMethods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scorers) != len(AllMethods) {
+		t.Fatalf("got %d scorers", len(scorers))
+	}
+	for i, s := range scorers {
+		if s.Name() != AllMethods[i] {
+			t.Errorf("scorer %d named %q want %q", i, s.Name(), AllMethods[i])
+		}
+		v, err := s.Score(sc.D1[0], sc.D2[0])
+		if err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+		_ = v
+	}
+	if _, err := BuildScorers(sc, sc.GridSize, 0, []string{"NOPE"}); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestBuildAblationScorers(t *testing.T) {
+	sc, err := Config{N: 4}.Scenario("mall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := append(sc.D1.Clone(), sc.D2.Clone()...)
+	scorers, err := BuildAblationScorers(sc, sc.AblationNoise, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scorers) != 4 {
+		t.Fatalf("got %d variants", len(scorers))
+	}
+	for i, want := range AblationMethods {
+		if scorers[i].Name() != want {
+			t.Errorf("variant %d named %q want %q", i, scorers[i].Name(), want)
+		}
+	}
+}
+
+func TestTableFormatAndColumn(t *testing.T) {
+	tab := Table{Title: "demo", XLabel: "x", Columns: []string{"A", "B"}}
+	tab.AddRow(0.1, 1, 2)
+	tab.AddRow(0.2, 3, 4)
+	var sb strings.Builder
+	if err := tab.Format(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "A", "B", "0.1", "3.0000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+	col, ok := tab.Column("B")
+	if !ok || len(col) != 2 || col[0] != 2 || col[1] != 4 {
+		t.Errorf("Column(B)=%v,%v", col, ok)
+	}
+	if _, ok := tab.Column("missing"); ok {
+		t.Error("missing column found")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := Run("99", Config{N: 4}, &sb); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+// TestTinyEndToEndSweep runs a minimal sampling-rate sweep end to end on
+// a small taxi scenario (the cheap one) and sanity-checks the shape of
+// the output tables.
+func TestTinyEndToEndSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end sweep")
+	}
+	cfg := Config{N: 6, Rates: []float64{0.3, 0.8}}
+	sc, err := cfg.Scenario("taxi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec, rank, err := SamplingRateSweep(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prec.Rows) != 2 || len(rank.Rows) != 2 {
+		t.Fatalf("rows %d,%d", len(prec.Rows), len(rank.Rows))
+	}
+	if len(prec.Columns) != len(AllMethods) {
+		t.Fatalf("columns %v", prec.Columns)
+	}
+	for _, row := range prec.Rows {
+		for i, v := range row.Values {
+			if v < 0 || v > 1 {
+				t.Errorf("precision[%s]=%v out of range", prec.Columns[i], v)
+			}
+		}
+	}
+	for _, row := range rank.Rows {
+		for i, v := range row.Values {
+			if v < 1 || v > float64(cfg.N) {
+				t.Errorf("mean rank[%s]=%v out of range", rank.Columns[i], v)
+			}
+		}
+	}
+}
+
+// TestNoiseSweepStructure checks the noise-figure tables have one row per
+// noise level and the method columns of the paper, on a minimal scenario.
+func TestNoiseSweepStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	cfg := Config{N: 6, TaxiN: 6}
+	sc, err := cfg.Scenario("taxi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.NoiseLevels = []float64{0, 40}
+	prec, rank, err := NoiseSweep(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prec.Rows) != 2 || len(rank.Rows) != 2 {
+		t.Fatalf("rows %d,%d", len(prec.Rows), len(rank.Rows))
+	}
+	if prec.Rows[0].X != 0 || prec.Rows[1].X != 40 {
+		t.Errorf("x values %v %v", prec.Rows[0].X, prec.Rows[1].X)
+	}
+}
+
+// TestAblationStructure checks Figure 10's variant columns.
+func TestAblationStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	cfg := Config{N: 6, TaxiN: 6}
+	sc, err := cfg.Scenario("taxi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec, rank, err := Ablation(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range AblationMethods {
+		if prec.Columns[i] != want || rank.Columns[i] != want {
+			t.Errorf("column %d: %q/%q want %q", i, prec.Columns[i], rank.Columns[i], want)
+		}
+	}
+	if len(prec.Rows) != 1 {
+		t.Fatalf("rows %d", len(prec.Rows))
+	}
+}
+
+// TestCrossSimStructure checks Figure 11's method set and rate rows.
+func TestCrossSimStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	cfg := Config{N: 6, TaxiN: 6, Pairs: 10, Rates: []float64{0.4, 0.8, 1.0}}
+	sc, err := cfg.Scenario("taxi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := CrossSim(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Columns) != len(CrossSimMethods) {
+		t.Fatalf("columns %v", tab.Columns)
+	}
+	// Rate 1.0 is skipped (deviation 0 by construction).
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows %d want 2", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		for i, v := range row.Values {
+			if v < 0 {
+				t.Errorf("negative deviation %v for %s", v, tab.Columns[i])
+			}
+		}
+	}
+}
+
+// TestGridSweepStructure checks Figures 12–14 output shape.
+func TestGridSweepStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	cfg := Config{N: 6, TaxiN: 6}
+	sc, err := cfg.Scenario("taxi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.GridSizes = []float64{100, 250}
+	timing, prec, rank, err := GridSweep(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range []Table{timing, prec, rank} {
+		if len(tab.Rows) != 2 {
+			t.Fatalf("rows %d", len(tab.Rows))
+		}
+	}
+	for _, row := range timing.Rows {
+		if row.Values[0] <= 0 {
+			t.Errorf("non-positive runtime %v", row.Values[0])
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := Table{Title: "demo", XLabel: "rate", Columns: []string{"A", "B"}}
+	tab.AddRow(0.25, 1.5, 2.5)
+	var sb strings.Builder
+	if err := tab.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "rate,A,B\n0.25,1.5,2.5\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q want %q", sb.String(), want)
+	}
+}
+
+func TestOneMinusAdapter(t *testing.T) {
+	base := eval.FuncScorer{N: "s", F: func(a, b model.Trajectory) (float64, error) {
+		return 0.3, nil
+	}}
+	d := oneMinus(base)
+	if d.Name() != "s" {
+		t.Errorf("name %q", d.Name())
+	}
+	v, err := d.Score(model.Trajectory{}, model.Trajectory{})
+	if err != nil || v != 0.7 {
+		t.Errorf("1-s = %v, %v", v, err)
+	}
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/stslib/sts/internal/baseline"
+	"github.com/stslib/sts/internal/core"
+	"github.com/stslib/sts/internal/eval"
+	"github.com/stslib/sts/internal/kde"
+	"github.com/stslib/sts/internal/markov"
+	"github.com/stslib/sts/internal/model"
+)
+
+// Method names in the display order of the paper's figures.
+const (
+	MethodSTS  = "STS"
+	MethodCATS = "CATS"
+	MethodSST  = "SST"
+	MethodWGM  = "WGM"
+	MethodAPM  = "APM"
+	MethodEDwP = "EDwP"
+	MethodKF   = "KF"
+)
+
+// AllMethods is the full comparison set of Figures 4–9.
+var AllMethods = []string{MethodSTS, MethodCATS, MethodSST, MethodWGM, MethodAPM, MethodEDwP, MethodKF}
+
+// CrossSimMethods is the comparison set of Figure 11 (the paper drops
+// EDwP, APM and KF there because their matching performance is poor).
+var CrossSimMethods = []string{MethodSTS, MethodCATS, MethodSST, MethodWGM}
+
+// AblationMethods is the variant set of Figure 10.
+var AblationMethods = []string{"STS", "STS-N", "STS-G", "STS-F"}
+
+// BuildScorers constructs the requested measures for a scenario, with
+// every threshold and scale derived from the scenario exactly once so all
+// figures use consistent settings. gridSize and beta select the current
+// sweep point (grid size experiments vary the former, noise experiments
+// the latter); pass sc.GridSize and 0 for the defaults.
+func BuildScorers(sc Scenario, gridSize, beta float64, methods []string) ([]eval.Scorer, error) {
+	grid, err := sc.Grid(gridSize, beta)
+	if err != nil {
+		return nil, err
+	}
+	sigma := sc.Sigma(beta)
+	// CATS couples points across a temporal window; its spatial clue
+	// tolerance must cover both the location noise and the distance the
+	// object plausibly travels within one sampling gap (the offset of the
+	// alternating split), or fast objects (taxis) can never produce a
+	// clue. Much larger tolerances saturate the clue and destroy its
+	// discrimination instead.
+	catsP := baseline.CATSParams{
+		Eps: 4*sigma + sc.MedianSpeed*sc.MedianGap,
+		Tau: 4 * sc.MedianGap,
+	}
+	sstP := baseline.SSTParams{SpatialScale: 2*sigma + gridSize, TemporalScale: 2 * sc.MedianGap}
+	wgmP := baseline.DefaultWGMParams(sc.SpatialScale, sc.TemporalScale)
+	kfP := baseline.DefaultKalmanParams(sigma)
+
+	out := make([]eval.Scorer, 0, len(methods))
+	for _, name := range methods {
+		switch name {
+		case MethodSTS:
+			m, err := core.NewSTS(grid, sigma)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, eval.NewSTSScorer(MethodSTS, m))
+		case MethodCATS:
+			p := catsP
+			out = append(out, eval.FuncScorer{N: MethodCATS, F: func(a, b model.Trajectory) (float64, error) {
+				return baseline.CATS(a, b, p), nil
+			}})
+		case MethodSST:
+			p := sstP
+			out = append(out, eval.FuncScorer{N: MethodSST, F: func(a, b model.Trajectory) (float64, error) {
+				return baseline.SST(a, b, p), nil
+			}})
+		case MethodWGM:
+			p := wgmP
+			out = append(out, eval.FuncScorer{N: MethodWGM, F: func(a, b model.Trajectory) (float64, error) {
+				return baseline.WGM(a, b, p), nil
+			}})
+		case MethodAPM:
+			g := grid
+			out = append(out, eval.FromDistance(MethodAPM, func(a, b model.Trajectory) float64 {
+				return baseline.APM(a, b, g)
+			}))
+		case MethodEDwP:
+			out = append(out, eval.FromDistance(MethodEDwP, baseline.EDwP))
+		case MethodKF:
+			p := kfP
+			out = append(out, eval.FromDistance(MethodKF, func(a, b model.Trajectory) float64 {
+				return baseline.KF(a, b, p)
+			}))
+		default:
+			return nil, fmt.Errorf("experiments: unknown method %q", name)
+		}
+	}
+	return out, nil
+}
+
+// BuildAblationScorers constructs the four variants of Figure 10 against
+// the provided (already distorted) datasets; train holds the trajectories
+// the global/frequency models learn from.
+func BuildAblationScorers(sc Scenario, beta float64, train model.Dataset) ([]eval.Scorer, error) {
+	grid, err := sc.Grid(sc.GridSize, beta)
+	if err != nil {
+		return nil, err
+	}
+	sigma := sc.Sigma(beta)
+
+	full, err := core.NewSTS(grid, sigma)
+	if err != nil {
+		return nil, err
+	}
+	noNoise, err := core.NewSTSN(grid)
+	if err != nil {
+		return nil, err
+	}
+	pooled, err := kde.NewPooledSpeedModel(train)
+	if err != nil {
+		return nil, err
+	}
+	global, err := core.NewSTSG(grid, sigma, pooled)
+	if err != nil {
+		return nil, err
+	}
+	freq, err := markov.Train(grid, train, 1)
+	if err != nil {
+		return nil, err
+	}
+	freqM, err := core.NewSTSF(grid, sigma, freq, pooled.MaxSpeed())
+	if err != nil {
+		return nil, err
+	}
+	return []eval.Scorer{
+		eval.NewSTSScorer("STS", full),
+		eval.NewSTSScorer("STS-N", noNoise),
+		eval.NewSTSScorer("STS-G", global),
+		eval.NewSTSScorer("STS-F", freqM),
+	}, nil
+}

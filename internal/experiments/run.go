@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Figures lists the reproducible figure identifiers in paper order. Each
+// identifier regenerates both panels (mall and taxi) of that figure.
+var Figures = []string{"4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14"}
+
+// Run regenerates one figure for both scenarios and writes the resulting
+// tables to w. Figures that share a sweep are computed together but
+// printed under their own identifier (e.g. "4" prints only the precision
+// panel of the sampling-rate sweep; "5" prints the mean-rank panel).
+func Run(figure string, cfg Config, w io.Writer) error {
+	return RunFormat(figure, cfg, w, "text")
+}
+
+// RunFormat is Run with an output format: "text" (aligned tables) or
+// "csv".
+func RunFormat(figure string, cfg Config, w io.Writer, format string) error {
+	cfg = cfg.WithDefaults()
+	for _, name := range []string{"mall", "taxi"} {
+		sc, err := cfg.Scenario(name)
+		if err != nil {
+			return err
+		}
+		tables, err := runScenarioFigure(figure, sc, cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: figure %s on %s: %w", figure, name, err)
+		}
+		for _, t := range tables {
+			switch format {
+			case "", "text":
+				err = t.Format(w)
+			case "csv":
+				if _, err = fmt.Fprintf(w, "# %s\n", t.Title); err == nil {
+					err = t.CSV(w)
+				}
+			default:
+				err = fmt.Errorf("unknown output format %q (want text or csv)", format)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RunAll regenerates every figure, grouping figures that share a sweep so
+// each sweep is computed once.
+func RunAll(cfg Config, w io.Writer) error {
+	for _, f := range []string{"4+5", "6+7", "8+9", "10", "11", "12+13+14"} {
+		if err := Run(f, cfg, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runScenarioFigure dispatches a figure identifier to its runner for one
+// scenario and returns the tables to print.
+func runScenarioFigure(figure string, sc Scenario, cfg Config) ([]Table, error) {
+	switch figure {
+	case "4", "5":
+		p, r, err := SamplingRateSweep(sc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if figure == "4" {
+			return []Table{p}, nil
+		}
+		return []Table{r}, nil
+	case "4+5":
+		p, r, err := SamplingRateSweep(sc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{p, r}, nil
+	case "6", "7":
+		p, r, err := HeterogeneousSweep(sc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if figure == "6" {
+			return []Table{p}, nil
+		}
+		return []Table{r}, nil
+	case "6+7":
+		p, r, err := HeterogeneousSweep(sc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{p, r}, nil
+	case "8", "9":
+		p, r, err := NoiseSweep(sc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if figure == "8" {
+			return []Table{p}, nil
+		}
+		return []Table{r}, nil
+	case "8+9":
+		p, r, err := NoiseSweep(sc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{p, r}, nil
+	case "10":
+		p, r, err := Ablation(sc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{p, r}, nil
+	case "11":
+		t, err := CrossSim(sc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{t}, nil
+	case "12", "13", "14":
+		tt, tp, tr, err := GridSweep(sc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		switch figure {
+		case "12":
+			return []Table{tt}, nil
+		case "13":
+			return []Table{tp}, nil
+		default:
+			return []Table{tr}, nil
+		}
+	case "12+13+14":
+		tt, tp, tr, err := GridSweep(sc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{tt, tp, tr}, nil
+	case "complexity":
+		t, err := ComplexityCheck(sc, []int{25, 50, 100, 200}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.Title = fmt.Sprintf("%s (log-log slope %.2f; tabulated evaluator is linear, paper model is quadratic)", t.Title, ComplexitySlope(t))
+		return []Table{t}, nil
+	default:
+		valid := append([]string{}, Figures...)
+		sort.Strings(valid)
+		return nil, fmt.Errorf("unknown figure %q (valid: %v, plus the combined forms 4+5, 6+7, 8+9, 12+13+14, and the extra artifact %q)", figure, valid, "complexity")
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Table is one experiment artifact: a figure panel rendered as rows of
+// numbers, one column per method (or metric), one row per sweep point.
+type Table struct {
+	// Title identifies the artifact, e.g. "Figure 4(a): precision vs
+	// data sampling rate (mall)".
+	Title string
+	// XLabel names the sweep variable of the first column.
+	XLabel string
+	// Columns are the series names in display order.
+	Columns []string
+	// Rows hold the sweep value and one measurement per column.
+	Rows []Row
+}
+
+// Row is one sweep point.
+type Row struct {
+	X      float64
+	Values []float64
+}
+
+// AddRow appends a sweep point.
+func (t *Table) AddRow(x float64, values ...float64) {
+	t.Rows = append(t.Rows, Row{X: x, Values: values})
+}
+
+// Format writes the table as aligned text.
+func (t Table) Format(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	width := 10
+	for _, c := range t.Columns {
+		if len(c)+2 > width {
+			width = len(c) + 2
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", t.XLabel)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%*s", width, c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-12.4g", r.X)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, "%*.4f", width, v)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Column returns the series for one column name, in row order.
+// ok is false when the column does not exist.
+func (t Table) Column(name string) (values []float64, ok bool) {
+	idx := -1
+	for i, c := range t.Columns {
+		if c == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, false
+	}
+	out := make([]float64, len(t.Rows))
+	for i, r := range t.Rows {
+		if idx >= len(r.Values) {
+			return nil, false
+		}
+		out[i] = r.Values[idx]
+	}
+	return out, true
+}
+
+// medianOf returns the median of xs (xs is copied, not mutated).
+func medianOf(xs []float64) float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// CSV writes the table as comma-separated values with a header row, for
+// plotting pipelines.
+func (t Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{t.XLabel}, t.Columns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		row := make([]string, 0, len(r.Values)+1)
+		row = append(row, strconv.FormatFloat(r.X, 'g', -1, 64))
+		for _, v := range r.Values {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

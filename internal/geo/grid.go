@@ -1,0 +1,159 @@
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Grid partitions a rectangular area of interest into disjoint, equal-sized
+// square cells, the set R = {r_1 ... r_n} of Section IV-A. The center of a
+// cell stands in for the cell's location, exactly as the paper does
+// ("without loss of generality, we use the central of grids to denote their
+// locations").
+//
+// Cells are identified by a dense integer index in [0, N()), laid out
+// row-major from the lower-left corner. A Grid is immutable after creation
+// and safe for concurrent use.
+type Grid struct {
+	bounds   Rect
+	cellSize float64
+	nx, ny   int
+}
+
+// ErrGridTooLarge is returned when the requested cell size would produce an
+// unreasonable number of cells.
+var ErrGridTooLarge = errors.New("geo: grid would exceed the cell budget")
+
+// maxCells bounds the total cell count so a typo in cell size cannot
+// allocate gigabytes. 16M cells is far beyond anything the experiments use.
+const maxCells = 16 << 20
+
+// NewGrid partitions bounds into square cells of the given size in meters.
+// The grid always covers bounds entirely: the last row/column may extend
+// past bounds.Max. cellSize must be positive.
+func NewGrid(bounds Rect, cellSize float64) (*Grid, error) {
+	if cellSize <= 0 || math.IsNaN(cellSize) || math.IsInf(cellSize, 0) {
+		return nil, fmt.Errorf("geo: invalid cell size %v", cellSize)
+	}
+	if bounds.Width() < 0 || bounds.Height() < 0 {
+		return nil, fmt.Errorf("geo: invalid bounds %+v", bounds)
+	}
+	nx := int(math.Ceil(bounds.Width() / cellSize))
+	ny := int(math.Ceil(bounds.Height() / cellSize))
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	if nx > maxCells || ny > maxCells || nx*ny > maxCells {
+		return nil, fmt.Errorf("%w: %dx%d cells of %vm over %+v", ErrGridTooLarge, nx, ny, cellSize, bounds)
+	}
+	return &Grid{bounds: bounds, cellSize: cellSize, nx: nx, ny: ny}, nil
+}
+
+// Bounds returns the area of interest the grid was built over.
+func (g *Grid) Bounds() Rect { return g.bounds }
+
+// CellSize returns the side length of each cell in meters.
+func (g *Grid) CellSize() float64 { return g.cellSize }
+
+// Cols returns the number of cell columns.
+func (g *Grid) Cols() int { return g.nx }
+
+// Rows returns the number of cell rows.
+func (g *Grid) Rows() int { return g.ny }
+
+// N returns the total number of cells |R|.
+func (g *Grid) N() int { return g.nx * g.ny }
+
+// clampCol maps an x coordinate to a valid column, clamping points outside
+// the bounds to the border cells.
+func (g *Grid) clampCol(x float64) int {
+	c := int(math.Floor((x - g.bounds.Min.X) / g.cellSize))
+	if c < 0 {
+		return 0
+	}
+	if c >= g.nx {
+		return g.nx - 1
+	}
+	return c
+}
+
+func (g *Grid) clampRow(y float64) int {
+	r := int(math.Floor((y - g.bounds.Min.Y) / g.cellSize))
+	if r < 0 {
+		return 0
+	}
+	if r >= g.ny {
+		return g.ny - 1
+	}
+	return r
+}
+
+// Cell returns the index of the cell containing p. Points outside the
+// bounds are clamped to the nearest border cell, so Cell is total.
+func (g *Grid) Cell(p Point) int {
+	return g.clampRow(p.Y)*g.nx + g.clampCol(p.X)
+}
+
+// Center returns the center point of cell idx. It panics if idx is out of
+// range, mirroring slice indexing semantics.
+func (g *Grid) Center(idx int) Point {
+	if idx < 0 || idx >= g.N() {
+		panic(fmt.Sprintf("geo: cell index %d out of range [0,%d)", idx, g.N()))
+	}
+	col := idx % g.nx
+	row := idx / g.nx
+	return Point{
+		X: g.bounds.Min.X + (float64(col)+0.5)*g.cellSize,
+		Y: g.bounds.Min.Y + (float64(row)+0.5)*g.cellSize,
+	}
+}
+
+// CellsWithin appends to dst the indices of all cells whose center lies
+// within radius of p, and returns the extended slice. It is the support
+// query used to truncate the noise and transition sums: for a Gaussian
+// noise model, cells beyond a few sigma carry negligible probability mass.
+// A non-positive radius yields just the cell containing p.
+func (g *Grid) CellsWithin(dst []int, p Point, radius float64) []int {
+	if radius <= 0 {
+		return append(dst, g.Cell(p))
+	}
+	c0 := g.clampCol(p.X - radius)
+	c1 := g.clampCol(p.X + radius)
+	r0 := g.clampRow(p.Y - radius)
+	r1 := g.clampRow(p.Y + radius)
+	rr := radius * radius
+	for row := r0; row <= r1; row++ {
+		cy := g.bounds.Min.Y + (float64(row)+0.5)*g.cellSize
+		dy := cy - p.Y
+		for col := c0; col <= c1; col++ {
+			cx := g.bounds.Min.X + (float64(col)+0.5)*g.cellSize
+			dx := cx - p.X
+			if dx*dx+dy*dy <= rr {
+				dst = append(dst, row*g.nx+col)
+			}
+		}
+	}
+	if len(dst) == 0 {
+		dst = append(dst, g.Cell(p))
+	}
+	return dst
+}
+
+// AllCells returns the indices of every cell, for exact (untruncated)
+// evaluation of the paper's sums over R.
+func (g *Grid) AllCells() []int {
+	out := make([]int, g.N())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (g *Grid) String() string {
+	return fmt.Sprintf("Grid(%dx%d cells of %.3gm)", g.nx, g.ny, g.cellSize)
+}

@@ -1,0 +1,182 @@
+package geo
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mustGrid(t *testing.T, bounds Rect, cell float64) *Grid {
+	t.Helper()
+	g, err := NewGrid(bounds, cell)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	return g
+}
+
+func TestNewGridDimensions(t *testing.T) {
+	tests := []struct {
+		name           string
+		bounds         Rect
+		cell           float64
+		wantNX, wantNY int
+	}{
+		{"exact fit", NewRect(Point{0, 0}, Point{10, 10}), 1, 10, 10},
+		{"rounds up", NewRect(Point{0, 0}, Point{10.5, 10}), 1, 11, 10},
+		{"single cell", NewRect(Point{0, 0}, Point{1, 1}), 5, 1, 1},
+		{"degenerate bounds", NewRect(Point{3, 3}, Point{3, 3}), 1, 1, 1},
+	}
+	for _, tt := range tests {
+		g := mustGrid(t, tt.bounds, tt.cell)
+		if g.Cols() != tt.wantNX || g.Rows() != tt.wantNY {
+			t.Errorf("%s: %dx%d want %dx%d", tt.name, g.Cols(), g.Rows(), tt.wantNX, tt.wantNY)
+		}
+		if g.N() != tt.wantNX*tt.wantNY {
+			t.Errorf("%s: N=%d", tt.name, g.N())
+		}
+	}
+}
+
+func TestNewGridErrors(t *testing.T) {
+	b := NewRect(Point{0, 0}, Point{10, 10})
+	for _, cell := range []float64{0, -1} {
+		if _, err := NewGrid(b, cell); err == nil {
+			t.Errorf("cell=%v: no error", cell)
+		}
+	}
+	// Huge grid rejected.
+	_, err := NewGrid(NewRect(Point{0, 0}, Point{1e9, 1e9}), 0.001)
+	if !errors.Is(err, ErrGridTooLarge) {
+		t.Errorf("huge grid: err=%v want ErrGridTooLarge", err)
+	}
+}
+
+func TestCellCenterRoundTrip(t *testing.T) {
+	g := mustGrid(t, NewRect(Point{-50, -30}, Point{70, 90}), 7)
+	for idx := 0; idx < g.N(); idx++ {
+		c := g.Center(idx)
+		if got := g.Cell(c); got != idx {
+			t.Fatalf("Cell(Center(%d))=%d", idx, got)
+		}
+	}
+}
+
+func TestCellClampsOutside(t *testing.T) {
+	g := mustGrid(t, NewRect(Point{0, 0}, Point{10, 10}), 1)
+	if got := g.Cell(Point{-100, -100}); got != 0 {
+		t.Errorf("far SW clamps to %d want 0", got)
+	}
+	if got := g.Cell(Point{100, 100}); got != g.N()-1 {
+		t.Errorf("far NE clamps to %d want %d", got, g.N()-1)
+	}
+}
+
+func TestCenterPanicsOutOfRange(t *testing.T) {
+	g := mustGrid(t, NewRect(Point{0, 0}, Point{10, 10}), 1)
+	for _, idx := range []int{-1, g.N()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Center(%d) did not panic", idx)
+				}
+			}()
+			g.Center(idx)
+		}()
+	}
+}
+
+// bruteCellsWithin recomputes CellsWithin by scanning every cell.
+func bruteCellsWithin(g *Grid, p Point, radius float64) []int {
+	var out []int
+	for idx := 0; idx < g.N(); idx++ {
+		if g.Center(idx).Dist(p) <= radius {
+			out = append(out, idx)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{g.Cell(p)}
+	}
+	return out
+}
+
+func TestCellsWithinMatchesBruteForce(t *testing.T) {
+	g := mustGrid(t, NewRect(Point{0, 0}, Point{40, 30}), 2.5)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		p := Point{X: rng.Float64()*60 - 10, Y: rng.Float64()*50 - 10}
+		radius := rng.Float64() * 15
+		got := g.CellsWithin(nil, p, radius)
+		want := bruteCellsWithin(g, p, radius)
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("trial %d: result not sorted", trial)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (p=%v r=%v): %d cells want %d", trial, p, radius, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: cell %d differs: %d vs %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCellsWithinZeroRadius(t *testing.T) {
+	g := mustGrid(t, NewRect(Point{0, 0}, Point{10, 10}), 1)
+	p := Point{4.2, 7.9}
+	got := g.CellsWithin(nil, p, 0)
+	if len(got) != 1 || got[0] != g.Cell(p) {
+		t.Errorf("zero radius: %v want [%d]", got, g.Cell(p))
+	}
+}
+
+func TestCellsWithinAppendsToDst(t *testing.T) {
+	g := mustGrid(t, NewRect(Point{0, 0}, Point{10, 10}), 1)
+	dst := []int{-7}
+	got := g.CellsWithin(dst, Point{5, 5}, 1)
+	if got[0] != -7 || len(got) < 2 {
+		t.Errorf("dst not preserved: %v", got)
+	}
+}
+
+func TestAllCells(t *testing.T) {
+	g := mustGrid(t, NewRect(Point{0, 0}, Point{5, 4}), 1)
+	all := g.AllCells()
+	if len(all) != g.N() {
+		t.Fatalf("AllCells len=%d want %d", len(all), g.N())
+	}
+	for i, c := range all {
+		if c != i {
+			t.Fatalf("AllCells[%d]=%d", i, c)
+		}
+	}
+}
+
+func TestGridCellQuick(t *testing.T) {
+	g := mustGrid(t, NewRect(Point{0, 0}, Point{100, 100}), 3)
+	// Every point inside the bounds maps to a cell whose center is within
+	// half a cell diagonal.
+	f := func(x, y float64) bool {
+		p := g.Bounds().Clamp(Point{x, y})
+		idx := g.Cell(p)
+		if idx < 0 || idx >= g.N() {
+			return false
+		}
+		maxDist := g.CellSize() * 0.7072 // half diagonal + epsilon
+		return g.Center(idx).Dist(p) <= maxDist
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridString(t *testing.T) {
+	g := mustGrid(t, NewRect(Point{0, 0}, Point{30, 20}), 10)
+	got := g.String()
+	if got != "Grid(3x2 cells of 10m)" {
+		t.Errorf("String()=%q", got)
+	}
+}

@@ -1,0 +1,119 @@
+// Package geo provides the planar geometric primitives the STS library is
+// built on: points, rectangles, distances, and the equal-size grid
+// partitioning of the area of interest described in Section IV-A of the
+// paper.
+//
+// All coordinates are planar and expressed in meters. Callers working with
+// geodetic data (latitude/longitude) should project it first; for the small
+// areas the paper evaluates (a city, a shopping mall) an equirectangular
+// projection around the dataset centroid is adequate.
+package geo
+
+import "math"
+
+// Point is a location in the plane, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q in meters.
+// math.Sqrt is used instead of math.Hypot: coordinates are meters, far
+// from overflow, and Dist is the innermost call of the estimator's hot
+// loops where Hypot's extra care costs several times the whole operation.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point {
+	return Point{p.X + q.X, p.Y + q.Y}
+}
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Point {
+	return Point{p.X - q.X, p.Y - q.Y}
+}
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point {
+	return Point{p.X * s, p.Y * s}
+}
+
+// Lerp linearly interpolates between p (f=0) and q (f=1).
+func (p Point) Lerp(q Point, f float64) Point {
+	return Point{p.X + (q.X-p.X)*f, p.Y + (q.Y-p.Y)*f}
+}
+
+// IsFinite reports whether both coordinates are finite numbers.
+func (p Point) IsFinite() bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) &&
+		!math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
+// Rect is an axis-aligned rectangle. Min is the lower-left corner and Max
+// the upper-right corner; Min components must not exceed Max components.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the rectangle spanning the two corner points in any order.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{math.Min(a.X, b.X), math.Min(a.Y, b.Y)},
+		Max: Point{math.Max(a.X, b.X), math.Max(a.Y, b.Y)},
+	}
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Contains reports whether p lies inside r (inclusive of edges).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Expand returns r grown by m meters on every side.
+func (r Rect) Expand(m float64) Rect {
+	return Rect{
+		Min: Point{r.Min.X - m, r.Min.Y - m},
+		Max: Point{r.Max.X + m, r.Max.Y + m},
+	}
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// Clamp returns the point in r closest to p.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Max(r.Min.X, math.Min(r.Max.X, p.X)),
+		Y: math.Max(r.Min.Y, math.Min(r.Max.Y, p.Y)),
+	}
+}
+
+// Center returns the midpoint of r.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// PointSegmentDist returns the distance from p to the segment ab, together
+// with the interpolation fraction f in [0,1] of the closest point on ab.
+func PointSegmentDist(p, a, b Point) (dist, frac float64) {
+	d := b.Sub(a)
+	l2 := d.X*d.X + d.Y*d.Y
+	if l2 == 0 {
+		return p.Dist(a), 0
+	}
+	f := ((p.X-a.X)*d.X + (p.Y-a.Y)*d.Y) / l2
+	f = math.Max(0, math.Min(1, f))
+	return p.Dist(a.Lerp(b, f)), f
+}

@@ -1,0 +1,188 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"zero", Point{}, Point{}, 0},
+		{"unit x", Point{0, 0}, Point{1, 0}, 1},
+		{"unit y", Point{0, 0}, Point{0, 1}, 1},
+		{"345", Point{0, 0}, Point{3, 4}, 5},
+		{"negative", Point{-3, -4}, Point{0, 0}, 5},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Dist(tt.q); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("%s: Dist=%v want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestDistProperties(t *testing.T) {
+	clamp := func(v float64) float64 { return math.Mod(v, 1e6) }
+	symmetric := func(px, py, qx, qy float64) bool {
+		p, q := Point{clamp(px), clamp(py)}, Point{clamp(qx), clamp(qy)}
+		return p.Dist(q) == q.Dist(p)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+	nonNegative := func(px, py, qx, qy float64) bool {
+		return Point{clamp(px), clamp(py)}.Dist(Point{clamp(qx), clamp(qy)}) >= 0
+	}
+	if err := quick.Check(nonNegative, nil); err != nil {
+		t.Errorf("non-negativity: %v", err)
+	}
+	triangle := func(ax, ay, bx, by, cx, cy float64) bool {
+		// Constrain magnitudes so float error stays bounded.
+		clamp := func(v float64) float64 { return math.Mod(v, 1e6) }
+		a := Point{clamp(ax), clamp(ay)}
+		b := Point{clamp(bx), clamp(by)}
+		c := Point{clamp(cx), clamp(cy)}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Errorf("triangle inequality: %v", err)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p, q := Point{0, 0}, Point{10, 20}
+	if got := p.Lerp(q, 0); got != p {
+		t.Errorf("Lerp(0)=%v want %v", got, p)
+	}
+	if got := p.Lerp(q, 1); got != q {
+		t.Errorf("Lerp(1)=%v want %v", got, q)
+	}
+	if got := p.Lerp(q, 0.5); got != (Point{5, 10}) {
+		t.Errorf("Lerp(0.5)=%v", got)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -4}
+	if got := p.Add(q); got != (Point{4, -2}) {
+		t.Errorf("Add=%v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 6}) {
+		t.Errorf("Sub=%v", got)
+	}
+	if got := p.Scale(3); got != (Point{3, 6}) {
+		t.Errorf("Scale=%v", got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !(Point{1, 2}).IsFinite() {
+		t.Error("finite point reported non-finite")
+	}
+	for _, p := range []Point{
+		{math.NaN(), 0}, {0, math.NaN()},
+		{math.Inf(1), 0}, {0, math.Inf(-1)},
+	} {
+		if p.IsFinite() {
+			t.Errorf("%v reported finite", p)
+		}
+	}
+}
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(Point{5, -1}, Point{-2, 7})
+	if r.Min != (Point{-2, -1}) || r.Max != (Point{5, 7}) {
+		t.Errorf("NewRect=%+v", r)
+	}
+	if r.Width() != 7 || r.Height() != 8 {
+		t.Errorf("Width=%v Height=%v", r.Width(), r.Height())
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{10, 10})
+	for _, p := range []Point{{0, 0}, {10, 10}, {5, 5}, {0, 10}} {
+		if !r.Contains(p) {
+			t.Errorf("Contains(%v)=false", p)
+		}
+	}
+	for _, p := range []Point{{-0.1, 5}, {5, 10.1}, {11, 11}} {
+		if r.Contains(p) {
+			t.Errorf("Contains(%v)=true", p)
+		}
+	}
+}
+
+func TestRectExpandUnionClampCenter(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{10, 10})
+	e := r.Expand(2)
+	if e.Min != (Point{-2, -2}) || e.Max != (Point{12, 12}) {
+		t.Errorf("Expand=%+v", e)
+	}
+	u := r.Union(NewRect(Point{8, 8}, Point{20, 5}))
+	if u.Min != (Point{0, 0}) || u.Max != (Point{20, 10}) {
+		t.Errorf("Union=%+v", u)
+	}
+	if got := r.Clamp(Point{-5, 20}); got != (Point{0, 10}) {
+		t.Errorf("Clamp=%v", got)
+	}
+	if got := r.Clamp(Point{5, 5}); got != (Point{5, 5}) {
+		t.Errorf("Clamp interior=%v", got)
+	}
+	if got := r.Center(); got != (Point{5, 5}) {
+		t.Errorf("Center=%v", got)
+	}
+}
+
+func TestPointSegmentDist(t *testing.T) {
+	a, b := Point{0, 0}, Point{10, 0}
+	tests := []struct {
+		p        Point
+		wantD    float64
+		wantFrac float64
+	}{
+		{Point{5, 3}, 3, 0.5},     // above the middle
+		{Point{-5, 0}, 5, 0},      // before the start
+		{Point{15, 0}, 5, 1},      // past the end
+		{Point{0, 0}, 0, 0},       // on an endpoint
+		{Point{10, 0}, 0, 1},      // on the other endpoint
+		{Point{2.5, -4}, 4, 0.25}, // below
+	}
+	for _, tt := range tests {
+		d, f := PointSegmentDist(tt.p, a, b)
+		if !almostEqual(d, tt.wantD, 1e-12) || !almostEqual(f, tt.wantFrac, 1e-12) {
+			t.Errorf("PointSegmentDist(%v)=(%v,%v) want (%v,%v)", tt.p, d, f, tt.wantD, tt.wantFrac)
+		}
+	}
+	// Degenerate segment.
+	d, f := PointSegmentDist(Point{3, 4}, Point{0, 0}, Point{0, 0})
+	if !almostEqual(d, 5, 1e-12) || f != 0 {
+		t.Errorf("degenerate segment: (%v,%v)", d, f)
+	}
+}
+
+func TestPointSegmentDistNeverExceedsEndpoints(t *testing.T) {
+	f := func(px, py, ax, ay, bx, by float64) bool {
+		clamp := func(v float64) float64 { return math.Mod(v, 1e4) }
+		p := Point{clamp(px), clamp(py)}
+		a := Point{clamp(ax), clamp(ay)}
+		b := Point{clamp(bx), clamp(by)}
+		d, frac := PointSegmentDist(p, a, b)
+		if frac < 0 || frac > 1 {
+			return false
+		}
+		return d <= p.Dist(a)+1e-9 && d <= p.Dist(b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

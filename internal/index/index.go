@@ -1,0 +1,169 @@
+// Package index provides a grid × time-bucket inverted index over a
+// trajectory dataset, used to prune candidates before running an
+// expensive similarity measure. Spatial-temporal similarity is zero (or
+// negligible) for trajectory pairs that never come close in space and
+// time, so a top-k query only needs to score trajectories that share at
+// least one dilated spatio-temporal key with the query — typically a
+// small fraction of a large corpus.
+package index
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/stslib/sts/internal/eval"
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+// Options configures an Index.
+type Options struct {
+	// Grid is the spatial partitioning used for the index keys
+	// (required). It does not have to match the measure's grid.
+	Grid *geo.Grid
+	// TimeBucket is the temporal quantum in seconds (required, > 0).
+	// Observations within the same bucket are considered co-temporal.
+	TimeBucket float64
+	// SpatialSlack dilates each query sample by this radius in meters
+	// when probing the index, covering location noise and movement
+	// between observations. Default: one grid cell.
+	SpatialSlack float64
+	// TimeSlack dilates each query sample by this many seconds. Default:
+	// one time bucket.
+	TimeSlack float64
+}
+
+// Index is an immutable inverted index from (cell, time bucket) keys to
+// the trajectories observed there. Build it once per corpus; queries are
+// safe for concurrent use.
+type Index struct {
+	opts     Options
+	ds       model.Dataset
+	postings map[key][]int32
+}
+
+type key struct {
+	cell   int32
+	bucket int32
+}
+
+// ErrNoGrid is returned when Options.Grid is missing.
+var ErrNoGrid = errors.New("index: Options.Grid is required")
+
+// Build indexes every sample of every trajectory in ds.
+func Build(ds model.Dataset, opts Options) (*Index, error) {
+	if opts.Grid == nil {
+		return nil, ErrNoGrid
+	}
+	if opts.TimeBucket <= 0 {
+		return nil, fmt.Errorf("index: TimeBucket must be positive, got %v", opts.TimeBucket)
+	}
+	if opts.SpatialSlack <= 0 {
+		opts.SpatialSlack = opts.Grid.CellSize()
+	}
+	if opts.TimeSlack <= 0 {
+		opts.TimeSlack = opts.TimeBucket
+	}
+	ix := &Index{opts: opts, ds: ds, postings: make(map[key][]int32)}
+	for ti, tr := range ds {
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("index: %w", err)
+		}
+		seen := make(map[key]bool)
+		for _, s := range tr.Samples {
+			k := key{cell: int32(opts.Grid.Cell(s.Loc)), bucket: int32(bucketOf(s.T, opts.TimeBucket))}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			ix.postings[k] = append(ix.postings[k], int32(ti))
+		}
+	}
+	return ix, nil
+}
+
+func bucketOf(t, bucket float64) int {
+	b := int(t / bucket)
+	if t < 0 && t != float64(b)*bucket {
+		b--
+	}
+	return b
+}
+
+// Len returns the number of indexed trajectories.
+func (ix *Index) Len() int { return len(ix.ds) }
+
+// Keys returns the number of distinct (cell, bucket) keys.
+func (ix *Index) Keys() int { return len(ix.postings) }
+
+// Dataset returns the indexed dataset.
+func (ix *Index) Dataset() model.Dataset { return ix.ds }
+
+// Candidates returns the indices of trajectories sharing at least one
+// dilated spatio-temporal key with the query, in ascending order. The
+// query's own samples are dilated by SpatialSlack and TimeSlack, so an
+// object passing within that envelope of any query observation is a
+// candidate.
+func (ix *Index) Candidates(query model.Trajectory) []int {
+	found := make(map[int32]bool)
+	var cells []int
+	for _, s := range query.Samples {
+		cells = ix.opts.Grid.CellsWithin(cells[:0], s.Loc, ix.opts.SpatialSlack)
+		b0 := bucketOf(s.T-ix.opts.TimeSlack, ix.opts.TimeBucket)
+		b1 := bucketOf(s.T+ix.opts.TimeSlack, ix.opts.TimeBucket)
+		for _, c := range cells {
+			for b := b0; b <= b1; b++ {
+				for _, ti := range ix.postings[key{cell: int32(c), bucket: int32(b)}] {
+					found[ti] = true
+				}
+			}
+		}
+	}
+	out := make([]int, 0, len(found))
+	for ti := range found {
+		out = append(out, int(ti))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Match is one result of a top-k query.
+type Match struct {
+	// Index is the trajectory's position in the indexed dataset.
+	Index int
+	// Score is its similarity to the query.
+	Score float64
+}
+
+// TopK scores the query against the index's candidate set with the given
+// measure and returns the k best matches by descending score (fewer if
+// the candidate set is smaller). Trajectories outside the candidate set
+// are never scored — they cannot overlap the query in space-time within
+// the configured slack.
+func (ix *Index) TopK(query model.Trajectory, scorer eval.Scorer, k, workers int) ([]Match, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	cand := ix.Candidates(query)
+	if len(cand) == 0 {
+		return nil, nil
+	}
+	sub := make(model.Dataset, len(cand))
+	for i, ti := range cand {
+		sub[i] = ix.ds[ti]
+	}
+	scores, err := eval.ScoreMatrix(model.Dataset{query}, sub, scorer, workers)
+	if err != nil {
+		return nil, err
+	}
+	matches := make([]Match, len(cand))
+	for i, ti := range cand {
+		matches[i] = Match{Index: ti, Score: scores[0][i]}
+	}
+	sort.Slice(matches, func(a, b int) bool { return matches[a].Score > matches[b].Score })
+	if len(matches) > k {
+		matches = matches[:k]
+	}
+	return matches, nil
+}

@@ -1,0 +1,207 @@
+package index
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/stslib/sts/internal/eval"
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+func idxGrid(t *testing.T) *geo.Grid {
+	t.Helper()
+	g, err := geo.NewGrid(geo.NewRect(geo.Point{}, geo.Point{X: 1000, Y: 1000}), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// track builds a trajectory from (x, y, t) triples.
+func track(id string, triples ...[3]float64) model.Trajectory {
+	tr := model.Trajectory{ID: id}
+	for _, v := range triples {
+		tr.Samples = append(tr.Samples, model.Sample{Loc: geo.Point{X: v[0], Y: v[1]}, T: v[2]})
+	}
+	return tr
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Options{TimeBucket: 60}); !errors.Is(err, ErrNoGrid) {
+		t.Errorf("missing grid: %v", err)
+	}
+	g := idxGrid(t)
+	if _, err := Build(nil, Options{Grid: g}); err == nil {
+		t.Error("zero time bucket accepted")
+	}
+	bad := model.Dataset{{ID: "bad", Samples: []model.Sample{{T: 2}, {T: 1}}}}
+	if _, err := Build(bad, Options{Grid: g, TimeBucket: 60}); err == nil {
+		t.Error("invalid trajectory accepted")
+	}
+}
+
+func TestCandidatesFindCoLocated(t *testing.T) {
+	g := idxGrid(t)
+	ds := model.Dataset{
+		track("near", [3]float64{100, 100, 0}, [3]float64{150, 100, 60}),
+		track("far-space", [3]float64{900, 900, 0}, [3]float64{950, 900, 60}),
+		track("far-time", [3]float64{100, 100, 90000}, [3]float64{150, 100, 90060}),
+	}
+	ix, err := Build(ds, Options{Grid: g, TimeBucket: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := track("q", [3]float64{110, 110, 30})
+	cand := ix.Candidates(q)
+	if len(cand) != 1 || cand[0] != 0 {
+		t.Errorf("candidates=%v want [0]", cand)
+	}
+}
+
+func TestCandidatesSlackWidensTheNet(t *testing.T) {
+	g := idxGrid(t)
+	// 120 m from the query: outside one 50 m cell, inside a 150 m slack.
+	ds := model.Dataset{track("nearby", [3]float64{220, 100, 0})}
+	q := track("q", [3]float64{100, 100, 0})
+
+	tight, err := Build(ds, Options{Grid: g, TimeBucket: 60, SpatialSlack: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tight.Candidates(q); len(got) != 0 {
+		t.Errorf("tight slack found %v", got)
+	}
+	wide, err := Build(ds, Options{Grid: g, TimeBucket: 60, SpatialSlack: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wide.Candidates(q); len(got) != 1 {
+		t.Errorf("wide slack found %v", got)
+	}
+}
+
+func TestCandidatesTimeSlack(t *testing.T) {
+	g := idxGrid(t)
+	ds := model.Dataset{track("later", [3]float64{100, 100, 200})}
+	q := track("q", [3]float64{100, 100, 0})
+	short, err := Build(ds, Options{Grid: g, TimeBucket: 60, TimeSlack: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := short.Candidates(q); len(got) != 0 {
+		t.Errorf("short time slack found %v", got)
+	}
+	long, err := Build(ds, Options{Grid: g, TimeBucket: 60, TimeSlack: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := long.Candidates(q); len(got) != 1 {
+		t.Errorf("long time slack found %v", got)
+	}
+}
+
+func TestNegativeTimesBucketCorrectly(t *testing.T) {
+	if b := bucketOf(-1, 60); b != -1 {
+		t.Errorf("bucketOf(-1)=%d", b)
+	}
+	if b := bucketOf(-60, 60); b != -1 {
+		t.Errorf("bucketOf(-60)=%d", b)
+	}
+	if b := bucketOf(0, 60); b != 0 {
+		t.Errorf("bucketOf(0)=%d", b)
+	}
+	if b := bucketOf(59.9, 60); b != 0 {
+		t.Errorf("bucketOf(59.9)=%d", b)
+	}
+}
+
+// overlapScorer counts co-temporal, co-located sample pairs.
+var overlapScorer = eval.FuncScorer{N: "overlap", F: func(a, b model.Trajectory) (float64, error) {
+	var n float64
+	for _, sa := range a.Samples {
+		for _, sb := range b.Samples {
+			if math.Abs(sa.T-sb.T) < 60 && sa.Loc.Dist(sb.Loc) < 100 {
+				n++
+			}
+		}
+	}
+	return n, nil
+}}
+
+func TestTopK(t *testing.T) {
+	g := idxGrid(t)
+	ds := model.Dataset{
+		track("best", [3]float64{100, 100, 0}, [3]float64{120, 100, 30}),
+		track("good", [3]float64{100, 100, 0}),
+		track("unrelated", [3]float64{900, 900, 0}),
+	}
+	ix, err := Build(ds, Options{Grid: g, TimeBucket: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := track("q", [3]float64{110, 100, 10}, [3]float64{130, 100, 40})
+	matches, err := ix.TopK(q, overlapScorer, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("got %d matches", len(matches))
+	}
+	if matches[0].Index != 0 {
+		t.Errorf("best match %d want 0", matches[0].Index)
+	}
+	if matches[0].Score < matches[1].Score {
+		t.Error("matches not sorted")
+	}
+	// k = 0 and no candidates.
+	if m, err := ix.TopK(q, overlapScorer, 0, 1); err != nil || m != nil {
+		t.Errorf("k=0: %v, %v", m, err)
+	}
+	lost := track("lost", [3]float64{500, 20, 99999})
+	if m, err := ix.TopK(lost, overlapScorer, 3, 1); err != nil || len(m) != 0 {
+		t.Errorf("no candidates: %v, %v", m, err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	g := idxGrid(t)
+	ds := model.Dataset{track("a", [3]float64{1, 1, 0}), track("b", [3]float64{900, 900, 0})}
+	ix, err := Build(ds, Options{Grid: g, TimeBucket: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 2 || ix.Keys() != 2 || len(ix.Dataset()) != 2 {
+		t.Errorf("Len=%d Keys=%d", ix.Len(), ix.Keys())
+	}
+}
+
+func TestCandidatesAreSupersetOfPositiveOverlap(t *testing.T) {
+	// Any trajectory with an actually overlapping sample must appear in
+	// the candidate set when the slack covers the overlap distance.
+	g := idxGrid(t)
+	var ds model.Dataset
+	for i := 0; i < 20; i++ {
+		x := float64((i * 37) % 900)
+		ds = append(ds, track("t", [3]float64{x, x / 2, float64(i * 10)}))
+	}
+	ix, err := Build(ds, Options{Grid: g, TimeBucket: 60, SpatialSlack: 120, TimeSlack: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := track("q", [3]float64{111, 55, 30})
+	cand := map[int]bool{}
+	for _, c := range ix.Candidates(q) {
+		cand[c] = true
+	}
+	for i, tr := range ds {
+		for _, s := range tr.Samples {
+			if s.Loc.Dist(q.Samples[0].Loc) <= 100 && math.Abs(s.T-q.Samples[0].T) <= 60 {
+				if !cand[i] {
+					t.Errorf("overlapping trajectory %d missing from candidates", i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package kde
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGaussianKernel(t *testing.T) {
+	if got := GaussianKernel(0); math.Abs(got-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Errorf("K(0)=%v", got)
+	}
+	if GaussianKernel(1) != GaussianKernel(-1) {
+		t.Error("kernel not symmetric")
+	}
+	if GaussianKernel(10) >= GaussianKernel(1) {
+		t.Error("kernel not decreasing")
+	}
+}
+
+func TestSilvermanBandwidth(t *testing.T) {
+	// Hand-computed: samples {1,2,3}, σ̂=√(2/3), n=3,
+	// h=(4σ̂⁵/(3·3))^0.2.
+	samples := []float64{1, 2, 3}
+	std := math.Sqrt(2.0 / 3.0)
+	want := math.Pow(4*math.Pow(std, 5)/9, 0.2)
+	if got := SilvermanBandwidth(samples); math.Abs(got-want) > 1e-12 {
+		t.Errorf("h=%v want %v", got, want)
+	}
+}
+
+func TestSilvermanBandwidthDegenerate(t *testing.T) {
+	if got := SilvermanBandwidth(nil); got != 0 {
+		t.Errorf("empty: h=%v", got)
+	}
+	// Constant samples: σ̂=0 must still yield a positive bandwidth.
+	if got := SilvermanBandwidth([]float64{5, 5, 5}); got <= 0 {
+		t.Errorf("constant samples: h=%v", got)
+	}
+	// All-zero samples: absolute epsilon floor.
+	if got := SilvermanBandwidth([]float64{0, 0}); got <= 0 {
+		t.Errorf("zero samples: h=%v", got)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("New(nil): %v", err)
+	}
+	for _, h := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewWithBandwidth([]float64{1}, h); err == nil {
+			t.Errorf("bandwidth %v accepted", h)
+		}
+	}
+}
+
+func TestDensityIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]float64, 200)
+	for i := range samples {
+		samples[i] = rng.NormFloat64()*2 + 10
+	}
+	e, err := New(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trapezoid rule over the support.
+	lo, hi := 10-12.0, 10+12.0
+	const steps = 4000
+	dx := (hi - lo) / steps
+	var integral float64
+	for i := 0; i <= steps; i++ {
+		w := 1.0
+		if i == 0 || i == steps {
+			w = 0.5
+		}
+		integral += w * e.Density(lo+float64(i)*dx) * dx
+	}
+	if math.Abs(integral-1) > 0.01 {
+		t.Errorf("density integrates to %v", integral)
+	}
+}
+
+func TestDensityPeaksNearSamples(t *testing.T) {
+	e, err := New([]float64{1, 1.1, 0.9, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Density(1) <= e.Density(3) {
+		t.Error("density near cluster not higher than in the gap")
+	}
+	if e.Density(100) > 1e-9 {
+		t.Error("density far from samples not negligible")
+	}
+}
+
+func TestMassFastMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]float64, 60)
+	for i := range samples {
+		samples[i] = math.Abs(rng.NormFloat64()*1.5 + 8)
+	}
+	e, err := New(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		v := rng.Float64()*25 - 2
+		exact := e.Mass(v)
+		fast := e.MassFast(v)
+		if math.Abs(exact-fast) > 1e-4 {
+			t.Fatalf("MassFast(%v)=%v exact=%v", v, fast, exact)
+		}
+	}
+}
+
+func TestMassFastOutOfRangeIsZero(t *testing.T) {
+	e, err := New([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.MassFast(1e9); got != 0 {
+		t.Errorf("MassFast far right=%v", got)
+	}
+	if got := e.MassFast(-1e9); got != 0 {
+		t.Errorf("MassFast far left=%v", got)
+	}
+}
+
+func TestMassBounded(t *testing.T) {
+	e, err := New([]float64{3, 3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(v float64) bool {
+		v = math.Mod(v, 100)
+		m := e.Mass(v)
+		return m >= 0 && m <= GaussianKernel(0)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	e, err := New([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {-1, 1}, {2, 5},
+	}
+	for _, tt := range tests {
+		if got := e.Quantile(tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v)=%v want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	e, err := NewWithBandwidth([]float64{2, 4}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bandwidth() != 0.5 || e.NumSamples() != 2 || e.Mean() != 3 {
+		t.Errorf("accessors: h=%v n=%v mean=%v", e.Bandwidth(), e.NumSamples(), e.Mean())
+	}
+	if e.Std() != 1 {
+		t.Errorf("Std=%v", e.Std())
+	}
+	if e.MaxSupport() <= 4 {
+		t.Errorf("MaxSupport=%v", e.MaxSupport())
+	}
+}
+
+func TestEpanechnikovKernel(t *testing.T) {
+	if got := EpanechnikovKernel(0); got != 0.75 {
+		t.Errorf("K(0)=%v", got)
+	}
+	if EpanechnikovKernel(1.01) != 0 || EpanechnikovKernel(-1.01) != 0 {
+		t.Error("support exceeds |u|<=1")
+	}
+	if EpanechnikovKernel(0.5) != EpanechnikovKernel(-0.5) {
+		t.Error("not symmetric")
+	}
+}
+
+func TestEpanechnikovEstimatorIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = rng.NormFloat64() + 5
+	}
+	e, err := NewWithKernel(samples, 0.5, Epanechnikov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 0.0, 10.0
+	const steps = 4000
+	dx := (hi - lo) / steps
+	var integral float64
+	for i := 0; i <= steps; i++ {
+		w := 1.0
+		if i == 0 || i == steps {
+			w = 0.5
+		}
+		integral += w * e.Density(lo+float64(i)*dx) * dx
+	}
+	if math.Abs(integral-1) > 0.01 {
+		t.Errorf("Epanechnikov density integrates to %v", integral)
+	}
+	if e.Kernel().Name != "epanechnikov" {
+		t.Errorf("Kernel()=%v", e.Kernel().Name)
+	}
+}
+
+func TestNewWithKernelValidation(t *testing.T) {
+	if _, err := NewWithKernel([]float64{1}, 1, Kernel{}); err == nil {
+		t.Error("kernel without function accepted")
+	}
+	if _, err := NewWithKernel([]float64{1}, 1, Kernel{Func: GaussianKernel}); err == nil {
+		t.Error("kernel without cutoff accepted")
+	}
+}
+
+func TestEpanechnikovMassFastMatchesExact(t *testing.T) {
+	samples := []float64{1, 1.5, 2, 2.5, 3}
+	e, err := NewWithKernel(samples, 0.4, Epanechnikov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 500; i++ {
+		v := rng.Float64()*4 - 0.5
+		if diff := math.Abs(e.Mass(v) - e.MassFast(v)); diff > 2e-3 {
+			t.Fatalf("MassFast(%v) differs by %v", v, diff)
+		}
+	}
+}

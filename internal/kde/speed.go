@@ -1,0 +1,98 @@
+package kde
+
+import (
+	"fmt"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+// SpeedModel is the personalized speed probability distribution of one
+// object, estimated from its own trajectory (Section IV-B). It exposes the
+// transition probability of Eq. 7:
+//
+//	P(ℓ′, t′ | ℓ, t) = h · Q̂( dis(ℓ, ℓ′) / |t − t′| ).
+//
+// The model is immutable and safe for concurrent use.
+type SpeedModel struct {
+	est *Estimator
+}
+
+// NewSpeedModel estimates the speed distribution of tr. Trajectories with
+// fewer than two samples (or with all-zero time gaps) carry no speed
+// information; an error is returned so callers can fall back to a global
+// model or a point estimate.
+func NewSpeedModel(tr model.Trajectory) (*SpeedModel, error) {
+	return NewSpeedModelKernel(tr, Gaussian)
+}
+
+// NewSpeedModelKernel estimates the speed distribution of tr with an
+// explicit kernel (Silverman bandwidth either way). The paper's estimator
+// works with any non-negative kernel; the Gaussian is its running
+// example.
+func NewSpeedModelKernel(tr model.Trajectory, k Kernel) (*SpeedModel, error) {
+	speeds := tr.Speeds()
+	if len(speeds) == 0 {
+		return nil, fmt.Errorf("kde: trajectory %q has no usable speed samples: %w", tr.ID, ErrNoSamples)
+	}
+	est, err := NewWithKernel(speeds, SilvermanBandwidth(speeds), k)
+	if err != nil {
+		return nil, err
+	}
+	return &SpeedModel{est: est}, nil
+}
+
+// NewPooledSpeedModel estimates a single *global* speed distribution from
+// the speed samples of every trajectory in the dataset. This is the
+// universal model the STS-G ablation variant uses in Section VI-C, and the
+// assumption most prior work makes.
+func NewPooledSpeedModel(ds model.Dataset) (*SpeedModel, error) {
+	var all []float64
+	for _, tr := range ds {
+		all = append(all, tr.Speeds()...)
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("kde: dataset has no usable speed samples: %w", ErrNoSamples)
+	}
+	est, err := New(all)
+	if err != nil {
+		return nil, err
+	}
+	return &SpeedModel{est: est}, nil
+}
+
+// Estimator exposes the underlying density estimator.
+func (m *SpeedModel) Estimator() *Estimator { return m.est }
+
+// Transition returns the transition probability of moving from location a
+// at time ta to location b at time tb (Eq. 7). The time interval is
+// |ta − tb|, so the transition is symmetric in time direction, matching the
+// paper. A zero time interval returns 1 if the locations coincide within
+// numerical noise and 0 otherwise (the object cannot move in zero time).
+func (m *SpeedModel) Transition(a geo.Point, ta float64, b geo.Point, tb float64) float64 {
+	dt := ta - tb
+	if dt < 0 {
+		dt = -dt
+	}
+	d := a.Dist(b)
+	if dt == 0 {
+		if d == 0 {
+			return 1
+		}
+		return 0
+	}
+	return m.est.MassFast(d / dt)
+}
+
+// MaxSpeed returns a speed beyond which this object's transition
+// probability is small enough to ignore when truncating candidate cells:
+// twice the 99th-percentile speed, capped at the kernel's hard support
+// edge. Cells only reachable above this speed contribute negligibly to
+// the normalized distribution.
+func (m *SpeedModel) MaxSpeed() float64 {
+	q := 2 * m.est.Quantile(0.99)
+	if hard := m.est.MaxSupport(); q > hard || q <= 0 {
+		return hard
+	}
+	return q
+}

@@ -1,0 +1,135 @@
+package kde
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+// walker builds a trajectory moving east at the given constant speed with
+// the given time step.
+func walker(speed, step float64, n int) model.Trajectory {
+	tr := model.Trajectory{ID: "w"}
+	for i := 0; i < n; i++ {
+		t := float64(i) * step
+		tr.Samples = append(tr.Samples, model.Sample{Loc: geo.Point{X: speed * t}, T: t})
+	}
+	return tr
+}
+
+func TestNewSpeedModel(t *testing.T) {
+	m, err := NewSpeedModel(walker(2, 10, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Estimator().Mean(); got != 2 {
+		t.Errorf("mean speed %v want 2", got)
+	}
+}
+
+func TestNewSpeedModelErrors(t *testing.T) {
+	if _, err := NewSpeedModel(model.Trajectory{}); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("empty: %v", err)
+	}
+	single := model.Trajectory{Samples: []model.Sample{{T: 0}}}
+	if _, err := NewSpeedModel(single); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("single sample: %v", err)
+	}
+}
+
+func TestTransitionPrefersPlausibleSpeed(t *testing.T) {
+	// Object walks at ~1.5 m/s. Moving 15 m in 10 s (1.5 m/s) must be far
+	// more probable than 150 m in 10 s (15 m/s).
+	m, err := NewSpeedModel(walker(1.5, 10, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := geo.Point{X: 0}
+	plausible := m.Transition(a, 0, geo.Point{X: 15}, 10)
+	absurd := m.Transition(a, 0, geo.Point{X: 150}, 10)
+	if plausible <= absurd {
+		t.Errorf("plausible=%v absurd=%v", plausible, absurd)
+	}
+	if plausible <= 0 {
+		t.Error("plausible transition has zero probability")
+	}
+}
+
+func TestTransitionTimeSymmetric(t *testing.T) {
+	m, err := NewSpeedModel(walker(1, 5, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := geo.Point{X: 0}, geo.Point{X: 7}
+	forward := m.Transition(a, 0, b, 6)
+	backward := m.Transition(a, 6, b, 0)
+	if forward != backward {
+		t.Errorf("forward=%v backward=%v", forward, backward)
+	}
+}
+
+func TestTransitionZeroInterval(t *testing.T) {
+	m, err := NewSpeedModel(walker(1, 5, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geo.Point{X: 3}
+	if got := m.Transition(p, 7, p, 7); got != 1 {
+		t.Errorf("same place, same time: %v want 1", got)
+	}
+	if got := m.Transition(p, 7, geo.Point{X: 8}, 7); got != 0 {
+		t.Errorf("different place, same time: %v want 0", got)
+	}
+}
+
+func TestPooledSpeedModel(t *testing.T) {
+	ds := model.Dataset{walker(1, 10, 10), walker(3, 10, 10)}
+	m, err := NewPooledSpeedModel(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Estimator().Mean(); got != 2 {
+		t.Errorf("pooled mean %v want 2", got)
+	}
+	if m.Estimator().NumSamples() != 18 {
+		t.Errorf("pooled samples %d want 18", m.Estimator().NumSamples())
+	}
+}
+
+func TestPooledSpeedModelErrors(t *testing.T) {
+	if _, err := NewPooledSpeedModel(nil); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("empty dataset: %v", err)
+	}
+}
+
+func TestMaxSpeedBoundsSupport(t *testing.T) {
+	m, err := NewSpeedModel(walker(2, 10, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := m.MaxSpeed()
+	if ms < 2 {
+		t.Errorf("MaxSpeed=%v below the only observed speed", ms)
+	}
+	if ms > m.Estimator().MaxSupport()+1e-12 {
+		t.Errorf("MaxSpeed=%v exceeds hard support %v", ms, m.Estimator().MaxSupport())
+	}
+}
+
+func TestNewSpeedModelKernel(t *testing.T) {
+	tr := walker(2, 10, 20)
+	m, err := NewSpeedModelKernel(tr, Epanechnikov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Estimator().Kernel().Name != "epanechnikov" {
+		t.Errorf("kernel %q", m.Estimator().Kernel().Name)
+	}
+	// The transition still prefers the plausible speed.
+	a := geo.Point{X: 0}
+	if m.Transition(a, 0, geo.Point{X: 20, Y: 0}, 10) <= m.Transition(a, 0, geo.Point{X: 200, Y: 0}, 10) {
+		t.Error("Epanechnikov speed model lost discrimination")
+	}
+}

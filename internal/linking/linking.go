@@ -1,0 +1,166 @@
+// Package linking implements trajectory linking — deciding which
+// trajectories, collected by different sensing systems, belong to the
+// same object. It is the flagship application of spatial-temporal
+// similarity (Section II of the STS paper and its references [1], [22],
+// [23]).
+//
+// Two families are provided:
+//
+//   - a similarity-based linker that turns any pairwise similarity
+//     measure into an assignment between two trajectory sets, with
+//     greedy one-to-one matching and a rejection threshold;
+//   - the velocity-feasibility compatibility check of FTL (Wu et al.,
+//     ICDE 2016) and ST-Link/SLIM: two trajectories can only belong to
+//     the same object if the merged sequence never requires moving
+//     faster than a speed bound. STS replaces the global bound with a
+//     personalized speed distribution; the FTL-style check remains
+//     useful as a cheap pre-filter.
+package linking
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/stslib/sts/internal/eval"
+	"github.com/stslib/sts/internal/model"
+)
+
+// Feasible reports whether trajectories a and b could have been produced
+// by one object whose speed never exceeds maxSpeed (m/s) — the mutual
+// compatibility test of FTL with a global velocity threshold. Samples
+// closer in time than minGap seconds are exempted (location noise makes
+// instantaneous speeds unbounded as Δt → 0).
+func Feasible(a, b model.Trajectory, maxSpeed, minGap float64) bool {
+	merged := MergeByTime(a, b)
+	for i := 1; i < merged.Len(); i++ {
+		dt := merged.Samples[i].T - merged.Samples[i-1].T
+		if dt < minGap {
+			continue
+		}
+		d := merged.Samples[i].Loc.Dist(merged.Samples[i-1].Loc)
+		if d/dt > maxSpeed {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeByTime interleaves the samples of a and b into one time-sorted
+// sequence (the "merged trajectory" of FTL and of STS's Eq. 10). Samples
+// with identical timestamps keep a's first.
+func MergeByTime(a, b model.Trajectory) model.Trajectory {
+	out := model.Trajectory{
+		ID:      a.ID + "+" + b.ID,
+		Samples: make([]model.Sample, 0, a.Len()+b.Len()),
+	}
+	i, j := 0, 0
+	for i < a.Len() && j < b.Len() {
+		if a.Samples[i].T <= b.Samples[j].T {
+			out.Samples = append(out.Samples, a.Samples[i])
+			i++
+		} else {
+			out.Samples = append(out.Samples, b.Samples[j])
+			j++
+		}
+	}
+	out.Samples = append(out.Samples, a.Samples[i:]...)
+	out.Samples = append(out.Samples, b.Samples[j:]...)
+	return out
+}
+
+// Link is one matched pair produced by the linker.
+type Link struct {
+	// I and J index the trajectory in the first and second set.
+	I, J int
+	// Score is the similarity that produced the link.
+	Score float64
+}
+
+// Options configures the linker.
+type Options struct {
+	// MinScore rejects links whose similarity falls below it. With the
+	// default 0, any positive similarity can link.
+	MinScore float64
+	// MaxSpeed, when positive, enables the FTL feasibility pre-filter:
+	// pairs whose merged trajectory requires exceeding this speed are
+	// never scored. MinGap is the Δt exemption of the filter (default
+	// 1 s when MaxSpeed is set).
+	MaxSpeed float64
+	MinGap   float64
+	// Workers bounds scoring parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// ErrEmptyInput is returned when either trajectory set is empty.
+var ErrEmptyInput = errors.New("linking: empty trajectory set")
+
+// GreedyLink links two trajectory sets one-to-one: all pairwise
+// similarities are computed (after the optional feasibility pre-filter),
+// then pairs are accepted best-first, skipping trajectories already
+// linked — the standard greedy assignment used by linkage systems when a
+// full optimal assignment is unnecessary. Returned links are sorted by
+// descending score.
+func GreedyLink(d1, d2 model.Dataset, scorer eval.Scorer, opts Options) ([]Link, error) {
+	if len(d1) == 0 || len(d2) == 0 {
+		return nil, ErrEmptyInput
+	}
+	minGap := opts.MinGap
+	if opts.MaxSpeed > 0 && minGap <= 0 {
+		minGap = 1
+	}
+	scores, err := eval.ScoreMatrix(d1, d2, scorer, opts.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("linking: %w", err)
+	}
+	type cand struct {
+		i, j int
+		s    float64
+	}
+	var cands []cand
+	for i := range d1 {
+		for j := range d2 {
+			if scores[i][j] < opts.MinScore {
+				continue
+			}
+			if opts.MaxSpeed > 0 && !Feasible(d1[i], d2[j], opts.MaxSpeed, minGap) {
+				continue
+			}
+			cands = append(cands, cand{i, j, scores[i][j]})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].s > cands[b].s })
+	usedI := make([]bool, len(d1))
+	usedJ := make([]bool, len(d2))
+	var links []Link
+	for _, c := range cands {
+		if usedI[c.i] || usedJ[c.j] {
+			continue
+		}
+		usedI[c.i] = true
+		usedJ[c.j] = true
+		links = append(links, Link{I: c.i, J: c.j, Score: c.s})
+	}
+	return links, nil
+}
+
+// Accuracy evaluates a linking against the ground truth that d1[i] and
+// d2[i] observe the same object: the fraction of true pairs recovered
+// (recall) and the fraction of produced links that are correct
+// (precision).
+func Accuracy(links []Link, n int) (precision, recall float64) {
+	if n == 0 {
+		return 0, 0
+	}
+	correct := 0
+	for _, l := range links {
+		if l.I == l.J {
+			correct++
+		}
+	}
+	if len(links) > 0 {
+		precision = float64(correct) / float64(len(links))
+	}
+	recall = float64(correct) / float64(n)
+	return precision, recall
+}

@@ -1,0 +1,125 @@
+// Package markov implements the frequency-based, first-order Markov grid
+// transition model that much prior work (APM and the uncertain-trajectory
+// query literature the paper cites as [24], [25], [34]) uses to estimate
+// object locations. It is the substrate behind the STS-F ablation variant:
+// transition probabilities between grid cells are estimated from the
+// frequency of observed transitions in historical data, *universally* for
+// all objects, in contrast to STS's personalized speed model.
+package markov
+
+import (
+	"errors"
+	"math"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+// TransitionModel is a frequency-based grid-to-grid transition model.
+// Counts are collected per consecutive sample pair; probabilities are
+// row-normalized with Laplace smoothing over the destination cells that
+// were ever observed, plus a configurable self-transition floor so unseen
+// cells do not make whole trajectories impossible.
+type TransitionModel struct {
+	grid *geo.Grid
+	// rows maps a source cell to its observed destination counts.
+	rows map[int]map[int]float64
+	// rowTotal caches the total outgoing count per source cell.
+	rowTotal map[int]float64
+	// alpha is the Laplace smoothing pseudo-count.
+	alpha float64
+	// uniform is the fallback probability used for source cells never
+	// observed in the training data: 1/N over the whole grid.
+	uniform float64
+}
+
+// ErrNoData is returned when Train is given a dataset with no transitions.
+var ErrNoData = errors.New("markov: no transitions in training data")
+
+// Train builds a transition model over grid from the consecutive-sample
+// transitions of every trajectory in ds. alpha is the Laplace smoothing
+// pseudo-count (a typical value is 1).
+func Train(grid *geo.Grid, ds model.Dataset, alpha float64) (*TransitionModel, error) {
+	if alpha < 0 {
+		alpha = 0
+	}
+	m := &TransitionModel{
+		grid:     grid,
+		rows:     make(map[int]map[int]float64),
+		rowTotal: make(map[int]float64),
+		alpha:    alpha,
+		uniform:  1 / float64(grid.N()),
+	}
+	n := 0
+	for _, tr := range ds {
+		for i := 1; i < tr.Len(); i++ {
+			from := grid.Cell(tr.Samples[i-1].Loc)
+			to := grid.Cell(tr.Samples[i].Loc)
+			row := m.rows[from]
+			if row == nil {
+				row = make(map[int]float64)
+				m.rows[from] = row
+			}
+			row[to]++
+			m.rowTotal[from]++
+			n++
+		}
+	}
+	if n == 0 {
+		return nil, ErrNoData
+	}
+	return m, nil
+}
+
+// Prob returns the estimated probability of transiting from cell `from` to
+// cell `to`, independent of the time interval (the frequency-based models
+// in the prior work are time-homogeneous per step). Rows never observed in
+// training fall back to a uniform distribution.
+func (m *TransitionModel) Prob(from, to int) float64 {
+	row, ok := m.rows[from]
+	if !ok {
+		return m.uniform
+	}
+	total := m.rowTotal[from]
+	k := float64(len(row)) + 1 // +1 virtual mass for "anywhere else"
+	denom := total + m.alpha*k
+	if c, ok := row[to]; ok {
+		return (c + m.alpha) / denom
+	}
+	// Unseen destination: the single smoothing pseudo-count spread over
+	// all cells not in the row.
+	rest := float64(m.grid.N() - len(row))
+	if rest <= 0 {
+		return 0
+	}
+	return m.alpha / denom / rest
+}
+
+// ProbPoints adapts Prob to point arguments, satisfying the transition
+// interface stprob expects. The time arguments are ignored (frequency
+// models are time-agnostic), which is exactly the weakness STS's
+// personalized spatio-temporal model addresses.
+func (m *TransitionModel) ProbPoints(a geo.Point, ta float64, b geo.Point, tb float64) float64 {
+	return m.Prob(m.grid.Cell(a), m.grid.Cell(b))
+}
+
+// Entropy returns the Shannon entropy (nats) of the outgoing distribution
+// of cell `from` over its observed destinations, a diagnostic for how
+// deterministic the learned mobility is.
+func (m *TransitionModel) Entropy(from int) float64 {
+	row, ok := m.rows[from]
+	if !ok {
+		return math.Log(float64(m.grid.N()))
+	}
+	total := m.rowTotal[from]
+	var h float64
+	for _, c := range row {
+		p := c / total
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+// ObservedRows returns the number of source cells with at least one
+// observed transition.
+func (m *TransitionModel) ObservedRows() int { return len(m.rows) }

@@ -1,0 +1,142 @@
+package markov
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+func grid10(t *testing.T) *geo.Grid {
+	t.Helper()
+	g, err := geo.NewGrid(geo.NewRect(geo.Point{}, geo.Point{X: 100, Y: 100}), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// hop builds a trajectory visiting the centers of the given cells in
+// order, one second apart.
+func hop(g *geo.Grid, cells ...int) model.Trajectory {
+	tr := model.Trajectory{ID: "h"}
+	for i, c := range cells {
+		tr.Samples = append(tr.Samples, model.Sample{Loc: g.Center(c), T: float64(i)})
+	}
+	return tr
+}
+
+func TestTrainErrors(t *testing.T) {
+	g := grid10(t)
+	if _, err := Train(g, nil, 1); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty dataset: %v", err)
+	}
+	single := model.Dataset{hop(g, 5)}
+	if _, err := Train(g, single, 1); !errors.Is(err, ErrNoData) {
+		t.Errorf("no transitions: %v", err)
+	}
+}
+
+func TestProbFavorsObservedTransitions(t *testing.T) {
+	g := grid10(t)
+	// Cell 0 transitions to 1 three times and to 10 once.
+	ds := model.Dataset{hop(g, 0, 1), hop(g, 0, 1), hop(g, 0, 1), hop(g, 0, 10)}
+	m, err := Train(g, ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p01 := m.Prob(0, 1)
+	p010 := m.Prob(0, 10)
+	pUnseen := m.Prob(0, 55)
+	if !(p01 > p010 && p010 > pUnseen && pUnseen >= 0) {
+		t.Errorf("p01=%v p0_10=%v unseen=%v", p01, p010, pUnseen)
+	}
+}
+
+func TestProbRowApproximatelyNormalized(t *testing.T) {
+	g := grid10(t)
+	ds := model.Dataset{hop(g, 0, 1, 2, 3, 0, 1, 0, 2)}
+	m, err := Train(g, ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for c := 0; c < g.N(); c++ {
+		total += m.Prob(0, c)
+	}
+	if math.Abs(total-1) > 0.05 {
+		t.Errorf("row 0 sums to %v", total)
+	}
+}
+
+func TestProbUnseenRowIsUniform(t *testing.T) {
+	g := grid10(t)
+	ds := model.Dataset{hop(g, 0, 1)}
+	m, err := Train(g, ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / float64(g.N())
+	if got := m.Prob(42, 7); got != want {
+		t.Errorf("unseen row: %v want %v", got, want)
+	}
+}
+
+func TestProbPointsMatchesProb(t *testing.T) {
+	g := grid10(t)
+	ds := model.Dataset{hop(g, 0, 1, 2)}
+	m, err := Train(g, ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := g.Center(0), g.Center(1)
+	if m.ProbPoints(a, 0, b, 99) != m.Prob(0, 1) {
+		t.Error("ProbPoints differs from Prob (must ignore time)")
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	g := grid10(t)
+	// Deterministic row: entropy 0. Spread row: entropy > 0.
+	ds := model.Dataset{hop(g, 0, 1, 0, 1), hop(g, 5, 6), hop(g, 5, 15), hop(g, 5, 4)}
+	m, err := Train(g, ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Entropy(0); got != 0 {
+		t.Errorf("deterministic row entropy=%v", got)
+	}
+	if got := m.Entropy(5); got <= 0 {
+		t.Errorf("spread row entropy=%v", got)
+	}
+	// Unseen row: maximum entropy log N.
+	if got := m.Entropy(77); math.Abs(got-math.Log(float64(g.N()))) > 1e-12 {
+		t.Errorf("unseen row entropy=%v", got)
+	}
+}
+
+func TestObservedRows(t *testing.T) {
+	g := grid10(t)
+	ds := model.Dataset{hop(g, 0, 1, 2)}
+	m, err := Train(g, ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ObservedRows(); got != 2 {
+		t.Errorf("ObservedRows=%d want 2", got)
+	}
+}
+
+func TestNegativeAlphaClamped(t *testing.T) {
+	g := grid10(t)
+	ds := model.Dataset{hop(g, 0, 1)}
+	m, err := Train(g, ds, -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Prob(0, 1); got != 1 {
+		t.Errorf("alpha<0 should behave as 0: p=%v", got)
+	}
+}

@@ -1,0 +1,189 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/stslib/sts/internal/geo"
+)
+
+// Dataset is an ordered collection of trajectories. In the matching
+// experiments (Section VI-C), two datasets are *paired*: D1[i] and D2[i]
+// come from the same object.
+type Dataset []Trajectory
+
+// Validate validates every trajectory in the dataset.
+func (d Dataset) Validate() error {
+	for i, tr := range d {
+		if err := tr.Validate(); err != nil {
+			return fmt.Errorf("dataset[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// FilterMinLen returns the trajectories with at least n samples. The paper
+// removes trajectories shorter than 20 samples from both datasets so that
+// sub-trajectories at low sampling rates remain meaningful.
+func (d Dataset) FilterMinLen(n int) Dataset {
+	out := make(Dataset, 0, len(d))
+	for _, tr := range d {
+		if tr.Len() >= n {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// Bounds returns the bounding rectangle of all locations in the dataset.
+// ok is false when the dataset holds no samples at all.
+func (d Dataset) Bounds() (r geo.Rect, ok bool) {
+	first := true
+	for _, tr := range d {
+		if tr.Len() == 0 {
+			continue
+		}
+		b := tr.Bounds()
+		if first {
+			r, first = b, false
+		} else {
+			r = r.Union(b)
+		}
+	}
+	return r, !first
+}
+
+// Clone deep-copies the dataset.
+func (d Dataset) Clone() Dataset {
+	out := make(Dataset, len(d))
+	for i, tr := range d {
+		out[i] = tr.Clone()
+	}
+	return out
+}
+
+// AlternateSplit splits tr into two interleaved sub-trajectories, taking
+// points alternately (Figure 3 of the paper): even-indexed samples go to
+// the first, odd-indexed to the second. The two halves are trajectories of
+// the same object observed by two "sensing systems" with disjoint sampling
+// times, which is the ground-truth construction for trajectory matching.
+func AlternateSplit(tr Trajectory) (a, b Trajectory) {
+	a = Trajectory{ID: tr.ID, Samples: make([]Sample, 0, (tr.Len()+1)/2)}
+	b = Trajectory{ID: tr.ID, Samples: make([]Sample, 0, tr.Len()/2)}
+	for i, s := range tr.Samples {
+		if i%2 == 0 {
+			a.Samples = append(a.Samples, s)
+		} else {
+			b.Samples = append(b.Samples, s)
+		}
+	}
+	return a, b
+}
+
+// SplitDataset applies AlternateSplit to every trajectory, producing the
+// paired datasets D(1) and D(2) of Section VI-C.
+func SplitDataset(d Dataset) (d1, d2 Dataset) {
+	d1 = make(Dataset, len(d))
+	d2 = make(Dataset, len(d))
+	for i, tr := range d {
+		d1[i], d2[i] = AlternateSplit(tr)
+	}
+	return d1, d2
+}
+
+// Downsample returns a sub-trajectory of tr sampled at the given rate in
+// (0, 1]: round(rate·n) samples chosen uniformly at random without
+// replacement, preserving time order. At least two samples are always
+// kept (one if the trajectory has only one). rate ≥ 1 returns a clone.
+func Downsample(tr Trajectory, rate float64, rng *rand.Rand) Trajectory {
+	n := tr.Len()
+	if rate >= 1 || n <= 2 {
+		return tr.Clone()
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	keep := int(float64(n)*rate + 0.5)
+	if keep < 2 {
+		keep = 2
+	}
+	if keep >= n {
+		return tr.Clone()
+	}
+	idx := rng.Perm(n)[:keep]
+	// Preserve time order by marking kept indices.
+	marked := make([]bool, n)
+	for _, i := range idx {
+		marked[i] = true
+	}
+	out := Trajectory{ID: tr.ID, Samples: make([]Sample, 0, keep)}
+	for i, m := range marked {
+		if m {
+			out.Samples = append(out.Samples, tr.Samples[i])
+		}
+	}
+	return out
+}
+
+// DownsampleDataset down-samples every trajectory at the given rate.
+func DownsampleDataset(d Dataset, rate float64, rng *rand.Rand) Dataset {
+	out := make(Dataset, len(d))
+	for i, tr := range d {
+		out[i] = Downsample(tr, rate, rng)
+	}
+	return out
+}
+
+// AddNoise returns a copy of tr with isotropic Gaussian location noise of
+// radius beta meters added to every sample, the distortion protocol of
+// Eq. 14:
+//
+//	x_i = x_i + β·dx, dx ~ N(0,1)
+//	y_i = y_i + β·dy, dy ~ N(0,1)
+func AddNoise(tr Trajectory, beta float64, rng *rand.Rand) Trajectory {
+	out := tr.Clone()
+	if beta == 0 {
+		return out
+	}
+	for i := range out.Samples {
+		out.Samples[i].Loc.X += beta * rng.NormFloat64()
+		out.Samples[i].Loc.Y += beta * rng.NormFloat64()
+	}
+	return out
+}
+
+// AddNoiseDataset applies AddNoise to every trajectory.
+func AddNoiseDataset(d Dataset, beta float64, rng *rand.Rand) Dataset {
+	out := make(Dataset, len(d))
+	for i, tr := range d {
+		out[i] = AddNoise(tr, beta, rng)
+	}
+	return out
+}
+
+// ResampleUniform returns tr linearly resampled to a uniform period in
+// seconds over its observed window — the calibration to "unified sampling
+// strategies" that alignment-based measures assume. Trajectories with
+// fewer than two samples are cloned unchanged; a non-positive period
+// yields an error.
+func ResampleUniform(tr Trajectory, period float64) (Trajectory, error) {
+	if period <= 0 {
+		return Trajectory{}, fmt.Errorf("model: resample period must be positive, got %v", period)
+	}
+	if tr.Len() < 2 {
+		return tr.Clone(), nil
+	}
+	out := Trajectory{ID: tr.ID}
+	for t := tr.Start(); t <= tr.End(); t += period {
+		loc, ok := tr.InterpolateAt(t)
+		if !ok {
+			break
+		}
+		out.Samples = append(out.Samples, Sample{Loc: loc, T: t})
+	}
+	// Always keep the final observation so the window is preserved.
+	if last := out.Samples[len(out.Samples)-1]; last.T < tr.End() {
+		out.Samples = append(out.Samples, tr.Samples[tr.Len()-1])
+	}
+	return out, nil
+}

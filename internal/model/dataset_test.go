@@ -1,0 +1,249 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/stslib/sts/internal/geo"
+)
+
+func TestAlternateSplit(t *testing.T) {
+	tr := line("a", 0, 1, 2, 3, 4)
+	a, b := AlternateSplit(tr)
+	if a.Len() != 3 || b.Len() != 2 {
+		t.Fatalf("lengths %d,%d", a.Len(), b.Len())
+	}
+	for i, want := range []float64{0, 2, 4} {
+		if a.Samples[i].T != want {
+			t.Errorf("a[%d].T=%v want %v", i, a.Samples[i].T, want)
+		}
+	}
+	for i, want := range []float64{1, 3} {
+		if b.Samples[i].T != want {
+			t.Errorf("b[%d].T=%v want %v", i, b.Samples[i].T, want)
+		}
+	}
+	if a.ID != tr.ID || b.ID != tr.ID {
+		t.Error("split halves lost the object ID")
+	}
+}
+
+func TestAlternateSplitReconstructs(t *testing.T) {
+	f := func(n uint8) bool {
+		tr := Trajectory{ID: "q"}
+		for i := 0; i < int(n%64); i++ {
+			tr.Samples = append(tr.Samples, Sample{T: float64(i)})
+		}
+		a, b := AlternateSplit(tr)
+		if a.Len()+b.Len() != tr.Len() {
+			return false
+		}
+		// Merging the halves by time recovers the original timestamps.
+		merged := append(append([]Sample{}, a.Samples...), b.Samples...)
+		tr2 := Trajectory{Samples: merged}
+		tr2.SortByTime()
+		for i := range tr.Samples {
+			if tr2.Samples[i].T != tr.Samples[i].T {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitDatasetPairs(t *testing.T) {
+	ds := Dataset{line("a", 0, 1, 2), line("b", 5, 6, 7, 8)}
+	d1, d2 := SplitDataset(ds)
+	if len(d1) != 2 || len(d2) != 2 {
+		t.Fatalf("lengths %d,%d", len(d1), len(d2))
+	}
+	for i := range ds {
+		if d1[i].ID != ds[i].ID || d2[i].ID != ds[i].ID {
+			t.Errorf("pairing broken at %d", i)
+		}
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := line("a", 0, 1, 2, 3, 4, 5, 6, 7, 8, 9)
+	sub := Downsample(tr, 0.5, rng)
+	if sub.Len() != 5 {
+		t.Errorf("rate 0.5 kept %d of 10", sub.Len())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Errorf("downsampled invalid: %v", err)
+	}
+	// Every kept sample must exist in the original.
+	seen := map[float64]bool{}
+	for _, s := range tr.Samples {
+		seen[s.T] = true
+	}
+	for _, s := range sub.Samples {
+		if !seen[s.T] {
+			t.Errorf("sample at t=%v not in original", s.T)
+		}
+	}
+}
+
+func TestDownsampleEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := line("a", 0, 1, 2, 3, 4, 5, 6, 7, 8, 9)
+	if got := Downsample(tr, 1.0, rng); got.Len() != tr.Len() {
+		t.Errorf("rate 1 kept %d", got.Len())
+	}
+	if got := Downsample(tr, 2.0, rng); got.Len() != tr.Len() {
+		t.Errorf("rate >1 kept %d", got.Len())
+	}
+	// Minimum 2 samples survive even at extreme rates.
+	if got := Downsample(tr, 0.0001, rng); got.Len() != 2 {
+		t.Errorf("tiny rate kept %d want 2", got.Len())
+	}
+	if got := Downsample(tr, -1, rng); got.Len() != 2 {
+		t.Errorf("negative rate kept %d want 2", got.Len())
+	}
+	short := line("s", 0, 1)
+	if got := Downsample(short, 0.1, rng); got.Len() != 2 {
+		t.Errorf("short trajectory kept %d", got.Len())
+	}
+}
+
+func TestDownsampleNeverIncreasesLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(n uint8, rate float64) bool {
+		size := int(n%50) + 2
+		tr := Trajectory{ID: "q"}
+		for i := 0; i < size; i++ {
+			tr.Samples = append(tr.Samples, Sample{T: float64(i)})
+		}
+		r := rate - float64(int(rate)) // fractional part, may be negative
+		sub := Downsample(tr, r, rng)
+		return sub.Len() <= tr.Len() && sub.Len() >= 2 && sub.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr := line("a", 0, 1, 2)
+	same := AddNoise(tr, 0, rng)
+	for i := range tr.Samples {
+		if same.Samples[i] != tr.Samples[i] {
+			t.Error("beta=0 changed a sample")
+		}
+	}
+	noisy := AddNoise(tr, 5, rng)
+	if noisy.Len() != tr.Len() {
+		t.Fatalf("length changed")
+	}
+	moved := 0
+	for i := range tr.Samples {
+		if noisy.Samples[i].Loc != tr.Samples[i].Loc {
+			moved++
+		}
+		if noisy.Samples[i].T != tr.Samples[i].T {
+			t.Error("noise changed a timestamp")
+		}
+	}
+	if moved == 0 {
+		t.Error("beta=5 moved nothing")
+	}
+	// Original untouched.
+	if tr.Samples[0].Loc != (geo.Point{X: 0, Y: 0}) {
+		t.Error("AddNoise mutated its input")
+	}
+}
+
+func TestFilterMinLen(t *testing.T) {
+	ds := Dataset{line("a", 0, 1), line("b", 0, 1, 2, 3), line("c", 0)}
+	got := ds.FilterMinLen(3)
+	if len(got) != 1 || got[0].ID != "b" {
+		t.Errorf("FilterMinLen=%v", got)
+	}
+	if got := ds.FilterMinLen(0); len(got) != 3 {
+		t.Errorf("FilterMinLen(0) dropped trajectories")
+	}
+}
+
+func TestDatasetBounds(t *testing.T) {
+	var empty Dataset
+	if _, ok := empty.Bounds(); ok {
+		t.Error("empty dataset reported bounds")
+	}
+	ds := Dataset{
+		Trajectory{Samples: []Sample{{Loc: geo.Point{X: 1, Y: 2}, T: 0}}},
+		Trajectory{Samples: []Sample{{Loc: geo.Point{X: -3, Y: 9}, T: 0}}},
+	}
+	b, ok := ds.Bounds()
+	if !ok || b.Min != (geo.Point{X: -3, Y: 2}) || b.Max != (geo.Point{X: 1, Y: 9}) {
+		t.Errorf("Bounds=%+v ok=%v", b, ok)
+	}
+}
+
+func TestDatasetValidateAndClone(t *testing.T) {
+	ds := Dataset{line("a", 0, 1), Trajectory{ID: "bad"}}
+	if err := ds.Validate(); err == nil {
+		t.Error("Validate passed a dataset with an empty trajectory")
+	}
+	good := Dataset{line("a", 0, 1)}
+	cp := good.Clone()
+	cp[0].Samples[0].T = 99
+	if good[0].Samples[0].T == 99 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestDatasetLevelHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ds := Dataset{line("a", 0, 1, 2, 3, 4, 5, 6, 7, 8, 9), line("b", 0, 2, 4, 6, 8, 10, 12, 14, 16, 18)}
+	down := DownsampleDataset(ds, 0.5, rng)
+	if len(down) != 2 || down[0].Len() != 5 {
+		t.Errorf("DownsampleDataset=%v", down)
+	}
+	noisy := AddNoiseDataset(ds, 1, rng)
+	if len(noisy) != 2 {
+		t.Errorf("AddNoiseDataset len=%d", len(noisy))
+	}
+}
+
+func TestResampleUniform(t *testing.T) {
+	tr := line("a", 0, 10, 30)
+	out, err := ResampleUniform(tr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("resampled invalid: %v", err)
+	}
+	// Samples at 0,5,...,30: 7 samples; end preserved.
+	if out.Len() != 7 || out.Start() != 0 || out.End() != 30 {
+		t.Fatalf("resampled %v", out.Timestamps())
+	}
+	// Linear interpolation along the east walk: x == t.
+	for _, s := range out.Samples {
+		if s.Loc.X != s.T {
+			t.Fatalf("sample at t=%v has x=%v", s.T, s.Loc.X)
+		}
+	}
+	// Non-divisible period keeps the final observation.
+	out2, err := ResampleUniform(tr, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.End() != 30 {
+		t.Errorf("end lost: %v", out2.Timestamps())
+	}
+	if _, err := ResampleUniform(tr, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+	short := line("s", 5)
+	if got, err := ResampleUniform(short, 10); err != nil || got.Len() != 1 {
+		t.Errorf("short trajectory: %v %v", got, err)
+	}
+}

@@ -1,0 +1,117 @@
+package model
+
+import (
+	"fmt"
+
+	"github.com/stslib/sts/internal/geo"
+)
+
+// StayPoint is a detected dwell: a region the object stayed inside for a
+// minimum duration (Li et al.'s classic definition, used throughout the
+// trajectory-mining literature the paper builds on).
+type StayPoint struct {
+	// Center is the mean location of the samples inside the stay.
+	Center geo.Point
+	// Start and End bound the stay in time.
+	Start, End float64
+	// First and Last index the participating samples in the source
+	// trajectory (inclusive).
+	First, Last int
+}
+
+// Duration returns the dwell time in seconds.
+func (s StayPoint) Duration() float64 { return s.End - s.Start }
+
+// StayPoints detects dwells: maximal runs of consecutive samples that all
+// lie within distThresh meters of the run's first sample and span at
+// least timeThresh seconds. Typical thresholds: 30–50 m / 5–20 min for
+// GPS, a few meters / a minute for indoor positioning.
+func StayPoints(tr Trajectory, distThresh, timeThresh float64) ([]StayPoint, error) {
+	if distThresh <= 0 || timeThresh <= 0 {
+		return nil, fmt.Errorf("model: thresholds must be positive (got %v, %v)", distThresh, timeThresh)
+	}
+	var out []StayPoint
+	n := tr.Len()
+	i := 0
+	for i < n {
+		anchor := tr.Samples[i].Loc
+		j := i + 1
+		for j < n && tr.Samples[j].Loc.Dist(anchor) <= distThresh {
+			j++
+		}
+		// Samples [i, j) stay near the anchor.
+		if span := tr.Samples[j-1].T - tr.Samples[i].T; j-i >= 2 && span >= timeThresh {
+			var cx, cy float64
+			for k := i; k < j; k++ {
+				cx += tr.Samples[k].Loc.X
+				cy += tr.Samples[k].Loc.Y
+			}
+			m := float64(j - i)
+			out = append(out, StayPoint{
+				Center: geo.Point{X: cx / m, Y: cy / m},
+				Start:  tr.Samples[i].T,
+				End:    tr.Samples[j-1].T,
+				First:  i,
+				Last:   j - 1,
+			})
+			i = j
+			continue
+		}
+		i++
+	}
+	return out, nil
+}
+
+// SplitByGap splits tr wherever consecutive samples are more than maxGap
+// seconds apart — the standard way to cut a device's observation stream
+// into sessions/trips before similarity analysis. Segment IDs get a
+// "#k" suffix. Segments retain the original sample values.
+func SplitByGap(tr Trajectory, maxGap float64) ([]Trajectory, error) {
+	if maxGap <= 0 {
+		return nil, fmt.Errorf("model: maxGap must be positive, got %v", maxGap)
+	}
+	if tr.Len() == 0 {
+		return nil, nil
+	}
+	var out []Trajectory
+	start := 0
+	flush := func(end int) {
+		seg := Trajectory{
+			ID:      fmt.Sprintf("%s#%d", tr.ID, len(out)),
+			Samples: append([]Sample(nil), tr.Samples[start:end]...),
+		}
+		out = append(out, seg)
+	}
+	for i := 1; i < tr.Len(); i++ {
+		if tr.Samples[i].T-tr.Samples[i-1].T > maxGap {
+			flush(i)
+			start = i
+		}
+	}
+	flush(tr.Len())
+	return out, nil
+}
+
+// RemoveStays returns a copy of tr with the interior samples of each
+// detected stay collapsed into the stay's first sample — a common
+// preprocessing step before route-shape analysis, where dwells otherwise
+// dominate point-based distances.
+func RemoveStays(tr Trajectory, distThresh, timeThresh float64) (Trajectory, error) {
+	stays, err := StayPoints(tr, distThresh, timeThresh)
+	if err != nil {
+		return Trajectory{}, err
+	}
+	drop := make(map[int]bool)
+	for _, sp := range stays {
+		for k := sp.First + 1; k <= sp.Last; k++ {
+			drop[k] = true
+		}
+	}
+	out := Trajectory{ID: tr.ID, Samples: make([]Sample, 0, tr.Len()-len(drop))}
+	for i, s := range tr.Samples {
+		if !drop[i] {
+			out.Samples = append(out.Samples, s)
+		}
+	}
+	return out, nil
+}

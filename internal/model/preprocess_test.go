@@ -1,0 +1,132 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"github.com/stslib/sts/internal/geo"
+)
+
+// dwellWalk walks east at 1 m/s for 60 s, dwells near x=60 for 300 s,
+// then walks on, sampled every 10 s.
+func dwellWalk() Trajectory {
+	tr := Trajectory{ID: "d"}
+	add := func(x, t float64) {
+		tr.Samples = append(tr.Samples, Sample{Loc: geo.Point{X: x, Y: 0}, T: t})
+	}
+	for t := 0.0; t <= 60; t += 10 {
+		add(t, t)
+	}
+	// Dwell: tiny jitter around x=60 from t=70 to t=360.
+	for i, t := 0, 70.0; t <= 360; i, t = i+1, t+30 {
+		add(60+float64(i%3), t)
+	}
+	for t := 370.0; t <= 430; t += 10 {
+		add(60+(t-360), t)
+	}
+	return tr
+}
+
+func TestStayPointsDetectsDwell(t *testing.T) {
+	tr := dwellWalk()
+	stays, err := StayPoints(tr, 10, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stays) != 1 {
+		t.Fatalf("got %d stays: %+v", len(stays), stays)
+	}
+	sp := stays[0]
+	if sp.Duration() < 250 {
+		t.Errorf("dwell duration %v", sp.Duration())
+	}
+	if math.Abs(sp.Center.X-61) > 3 || math.Abs(sp.Center.Y) > 1 {
+		t.Errorf("dwell center %v", sp.Center)
+	}
+	if sp.First > sp.Last || sp.Last >= tr.Len() {
+		t.Errorf("indices %d..%d", sp.First, sp.Last)
+	}
+}
+
+func TestStayPointsNoneOnConstantMotion(t *testing.T) {
+	tr := line("m", 0, 10, 20, 30, 40) // 1 m/s steady
+	stays, err := StayPoints(tr, 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stays) != 0 {
+		t.Errorf("stays on constant motion: %+v", stays)
+	}
+}
+
+func TestStayPointsValidation(t *testing.T) {
+	tr := line("m", 0, 10)
+	if _, err := StayPoints(tr, 0, 10); err == nil {
+		t.Error("zero distance threshold accepted")
+	}
+	if _, err := StayPoints(tr, 10, 0); err == nil {
+		t.Error("zero time threshold accepted")
+	}
+}
+
+func TestSplitByGap(t *testing.T) {
+	tr := line("s", 0, 10, 20, 500, 510, 2000)
+	segs, err := SplitByGap(tr, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 {
+		t.Fatalf("got %d segments", len(segs))
+	}
+	if segs[0].Len() != 3 || segs[1].Len() != 2 || segs[2].Len() != 1 {
+		t.Errorf("segment lengths %d %d %d", segs[0].Len(), segs[1].Len(), segs[2].Len())
+	}
+	if segs[0].ID != "s#0" || segs[2].ID != "s#2" {
+		t.Errorf("segment ids %q %q", segs[0].ID, segs[2].ID)
+	}
+	// Segments are deep copies.
+	segs[0].Samples[0].T = -99
+	if tr.Samples[0].T == -99 {
+		t.Error("segment shares storage with the source")
+	}
+}
+
+func TestSplitByGapEdgeCases(t *testing.T) {
+	if segs, err := SplitByGap(Trajectory{ID: "e"}, 60); err != nil || segs != nil {
+		t.Errorf("empty: %v, %v", segs, err)
+	}
+	tr := line("s", 0, 10)
+	if _, err := SplitByGap(tr, 0); err == nil {
+		t.Error("zero gap accepted")
+	}
+	segs, err := SplitByGap(tr, 60)
+	if err != nil || len(segs) != 1 || segs[0].Len() != 2 {
+		t.Errorf("no-gap trajectory: %v, %v", segs, err)
+	}
+}
+
+func TestRemoveStays(t *testing.T) {
+	tr := dwellWalk()
+	out, err := RemoveStays(tr, 10, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() >= tr.Len() {
+		t.Fatalf("nothing removed: %d vs %d", out.Len(), tr.Len())
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("cleaned trajectory invalid: %v", err)
+	}
+	// The walk's moving parts survive.
+	if out.Samples[0].T != 0 || out.End() != tr.End() {
+		t.Errorf("endpoints changed: %v..%v", out.Samples[0].T, out.End())
+	}
+	// No stays remain after cleaning.
+	stays, err := StayPoints(out, 10, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stays) != 0 {
+		t.Errorf("stays remain: %+v", stays)
+	}
+}

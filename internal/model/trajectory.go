@@ -1,0 +1,189 @@
+// Package model defines trajectories — the discrete, noisy, sporadically
+// sampled observations of continuous object paths (Definitions 1 and 2 of
+// the paper) — together with the dataset-construction operations Section VI
+// uses: alternating splits, rate-based down-sampling, and Gaussian location
+// noise injection.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/stslib/sts/internal/geo"
+)
+
+// Sample is one observed position (ℓ, t): a location and the timestamp at
+// which it was recorded. Timestamps are seconds on an arbitrary but
+// consistent clock.
+type Sample struct {
+	Loc geo.Point
+	T   float64
+}
+
+// Trajectory is a time-ordered sequence of samples describing the movement
+// of one object (Definition 2). ID identifies the underlying object so the
+// matching experiments can tell whether two trajectories are twins.
+type Trajectory struct {
+	ID      string
+	Samples []Sample
+}
+
+// Common validation errors.
+var (
+	ErrEmpty     = errors.New("model: trajectory has no samples")
+	ErrUnsorted  = errors.New("model: samples are not sorted by time")
+	ErrNonFinite = errors.New("model: sample has a non-finite coordinate or timestamp")
+	ErrDuplicate = errors.New("model: duplicate timestamp")
+)
+
+// Validate checks the structural invariants every algorithm in this module
+// relies on: at least one sample, strictly increasing timestamps, and
+// finite coordinates.
+func (tr Trajectory) Validate() error {
+	if len(tr.Samples) == 0 {
+		return fmt.Errorf("%w (id %q)", ErrEmpty, tr.ID)
+	}
+	for i, s := range tr.Samples {
+		if !s.Loc.IsFinite() || math.IsNaN(s.T) || math.IsInf(s.T, 0) {
+			return fmt.Errorf("%w (id %q, sample %d)", ErrNonFinite, tr.ID, i)
+		}
+		if i > 0 {
+			if s.T < tr.Samples[i-1].T {
+				return fmt.Errorf("%w (id %q, sample %d)", ErrUnsorted, tr.ID, i)
+			}
+			if s.T == tr.Samples[i-1].T {
+				return fmt.Errorf("%w (id %q, t=%v)", ErrDuplicate, tr.ID, s.T)
+			}
+		}
+	}
+	return nil
+}
+
+// Len returns |Tra|, the number of samples.
+func (tr Trajectory) Len() int { return len(tr.Samples) }
+
+// Start returns the first timestamp. It panics on an empty trajectory.
+func (tr Trajectory) Start() float64 { return tr.Samples[0].T }
+
+// End returns the last timestamp. It panics on an empty trajectory.
+func (tr Trajectory) End() float64 { return tr.Samples[len(tr.Samples)-1].T }
+
+// Duration returns End − Start, or 0 for trajectories shorter than 2 samples.
+func (tr Trajectory) Duration() float64 {
+	if len(tr.Samples) < 2 {
+		return 0
+	}
+	return tr.End() - tr.Start()
+}
+
+// PathLength returns the total polyline length in meters.
+func (tr Trajectory) PathLength() float64 {
+	var d float64
+	for i := 1; i < len(tr.Samples); i++ {
+		d += tr.Samples[i].Loc.Dist(tr.Samples[i-1].Loc)
+	}
+	return d
+}
+
+// Clone returns a deep copy of tr.
+func (tr Trajectory) Clone() Trajectory {
+	out := Trajectory{ID: tr.ID, Samples: make([]Sample, len(tr.Samples))}
+	copy(out.Samples, tr.Samples)
+	return out
+}
+
+// SortByTime sorts the samples in place by timestamp (stable).
+func (tr *Trajectory) SortByTime() {
+	sort.SliceStable(tr.Samples, func(i, j int) bool {
+		return tr.Samples[i].T < tr.Samples[j].T
+	})
+}
+
+// Bounds returns the bounding rectangle of the trajectory's locations.
+// It panics on an empty trajectory.
+func (tr Trajectory) Bounds() geo.Rect {
+	r := geo.Rect{Min: tr.Samples[0].Loc, Max: tr.Samples[0].Loc}
+	for _, s := range tr.Samples[1:] {
+		r = r.Union(geo.Rect{Min: s.Loc, Max: s.Loc})
+	}
+	return r
+}
+
+// Bracket locates the samples surrounding time t. It returns:
+//
+//   - exact = the index i with Samples[i].T == t, or -1;
+//   - before = the largest i with Samples[i].T < t, or -1;
+//   - after = the smallest i with Samples[i].T > t, or len(Samples).
+//
+// The S-T probability estimator (Eq. 5) dispatches on these three cases.
+func (tr Trajectory) Bracket(t float64) (exact, before, after int) {
+	n := len(tr.Samples)
+	after = sort.Search(n, func(i int) bool { return tr.Samples[i].T >= t })
+	exact = -1
+	if after < n && tr.Samples[after].T == t {
+		exact = after
+		after++
+	}
+	before = -1
+	if exact >= 0 {
+		before = exact - 1
+	} else if after > 0 {
+		before = after - 1
+	}
+	return exact, before, after
+}
+
+// InterpolateAt returns the position on the trajectory's polyline at time
+// t using linear interpolation between the bracketing samples (the
+// assumption EDwP and STED make). ok is false when t lies outside the
+// observed interval.
+func (tr Trajectory) InterpolateAt(t float64) (p geo.Point, ok bool) {
+	if len(tr.Samples) == 0 || t < tr.Start() || t > tr.End() {
+		return geo.Point{}, false
+	}
+	exact, before, after := tr.Bracket(t)
+	if exact >= 0 {
+		return tr.Samples[exact].Loc, true
+	}
+	a, b := tr.Samples[before], tr.Samples[after]
+	f := (t - a.T) / (b.T - a.T)
+	return a.Loc.Lerp(b.Loc, f), true
+}
+
+// Speeds returns the speed between every pair of consecutive samples, in
+// meters per second — the speed sample set S of Section IV-B. Pairs with a
+// zero time gap are skipped. The result has up to Len()-1 entries.
+func (tr Trajectory) Speeds() []float64 {
+	if len(tr.Samples) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(tr.Samples)-1)
+	for i := 1; i < len(tr.Samples); i++ {
+		dt := tr.Samples[i].T - tr.Samples[i-1].T
+		if dt <= 0 {
+			continue
+		}
+		out = append(out, tr.Samples[i].Loc.Dist(tr.Samples[i-1].Loc)/dt)
+	}
+	return out
+}
+
+// Timestamps returns the sample timestamps in order.
+func (tr Trajectory) Timestamps() []float64 {
+	out := make([]float64, len(tr.Samples))
+	for i, s := range tr.Samples {
+		out[i] = s.T
+	}
+	return out
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (tr Trajectory) String() string {
+	if len(tr.Samples) == 0 {
+		return fmt.Sprintf("Trajectory(%s, empty)", tr.ID)
+	}
+	return fmt.Sprintf("Trajectory(%s, %d samples, %.0fs, %.0fm)",
+		tr.ID, tr.Len(), tr.Duration(), tr.PathLength())
+}

@@ -1,0 +1,161 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/stslib/sts/internal/geo"
+)
+
+// line builds a trajectory moving east at 1 m/s, sampled at the given
+// times.
+func line(id string, times ...float64) Trajectory {
+	tr := Trajectory{ID: id}
+	for _, t := range times {
+		tr.Samples = append(tr.Samples, Sample{Loc: geo.Point{X: t, Y: 0}, T: t})
+	}
+	return tr
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		tr      Trajectory
+		wantErr error
+	}{
+		{"valid", line("a", 0, 1, 2), nil},
+		{"single sample", line("a", 5), nil},
+		{"empty", Trajectory{ID: "a"}, ErrEmpty},
+		{"unsorted", Trajectory{Samples: []Sample{{T: 2}, {T: 1}}}, ErrUnsorted},
+		{"duplicate time", Trajectory{Samples: []Sample{{T: 1}, {T: 1}}}, ErrDuplicate},
+		{"nan coordinate", Trajectory{Samples: []Sample{{Loc: geo.Point{X: math.NaN()}, T: 0}}}, ErrNonFinite},
+		{"inf time", Trajectory{Samples: []Sample{{T: math.Inf(1)}}}, ErrNonFinite},
+		{"nan time", Trajectory{Samples: []Sample{{T: math.NaN()}}}, ErrNonFinite},
+	}
+	for _, tt := range tests {
+		err := tt.tr.Validate()
+		if tt.wantErr == nil && err != nil {
+			t.Errorf("%s: unexpected error %v", tt.name, err)
+		}
+		if tt.wantErr != nil && !errors.Is(err, tt.wantErr) {
+			t.Errorf("%s: err=%v want %v", tt.name, err, tt.wantErr)
+		}
+	}
+}
+
+func TestDurationAndPathLength(t *testing.T) {
+	tr := line("a", 0, 10, 30)
+	if got := tr.Duration(); got != 30 {
+		t.Errorf("Duration=%v", got)
+	}
+	if got := tr.PathLength(); got != 30 {
+		t.Errorf("PathLength=%v", got)
+	}
+	if got := line("b", 5).Duration(); got != 0 {
+		t.Errorf("single-sample Duration=%v", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tr := line("a", 0, 1)
+	cp := tr.Clone()
+	cp.Samples[0].Loc.X = 99
+	if tr.Samples[0].Loc.X == 99 {
+		t.Error("Clone shares sample storage")
+	}
+}
+
+func TestSortByTime(t *testing.T) {
+	tr := Trajectory{Samples: []Sample{{T: 3}, {T: 1}, {T: 2}}}
+	tr.SortByTime()
+	for i, want := range []float64{1, 2, 3} {
+		if tr.Samples[i].T != want {
+			t.Fatalf("after sort, Samples[%d].T=%v", i, tr.Samples[i].T)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	tr := Trajectory{Samples: []Sample{
+		{Loc: geo.Point{X: 3, Y: -2}, T: 0},
+		{Loc: geo.Point{X: -1, Y: 7}, T: 1},
+	}}
+	b := tr.Bounds()
+	if b.Min != (geo.Point{X: -1, Y: -2}) || b.Max != (geo.Point{X: 3, Y: 7}) {
+		t.Errorf("Bounds=%+v", b)
+	}
+}
+
+func TestBracket(t *testing.T) {
+	tr := line("a", 10, 20, 30)
+	tests := []struct {
+		t                    float64
+		exact, before, after int
+	}{
+		{5, -1, -1, 0}, // before the start
+		{10, 0, -1, 1}, // on first sample
+		{15, -1, 0, 1}, // between
+		{20, 1, 0, 2},  // on middle sample
+		{25, -1, 1, 2}, // between
+		{30, 2, 1, 3},  // on last sample
+		{35, -1, 2, 3}, // after the end
+	}
+	for _, tt := range tests {
+		e, b, a := tr.Bracket(tt.t)
+		if e != tt.exact || b != tt.before || a != tt.after {
+			t.Errorf("Bracket(%v)=(%d,%d,%d) want (%d,%d,%d)", tt.t, e, b, a, tt.exact, tt.before, tt.after)
+		}
+	}
+}
+
+func TestInterpolateAt(t *testing.T) {
+	tr := line("a", 0, 10)
+	if p, ok := tr.InterpolateAt(5); !ok || p != (geo.Point{X: 5, Y: 0}) {
+		t.Errorf("InterpolateAt(5)=%v,%v", p, ok)
+	}
+	if p, ok := tr.InterpolateAt(0); !ok || p != (geo.Point{X: 0, Y: 0}) {
+		t.Errorf("InterpolateAt(0)=%v,%v", p, ok)
+	}
+	if _, ok := tr.InterpolateAt(-1); ok {
+		t.Error("InterpolateAt before start should fail")
+	}
+	if _, ok := tr.InterpolateAt(11); ok {
+		t.Error("InterpolateAt after end should fail")
+	}
+	if _, ok := (Trajectory{}).InterpolateAt(0); ok {
+		t.Error("InterpolateAt on empty should fail")
+	}
+}
+
+func TestSpeeds(t *testing.T) {
+	tr := Trajectory{Samples: []Sample{
+		{Loc: geo.Point{X: 0}, T: 0},
+		{Loc: geo.Point{X: 10}, T: 5},  // 2 m/s
+		{Loc: geo.Point{X: 10}, T: 10}, // 0 m/s (dwell)
+	}}
+	got := tr.Speeds()
+	if len(got) != 2 || got[0] != 2 || got[1] != 0 {
+		t.Errorf("Speeds=%v", got)
+	}
+	if got := line("b", 5).Speeds(); got != nil {
+		t.Errorf("single sample Speeds=%v", got)
+	}
+}
+
+func TestTimestamps(t *testing.T) {
+	tr := line("a", 1, 2, 3)
+	got := tr.Timestamps()
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Timestamps=%v", got)
+	}
+}
+
+func TestTrajectoryString(t *testing.T) {
+	if s := (Trajectory{ID: "x"}).String(); s == "" {
+		t.Error("empty String()")
+	}
+	if s := line("a", 0, 60).String(); s == "" {
+		t.Error("String()")
+	}
+}

@@ -1,0 +1,93 @@
+package stprob
+
+import "sort"
+
+// Dist is a sparse, normalized probability distribution over grid cells:
+// the discrete representation of STP(·, t, Tra) restricted to its support.
+// Cells are sorted ascending; Probs[i] is the probability of Cells[i]. The
+// zero value is the all-zero distribution (an object known to be absent,
+// the third case of Eq. 5).
+type Dist struct {
+	Cells []int
+	Probs []float64
+}
+
+// IsZero reports whether the distribution carries no mass.
+func (d Dist) IsZero() bool { return len(d.Cells) == 0 }
+
+// Prob returns the probability of cell idx (0 when idx is outside the
+// support).
+func (d Dist) Prob(idx int) float64 {
+	i := sort.SearchInts(d.Cells, idx)
+	if i < len(d.Cells) && d.Cells[i] == idx {
+		return d.Probs[i]
+	}
+	return 0
+}
+
+// Sum returns the total mass (1 for a normalized non-zero distribution, 0
+// for the zero distribution, up to floating-point error).
+func (d Dist) Sum() float64 {
+	var s float64
+	for _, p := range d.Probs {
+		s += p
+	}
+	return s
+}
+
+// Dot returns Σ_r d[r]·e[r], the co-location probability of two normalized
+// location distributions at one timestamp (Eq. 9). Both distributions must
+// have their cells sorted ascending, which every constructor in this
+// package guarantees.
+func (d Dist) Dot(e Dist) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(d.Cells) && j < len(e.Cells) {
+		switch {
+		case d.Cells[i] < e.Cells[j]:
+			i++
+		case d.Cells[i] > e.Cells[j]:
+			j++
+		default:
+			s += d.Probs[i] * e.Probs[j]
+			i++
+			j++
+		}
+	}
+	return s
+}
+
+// normalize scales the probabilities to sum to 1 in place. A zero-mass
+// input becomes the zero distribution.
+func (d *Dist) normalize() {
+	total := d.Sum()
+	if total <= 0 {
+		d.Cells = nil
+		d.Probs = nil
+		return
+	}
+	inv := 1 / total
+	for i := range d.Probs {
+		d.Probs[i] *= inv
+	}
+}
+
+// sorted ensures cells are in ascending order, sorting both slices
+// together if needed.
+func (d *Dist) sorted() {
+	if sort.IntsAreSorted(d.Cells) {
+		return
+	}
+	idx := make([]int, len(d.Cells))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return d.Cells[idx[a]] < d.Cells[idx[b]] })
+	cells := make([]int, len(d.Cells))
+	probs := make([]float64, len(d.Probs))
+	for i, k := range idx {
+		cells[i] = d.Cells[k]
+		probs[i] = d.Probs[k]
+	}
+	d.Cells, d.Probs = cells, probs
+}

@@ -1,0 +1,147 @@
+package stprob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistProb(t *testing.T) {
+	d := Dist{Cells: []int{2, 5, 9}, Probs: []float64{0.2, 0.5, 0.3}}
+	if got := d.Prob(5); got != 0.5 {
+		t.Errorf("Prob(5)=%v", got)
+	}
+	if got := d.Prob(3); got != 0 {
+		t.Errorf("Prob(3)=%v", got)
+	}
+	if got := d.Prob(9); got != 0.3 {
+		t.Errorf("Prob(9)=%v", got)
+	}
+}
+
+func TestDistSumAndIsZero(t *testing.T) {
+	var zero Dist
+	if !zero.IsZero() || zero.Sum() != 0 {
+		t.Error("zero value not zero")
+	}
+	d := Dist{Cells: []int{1, 2}, Probs: []float64{0.4, 0.6}}
+	if d.IsZero() || math.Abs(d.Sum()-1) > 1e-12 {
+		t.Errorf("Sum=%v", d.Sum())
+	}
+}
+
+// bruteDot computes the dot product through a map.
+func bruteDot(a, b Dist) float64 {
+	m := map[int]float64{}
+	for i, c := range a.Cells {
+		m[c] = a.Probs[i]
+	}
+	var s float64
+	for i, c := range b.Cells {
+		s += m[c] * b.Probs[i]
+	}
+	return s
+}
+
+func TestDotMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		mk := func() Dist {
+			n := rng.Intn(20)
+			seen := map[int]bool{}
+			var d Dist
+			for len(d.Cells) < n {
+				c := rng.Intn(30)
+				if seen[c] {
+					continue
+				}
+				seen[c] = true
+				d.Cells = append(d.Cells, c)
+				d.Probs = append(d.Probs, rng.Float64())
+			}
+			d.sorted()
+			return d
+		}
+		a, b := mk(), mk()
+		got := a.Dot(b)
+		want := bruteDot(a, b)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: Dot=%v brute=%v", trial, got, want)
+		}
+	}
+}
+
+func TestDotSymmetric(t *testing.T) {
+	f := func(cellsA, cellsB []uint8) bool {
+		mk := func(cells []uint8) Dist {
+			seen := map[int]bool{}
+			var d Dist
+			for i, c := range cells {
+				cc := int(c % 40)
+				if seen[cc] {
+					continue
+				}
+				seen[cc] = true
+				d.Cells = append(d.Cells, cc)
+				d.Probs = append(d.Probs, float64(i%7)+0.5)
+			}
+			d.sorted()
+			return d
+		}
+		a, b := mk(cellsA), mk(cellsB)
+		return math.Abs(a.Dot(b)-b.Dot(a)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	d := Dist{Cells: []int{1, 2, 3}, Probs: []float64{1, 2, 1}}
+	d.normalize()
+	if math.Abs(d.Sum()-1) > 1e-12 {
+		t.Errorf("Sum=%v after normalize", d.Sum())
+	}
+	if math.Abs(d.Probs[1]-0.5) > 1e-12 {
+		t.Errorf("Probs=%v", d.Probs)
+	}
+	// Zero mass collapses to the zero distribution.
+	z := Dist{Cells: []int{1}, Probs: []float64{0}}
+	z.normalize()
+	if !z.IsZero() {
+		t.Error("zero-mass distribution did not collapse")
+	}
+}
+
+func TestSorted(t *testing.T) {
+	d := Dist{Cells: []int{9, 1, 5}, Probs: []float64{0.9, 0.1, 0.5}}
+	d.sorted()
+	want := []int{1, 5, 9}
+	for i, c := range d.Cells {
+		if c != want[i] {
+			t.Fatalf("Cells=%v", d.Cells)
+		}
+		if d.Probs[i] != float64(c)/10 {
+			t.Fatalf("probs lost pairing: %v", d.Probs)
+		}
+	}
+	// Already sorted input is untouched (fast path).
+	e := Dist{Cells: []int{1, 2}, Probs: []float64{0.5, 0.5}}
+	e.sorted()
+	if e.Cells[0] != 1 || e.Cells[1] != 2 {
+		t.Error("sorted() disturbed a sorted dist")
+	}
+}
+
+func TestTopKByWeight(t *testing.T) {
+	d := Dist{Cells: []int{1, 2, 3, 4}, Probs: []float64{0.1, 0.4, 0.2, 0.3}}
+	top := topKByWeight(d, 2)
+	if len(top.Cells) != 2 {
+		t.Fatalf("kept %d", len(top.Cells))
+	}
+	got := map[int]bool{top.Cells[0]: true, top.Cells[1]: true}
+	if !got[2] || !got[4] {
+		t.Errorf("kept cells %v want {2,4}", top.Cells)
+	}
+}

@@ -1,0 +1,317 @@
+package stprob
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+// Transition is the transition probability P(ℓ′, t′ | ℓ, t) of an object
+// moving from location a at time ta to location b at time tb. The
+// personalized KDE speed model of Section IV-B (kde.SpeedModel.Transition),
+// the pooled/global variant, the frequency-based Markov model
+// (markov.TransitionModel.ProbPoints), and the Brownian-bridge random walk
+// all satisfy this signature.
+type Transition func(a geo.Point, ta float64, b geo.Point, tb float64) float64
+
+// BrownianTransition returns the Gaussian-random-walk transition of a
+// Brownian motion with diffusion scale sigmaM (m/√s):
+//
+//	P(b, tb | a, ta) ∝ exp(−d² / (2·σm²·|Δt|)).
+//
+// The paper notes the Brownian bridge is the special case of STS's
+// estimation when the speed distribution is assumed Gaussian; this
+// constructor makes that special case available for comparison.
+func BrownianTransition(sigmaM float64) Transition {
+	return func(a geo.Point, ta float64, b geo.Point, tb float64) float64 {
+		dt := math.Abs(ta - tb)
+		d := a.Dist(b)
+		if dt == 0 {
+			if d == 0 {
+				return 1
+			}
+			return 0
+		}
+		v := sigmaM * sigmaM * dt
+		return math.Exp(-d * d / (2 * v))
+	}
+}
+
+// Estimator computes the spatial-temporal probability STP(r, t, Tra) of
+// Eq. 5 for one trajectory: the probability that the object is at grid
+// cell r at time t.
+//
+// The estimator is configured once and then queried; it is safe for
+// concurrent use as long as its fields are not mutated.
+type Estimator struct {
+	// Grid is the spatial partitioning R.
+	Grid *geo.Grid
+	// Noise is the location-noise distribution f of the sensing system.
+	Noise NoiseModel
+	// Trans is the transition model (Eq. 7 by default).
+	Trans Transition
+	// MaxSpeed bounds the object's plausible speed in m/s, used only to
+	// truncate the candidate-cell set between observations. Zero disables
+	// speed-based truncation (candidates fall back to the noise support
+	// around both bracketing observations, grown to keep them connected).
+	MaxSpeed float64
+	// Exact disables support truncation entirely: every sum ranges over
+	// all |R| cells, exactly as written in Eq. 4. Exponentially slower on
+	// large grids; used by tests and the truncation ablation bench.
+	Exact bool
+	// MaxCandidateCells, when positive, caps the number of candidate
+	// cells evaluated between observations; the cells nearest the
+	// time-interpolated position are kept. Ignored in Exact mode.
+	MaxCandidateCells int
+	// MaxSupportCells, when positive, caps the support of an
+	// observation's noise distribution; the highest-weight cells are
+	// kept (for a radial noise model, the cells nearest the
+	// observation). Ignored in Exact mode.
+	MaxSupportCells int
+	// SpeedSlack, when positive, compensates for the quantization of
+	// locations to cell centers when evaluating transitions: the
+	// displacement between two cells is probed at d, d−SpeedSlack and
+	// d+SpeedSlack (clamped at 0) and the best value is used. Without it,
+	// a grid of cell size c can only realize speeds that are multiples of
+	// ~c/Δt, and an object whose personalized speed distribution is
+	// narrower than that quantum (near-constant speed) would get an
+	// all-zero in-between distribution. Half the grid cell size is the
+	// natural value.
+	SpeedSlack float64
+}
+
+// ErrNoTransition is returned when an Estimator is queried without a
+// transition model.
+var ErrNoTransition = errors.New("stprob: estimator has no transition model")
+
+// ObservedDist returns the normalized location distribution of a single
+// observation: f(r, ℓ) over the noise support, the first case of Eq. 5.
+func (e *Estimator) ObservedDist(obs geo.Point) Dist {
+	var cells []int
+	if e.Exact {
+		cells = e.Grid.AllCells()
+	} else {
+		cells = e.Grid.CellsWithin(nil, obs, e.Noise.SupportRadius())
+	}
+	d := Dist{Cells: cells, Probs: make([]float64, len(cells))}
+	for i, c := range cells {
+		d.Probs[i] = e.Noise.Weight(e.Grid.Center(c), obs)
+	}
+	if !e.Exact && e.MaxSupportCells > 0 && len(d.Cells) > e.MaxSupportCells {
+		d = topKByWeight(d, e.MaxSupportCells)
+	}
+	d.sorted()
+	d.normalize()
+	return d
+}
+
+// topKByWeight keeps the k highest-weight cells of d.
+func topKByWeight(d Dist, k int) Dist {
+	idx := make([]int, len(d.Cells))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return d.Probs[idx[a]] > d.Probs[idx[b]] })
+	out := Dist{Cells: make([]int, k), Probs: make([]float64, k)}
+	for i := 0; i < k; i++ {
+		out.Cells[i] = d.Cells[idx[i]]
+		out.Probs[i] = d.Probs[idx[i]]
+	}
+	return out
+}
+
+// DistAt returns the normalized spatial-temporal probability distribution
+// of the object's location at time t given trajectory tr — the full
+// STP(·, t, Tra) of Eq. 5:
+//
+//   - at an observed timestamp, the noise distribution of that observation;
+//   - strictly between two observations, the Markov interpolation of
+//     Eq. 4 (the denominator is constant over r and cancels under
+//     normalization, the simplification Algorithm 1 exploits);
+//   - outside the observation interval, the zero distribution.
+func (e *Estimator) DistAt(tr model.Trajectory, t float64) (Dist, error) {
+	if tr.Len() == 0 || t < tr.Start() || t > tr.End() {
+		return Dist{}, nil
+	}
+	exact, before, after := tr.Bracket(t)
+	if exact >= 0 {
+		return e.ObservedDist(tr.Samples[exact].Loc), nil
+	}
+	if e.Trans == nil {
+		return Dist{}, ErrNoTransition
+	}
+	prev := tr.Samples[before]
+	next := tr.Samples[after]
+	return e.BetweenDist(prev, next, e.ObservedDist(prev.Loc), e.ObservedDist(next.Loc), t)
+}
+
+// BetweenDist evaluates Eq. 4 for t strictly inside (prev.T, next.T),
+// given the (normalized) noise distributions of the two bracketing
+// observations. Callers that evaluate many timestamps against the same
+// trajectory should cache those distributions (core.Prepared does); DistAt
+// rebuilds them on every call.
+func (e *Estimator) BetweenDist(prev, next model.Sample, suppPrev, suppNext Dist, t float64) (Dist, error) {
+	if e.Trans == nil {
+		return Dist{}, ErrNoTransition
+	}
+	cand := e.candidateCells(prev, next, t)
+
+	prevCenters := e.cellCenters(suppPrev.Cells)
+	nextCenters := e.cellCenters(suppNext.Cells)
+
+	d := Dist{Cells: cand, Probs: make([]float64, len(cand))}
+	for i, c := range cand {
+		rc := e.Grid.Center(c)
+		// Σ_j f(r_j, ℓ_i) · P(r_c, t | r_j, t_i)
+		var sumA float64
+		for j, pc := range prevCenters {
+			if w := suppPrev.Probs[j]; w != 0 {
+				sumA += w * e.transition(pc, prev.T, rc, t)
+			}
+		}
+		if sumA == 0 {
+			continue
+		}
+		// Σ_k f(r_k, ℓ_{i+1}) · P(r_k, t_{i+1} | r_c, t)
+		var sumB float64
+		for k, nc := range nextCenters {
+			if w := suppNext.Probs[k]; w != 0 {
+				sumB += w * e.transition(rc, t, nc, next.T)
+			}
+		}
+		d.Probs[i] = sumA * sumB
+	}
+	d.sorted()
+	d.normalize()
+	return d, nil
+}
+
+// transition evaluates the transition model, probing with SpeedSlack to
+// bridge the grid's speed quantization. Probing is a rescue path: it only
+// runs when the direct evaluation is zero, so objects with ordinary speed
+// spread (whose kernel support covers the speed quantum) never pay for
+// it, while near-constant-speed objects stay measurable.
+func (e *Estimator) transition(a geo.Point, ta float64, b geo.Point, tb float64) float64 {
+	best := e.Trans(a, ta, b, tb)
+	slack := e.SpeedSlack
+	if best > 0 || slack <= 0 {
+		return best
+	}
+	d := a.Dist(b)
+	var dir geo.Point
+	if d > 0 {
+		dir = b.Sub(a).Scale(1 / d)
+	} else {
+		dir = geo.Point{X: 1}
+	}
+	for _, dd := range [2]float64{d - slack, d + slack} {
+		if dd < 0 {
+			dd = 0
+		}
+		probe := a.Add(dir.Scale(dd))
+		if v := e.Trans(a, ta, probe, tb); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// cellCenters materializes the centers of a cell list.
+func (e *Estimator) cellCenters(cells []int) []geo.Point {
+	out := make([]geo.Point, len(cells))
+	for i, c := range cells {
+		out[i] = e.Grid.Center(c)
+	}
+	return out
+}
+
+// candidateCells selects the cells that can carry non-negligible mass at
+// time t between observations prev and next. In Exact mode this is all of
+// R. Otherwise the object must be reachable from *both* noisy
+// observations, so the candidates are the cells within
+//
+//	noiseRadius + MaxSpeed·(t − t_prev)   of prev.Loc, and
+//	noiseRadius + MaxSpeed·(t_next − t)   of next.Loc.
+//
+// With no speed bound the radii degrade to the noise support around each
+// observation plus the inter-observation gap, which always connects the
+// two disks.
+func (e *Estimator) candidateCells(prev, next model.Sample, t float64) []int {
+	if e.Exact {
+		return e.Grid.AllCells()
+	}
+	nr := e.Noise.SupportRadius()
+	if nr <= 0 {
+		// Point-mass noise still needs at least one-cell support for the
+		// in-between location; use half a cell so the candidate disks are
+		// non-degenerate.
+		nr = e.Grid.CellSize() / 2
+	}
+	var rPrev, rNext float64
+	if e.MaxSpeed > 0 {
+		rPrev = nr + e.MaxSpeed*(t-prev.T)
+		rNext = nr + e.MaxSpeed*(next.T-t)
+	} else {
+		gap := prev.Loc.Dist(next.Loc)
+		rPrev = nr + gap
+		rNext = nr + gap
+	}
+	// Enumerate within the smaller disk, filter by the other.
+	aLoc, aR, bLoc, bR := prev.Loc, rPrev, next.Loc, rNext
+	if bR < aR {
+		aLoc, aR, bLoc, bR = bLoc, bR, aLoc, aR
+	}
+	cand := e.Grid.CellsWithin(nil, aLoc, aR)
+	out := cand[:0]
+	for _, c := range cand {
+		if e.Grid.Center(c).Dist(bLoc) <= bR {
+			out = append(out, c)
+		}
+	}
+	f := (t - prev.T) / (next.T - prev.T)
+	mid := prev.Loc.Lerp(next.Loc, f)
+	if len(out) == 0 {
+		// The disks do not intersect (observations inconsistent with the
+		// speed bound). Fall back to the noise support around the
+		// time-interpolated position so the distribution stays usable.
+		out = e.Grid.CellsWithin(out, mid, nr)
+	}
+	if e.MaxCandidateCells > 0 && len(out) > e.MaxCandidateCells {
+		out = nearestCells(e.Grid, out, mid, e.MaxCandidateCells)
+	}
+	return out
+}
+
+// nearestCells keeps the k cells of cand whose centers are nearest to p,
+// returned in ascending index order.
+func nearestCells(g *geo.Grid, cand []int, p geo.Point, k int) []int {
+	type cd struct {
+		cell int
+		d    float64
+	}
+	all := make([]cd, len(cand))
+	for i, c := range cand {
+		all[i] = cd{cell: c, d: g.Center(c).Dist(p)}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].cell
+	}
+	sort.Ints(out)
+	return out
+}
+
+// STP returns the scalar spatial-temporal probability STP(r, t, Tra) of
+// Eq. 5 for a single cell. It is a convenience wrapper over DistAt; callers
+// evaluating many cells at one timestamp should use DistAt directly.
+func (e *Estimator) STP(tr model.Trajectory, cell int, t float64) (float64, error) {
+	d, err := e.DistAt(tr, t)
+	if err != nil {
+		return 0, err
+	}
+	return d.Prob(cell), nil
+}

@@ -1,0 +1,291 @@
+package stprob
+
+import (
+	"math"
+	"testing"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/kde"
+	"github.com/stslib/sts/internal/model"
+)
+
+// testGrid covers a 100x100 m area with 5 m cells.
+func testGrid(t *testing.T) *geo.Grid {
+	t.Helper()
+	g, err := geo.NewGrid(geo.NewRect(geo.Point{X: -20, Y: -20}, geo.Point{X: 120, Y: 120}), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// eastWalk returns a trajectory walking east at speed m/s sampled every
+// step seconds, n samples.
+func eastWalk(speed, step float64, n int) model.Trajectory {
+	tr := model.Trajectory{ID: "e"}
+	for i := 0; i < n; i++ {
+		tt := float64(i) * step
+		tr.Samples = append(tr.Samples, model.Sample{Loc: geo.Point{X: speed * tt, Y: 50}, T: tt})
+	}
+	return tr
+}
+
+func testEstimator(t *testing.T, tr model.Trajectory) *Estimator {
+	t.Helper()
+	sm, err := kde.NewSpeedModel(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Estimator{
+		Grid:     testGrid(t),
+		Noise:    GaussianNoise{Sigma: 3},
+		Trans:    sm.Transition,
+		MaxSpeed: sm.MaxSpeed(),
+	}
+}
+
+func TestObservedDistNormalizedAndCentered(t *testing.T) {
+	tr := eastWalk(1, 10, 8)
+	e := testEstimator(t, tr)
+	// Keep the observation off cell corners so the mode is unique.
+	obs := geo.Point{X: 42.5, Y: 52.5}
+	d := e.ObservedDist(obs)
+	if d.IsZero() {
+		t.Fatal("observed distribution is zero")
+	}
+	if math.Abs(d.Sum()-1) > 1e-9 {
+		t.Errorf("Sum=%v", d.Sum())
+	}
+	// The most probable cell is the one containing the observation.
+	best, bestP := -1, 0.0
+	for i, c := range d.Cells {
+		if d.Probs[i] > bestP {
+			best, bestP = c, d.Probs[i]
+		}
+	}
+	if best != e.Grid.Cell(obs) {
+		t.Errorf("mode at cell %d, observation in cell %d", best, e.Grid.Cell(obs))
+	}
+}
+
+func TestDistAtObservedTimestamp(t *testing.T) {
+	tr := eastWalk(1, 10, 8)
+	e := testEstimator(t, tr)
+	d, err := e.DistAt(tr, 20) // exactly the third sample
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := e.ObservedDist(tr.Samples[2].Loc)
+	if len(d.Cells) != len(want.Cells) {
+		t.Fatalf("support %d vs %d", len(d.Cells), len(want.Cells))
+	}
+	for i := range d.Cells {
+		if d.Cells[i] != want.Cells[i] || math.Abs(d.Probs[i]-want.Probs[i]) > 1e-12 {
+			t.Fatalf("differs at %d", i)
+		}
+	}
+}
+
+func TestDistAtOutsideWindowIsZero(t *testing.T) {
+	tr := eastWalk(1, 10, 8)
+	e := testEstimator(t, tr)
+	for _, tt := range []float64{-5, 71} {
+		d, err := e.DistAt(tr, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.IsZero() {
+			t.Errorf("DistAt(%v) not zero", tt)
+		}
+	}
+}
+
+func TestDistAtBetweenIsNormalizedAndLocalized(t *testing.T) {
+	tr := eastWalk(1, 20, 5) // samples at 0,20,40,60,80 s at x=0,20,40,60,80
+	e := testEstimator(t, tr)
+	d, err := e.DistAt(tr, 30) // midway between x=20 and x=40
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.IsZero() {
+		t.Fatal("between distribution is zero")
+	}
+	if math.Abs(d.Sum()-1) > 1e-9 {
+		t.Errorf("Sum=%v", d.Sum())
+	}
+	// Expected position ~ (30, 50): the probability-weighted centroid
+	// must land nearby.
+	var cx, cy float64
+	for i, c := range d.Cells {
+		p := e.Grid.Center(c)
+		cx += p.X * d.Probs[i]
+		cy += p.Y * d.Probs[i]
+	}
+	if math.Abs(cx-30) > 8 || math.Abs(cy-50) > 8 {
+		t.Errorf("centroid (%v,%v) far from expected (30,50)", cx, cy)
+	}
+}
+
+func TestDistAtNoTransitionError(t *testing.T) {
+	tr := eastWalk(1, 10, 4)
+	e := &Estimator{Grid: testGrid(t), Noise: GaussianNoise{Sigma: 3}}
+	// Observed timestamps do not need a transition model...
+	if _, err := e.DistAt(tr, 10); err != nil {
+		t.Errorf("observed timestamp: %v", err)
+	}
+	// ...but in-between times do.
+	if _, err := e.DistAt(tr, 15); err != ErrNoTransition {
+		t.Errorf("between: err=%v want ErrNoTransition", err)
+	}
+}
+
+func TestTruncatedMatchesExact(t *testing.T) {
+	tr := eastWalk(1.2, 15, 6)
+	sm, err := kde.NewSpeedModel(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := testGrid(t)
+	trunc := &Estimator{Grid: grid, Noise: GaussianNoise{Sigma: 3}, Trans: sm.Transition, MaxSpeed: sm.MaxSpeed()}
+	exact := &Estimator{Grid: grid, Noise: GaussianNoise{Sigma: 3}, Trans: sm.Transition, Exact: true}
+	for _, tt := range []float64{7, 22, 40, 68} {
+		dt, err := trunc.DistAt(tr, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		de, err := exact.DistAt(tr, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare over the union of supports: the truncated distribution
+		// must agree with the exact one everywhere to within the mass the
+		// truncation discards.
+		cells := map[int]bool{}
+		for _, c := range dt.Cells {
+			cells[c] = true
+		}
+		for _, c := range de.Cells {
+			cells[c] = true
+		}
+		for c := range cells {
+			if diff := math.Abs(dt.Prob(c) - de.Prob(c)); diff > 5e-3 {
+				t.Errorf("t=%v cell %d: truncated %v exact %v", tt, c, dt.Prob(c), de.Prob(c))
+			}
+		}
+	}
+}
+
+func TestSTPSingleCell(t *testing.T) {
+	tr := eastWalk(1, 10, 6)
+	e := testEstimator(t, tr)
+	cell := e.Grid.Cell(geo.Point{X: 20, Y: 50})
+	p, err := e.STP(tr, cell, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p > 1 {
+		t.Errorf("STP=%v", p)
+	}
+	// A cell far away carries ~no probability.
+	farCell := e.Grid.Cell(geo.Point{X: 110, Y: -10})
+	pf, err := e.STP(tr, farCell, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf > 1e-9 {
+		t.Errorf("far STP=%v", pf)
+	}
+}
+
+func TestMaxCandidateCellsCap(t *testing.T) {
+	tr := eastWalk(1, 30, 4)
+	sm, err := kde.NewSpeedModel(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Estimator{
+		Grid:              testGrid(t),
+		Noise:             GaussianNoise{Sigma: 3},
+		Trans:             sm.Transition,
+		MaxSpeed:          sm.MaxSpeed(),
+		MaxCandidateCells: 4,
+	}
+	d, err := e.DistAt(tr, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cells) > 4 {
+		t.Errorf("candidate cap violated: %d cells", len(d.Cells))
+	}
+	if !d.IsZero() && math.Abs(d.Sum()-1) > 1e-9 {
+		t.Errorf("capped distribution not normalized: %v", d.Sum())
+	}
+}
+
+func TestMaxSupportCellsCap(t *testing.T) {
+	e := &Estimator{
+		Grid:            testGrid(t),
+		Noise:           GaussianNoise{Sigma: 10},
+		MaxSupportCells: 5,
+	}
+	d := e.ObservedDist(geo.Point{X: 50, Y: 50})
+	if len(d.Cells) != 5 {
+		t.Errorf("support cap: %d cells want 5", len(d.Cells))
+	}
+	if math.Abs(d.Sum()-1) > 1e-9 {
+		t.Errorf("Sum=%v", d.Sum())
+	}
+}
+
+func TestBrownianTransition(t *testing.T) {
+	bt := BrownianTransition(2)
+	a := geo.Point{}
+	if got := bt(a, 0, a, 0); got != 1 {
+		t.Errorf("zero interval, same place: %v", got)
+	}
+	if got := bt(a, 0, geo.Point{X: 5}, 0); got != 0 {
+		t.Errorf("zero interval, moved: %v", got)
+	}
+	near := bt(a, 0, geo.Point{X: 2}, 10)
+	far := bt(a, 0, geo.Point{X: 50}, 10)
+	if !(near > far && far >= 0) {
+		t.Errorf("near=%v far=%v", near, far)
+	}
+	// Longer interval spreads the bridge: the same displacement becomes
+	// more probable.
+	short := bt(a, 0, geo.Point{X: 20}, 5)
+	long := bt(a, 0, geo.Point{X: 20}, 50)
+	if long <= short {
+		t.Errorf("short=%v long=%v", short, long)
+	}
+}
+
+func TestCandidateFallbackWhenDisksDisjoint(t *testing.T) {
+	// Two observations 80 m apart, 10 s between them, but the speed model
+	// says ~0.1 m/s: reachability disks cannot intersect, so the
+	// estimator must fall back to the interpolated position.
+	tr := model.Trajectory{ID: "jump", Samples: []model.Sample{
+		{Loc: geo.Point{X: 0, Y: 50}, T: 0},
+		{Loc: geo.Point{X: 1, Y: 50}, T: 10},  // 0.1 m/s
+		{Loc: geo.Point{X: 81, Y: 50}, T: 20}, // 8 m/s jump
+	}}
+	sm, err := kde.NewSpeedModel(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Estimator{
+		Grid:     testGrid(t),
+		Noise:    GaussianNoise{Sigma: 3},
+		Trans:    sm.Transition,
+		MaxSpeed: 0.5, // deliberately inconsistent with the jump
+	}
+	d, err := e.DistAt(tr, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The estimator must not panic and must return a (possibly zero)
+	// well-formed distribution.
+	if !d.IsZero() && math.Abs(d.Sum()-1) > 1e-9 {
+		t.Errorf("fallback distribution not normalized: %v", d.Sum())
+	}
+}

@@ -1,0 +1,70 @@
+package stprob
+
+import (
+	"math"
+	"testing"
+
+	"github.com/stslib/sts/internal/geo"
+)
+
+func TestGaussianNoiseWeight(t *testing.T) {
+	g := GaussianNoise{Sigma: 3}
+	obs := geo.Point{X: 10, Y: 10}
+	if got := g.Weight(obs, obs); got != 1 {
+		t.Errorf("weight at the observation = %v want 1", got)
+	}
+	near := g.Weight(geo.Point{X: 11, Y: 10}, obs)
+	far := g.Weight(geo.Point{X: 20, Y: 10}, obs)
+	if !(1 > near && near > far && far > 0) {
+		t.Errorf("weights not decreasing: near=%v far=%v", near, far)
+	}
+	// One sigma out: exp(-1/2).
+	oneSigma := g.Weight(geo.Point{X: 13, Y: 10}, obs)
+	if math.Abs(oneSigma-math.Exp(-0.5)) > 1e-12 {
+		t.Errorf("weight at 1 sigma = %v", oneSigma)
+	}
+}
+
+func TestGaussianNoiseIsotropic(t *testing.T) {
+	g := GaussianNoise{Sigma: 2}
+	obs := geo.Point{}
+	a := g.Weight(geo.Point{X: 3, Y: 0}, obs)
+	b := g.Weight(geo.Point{X: 0, Y: 3}, obs)
+	c := g.Weight(geo.Point{X: 3 / math.Sqrt2, Y: 3 / math.Sqrt2}, obs)
+	if math.Abs(a-b) > 1e-12 || math.Abs(a-c) > 1e-12 {
+		t.Errorf("not isotropic: %v %v %v", a, b, c)
+	}
+}
+
+func TestGaussianNoiseSupportRadius(t *testing.T) {
+	if got := (GaussianNoise{Sigma: 3}).SupportRadius(); got != 3*DefaultTruncSigmas {
+		t.Errorf("default truncation: %v", got)
+	}
+	if got := (GaussianNoise{Sigma: 3, TruncSigmas: 2}).SupportRadius(); got != 6 {
+		t.Errorf("explicit truncation: %v", got)
+	}
+}
+
+func TestUniformNoise(t *testing.T) {
+	u := UniformNoise{Radius: 5}
+	obs := geo.Point{}
+	if u.Weight(geo.Point{X: 4}, obs) != 1 {
+		t.Error("inside radius should weigh 1")
+	}
+	if u.Weight(geo.Point{X: 6}, obs) != 0 {
+		t.Error("outside radius should weigh 0")
+	}
+	if u.SupportRadius() != 5 {
+		t.Error("support radius")
+	}
+}
+
+func TestPointNoise(t *testing.T) {
+	p := PointNoise{}
+	if p.SupportRadius() != 0 {
+		t.Error("point noise must have zero support radius")
+	}
+	if p.Weight(geo.Point{X: 1}, geo.Point{}) != 1 {
+		t.Error("point noise weight must be constant")
+	}
+}

@@ -1,0 +1,123 @@
+package stprob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/kde"
+	"github.com/stslib/sts/internal/model"
+)
+
+// randomWalkTrajectory derives a plausible random trajectory from a seed.
+func randomWalkTrajectory(seed int64) model.Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	n := 3 + rng.Intn(8)
+	tr := model.Trajectory{ID: "rw"}
+	t := rng.Float64() * 50
+	p := geo.Point{X: 20 + rng.Float64()*60, Y: 20 + rng.Float64()*60}
+	for i := 0; i < n; i++ {
+		tr.Samples = append(tr.Samples, model.Sample{Loc: p, T: t})
+		t += 5 + rng.Float64()*20
+		p.X += rng.NormFloat64() * 8
+		p.Y += rng.NormFloat64() * 8
+	}
+	return tr
+}
+
+// TestDistAtAlwaysNormalizedOrZero: whatever the trajectory and query
+// time, the returned distribution either carries no mass or sums to 1.
+func TestDistAtAlwaysNormalizedOrZero(t *testing.T) {
+	g, err := geo.NewGrid(geo.NewRect(geo.Point{X: -40, Y: -40}, geo.Point{X: 140, Y: 140}), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, tRaw float64) bool {
+		tr := randomWalkTrajectory(seed)
+		sm, err := kde.NewSpeedModel(tr)
+		if err != nil {
+			return false
+		}
+		e := &Estimator{Grid: g, Noise: GaussianNoise{Sigma: 4}, Trans: sm.Transition, MaxSpeed: sm.MaxSpeed()}
+		// Query anywhere in and slightly beyond the observation window.
+		span := tr.End() - tr.Start()
+		q := tr.Start() + math.Mod(math.Abs(tRaw), 1.4)*span - 0.2*span
+		d, err := e.DistAt(tr, q)
+		if err != nil {
+			return false
+		}
+		if d.IsZero() {
+			return true
+		}
+		sum := d.Sum()
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		for _, p := range d.Probs {
+			if p < 0 || p > 1+1e-12 || math.IsNaN(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDistAtSupportSorted: cells of any returned distribution are strictly
+// ascending, the invariant Dot relies on.
+func TestDistAtSupportSorted(t *testing.T) {
+	g, err := geo.NewGrid(geo.NewRect(geo.Point{X: -40, Y: -40}, geo.Point{X: 140, Y: 140}), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		tr := randomWalkTrajectory(seed)
+		sm, err := kde.NewSpeedModel(tr)
+		if err != nil {
+			return false
+		}
+		e := &Estimator{Grid: g, Noise: GaussianNoise{Sigma: 4}, Trans: sm.Transition, MaxSpeed: sm.MaxSpeed()}
+		mid := (tr.Start() + tr.End()) / 2
+		d, err := e.DistAt(tr, mid)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(d.Cells); i++ {
+			if d.Cells[i] <= d.Cells[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestObservedDistConcentratesWithSmallSigma: shrinking the noise scale
+// concentrates the observed distribution (its max probability grows).
+func TestObservedDistConcentratesWithSmallSigma(t *testing.T) {
+	g, err := geo.NewGrid(geo.NewRect(geo.Point{X: -40, Y: -40}, geo.Point{X: 140, Y: 140}), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := geo.Point{X: 52, Y: 47}
+	maxProb := func(sigma float64) float64 {
+		e := &Estimator{Grid: g, Noise: GaussianNoise{Sigma: sigma}}
+		d := e.ObservedDist(obs)
+		var m float64
+		for _, p := range d.Probs {
+			if p > m {
+				m = p
+			}
+		}
+		return m
+	}
+	if !(maxProb(1) > maxProb(5) && maxProb(5) > maxProb(20)) {
+		t.Errorf("mode not monotone in sigma: %v %v %v", maxProb(1), maxProb(5), maxProb(20))
+	}
+}

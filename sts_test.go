@@ -1,0 +1,214 @@
+package sts_test
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	sts "github.com/stslib/sts"
+)
+
+// corridorWalk observes a west-to-east walk through a venue sporadically
+// with Gaussian noise.
+func corridorWalk(id string, offsetY, meanGap, noise float64, rng *rand.Rand) sts.Trajectory {
+	tr := sts.Trajectory{ID: id}
+	for t := 0.0; t < 300; t += meanGap * (0.5 + rng.Float64()) {
+		tr.Samples = append(tr.Samples, sts.Sample{
+			Loc: sts.Point{
+				X: 1.2*t + noise*rng.NormFloat64(),
+				Y: 50 + offsetY + noise*rng.NormFloat64(),
+			},
+			T: t,
+		})
+	}
+	return tr
+}
+
+func venueGrid(t *testing.T) *sts.Grid {
+	t.Helper()
+	g, err := sts.NewGrid(sts.NewRect(sts.Point{X: -20, Y: 0}, sts.Point{X: 400, Y: 120}), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPublicAPISimilarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := corridorWalk("a", 0, 12, 3, rng)
+	b := corridorWalk("b", 0.5, 18, 3, rng)
+	c := corridorWalk("c", 45, 18, 3, rng)
+
+	m, err := sts.NewMeasure(sts.MeasureOptions{Grid: venueGrid(t), NoiseSigma: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := m.Similarity(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := m.Similarity(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same <= diff {
+		t.Errorf("co-located %v <= separated %v", same, diff)
+	}
+}
+
+func TestPublicAPIVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := corridorWalk("a", 0, 12, 3, rng)
+	b := corridorWalk("b", 0.5, 18, 3, rng)
+	ds := sts.Dataset{a, b}
+	g := venueGrid(t)
+
+	noNoise, err := sts.NewMeasureNoNoise(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := sts.NewPooledSpeedModel(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := sts.NewMeasureGlobalSpeed(g, 3, pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq, err := sts.NewMeasureFrequency(g, 3, ds, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*sts.Measure{noNoise, global, freq} {
+		v, err := m.Similarity(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 0 || v > 1 {
+			t.Errorf("similarity %v out of range", v)
+		}
+	}
+}
+
+func TestPublicAPIMatchingPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := sts.GenerateTaxi(8, 5)
+	var d1, d2 sts.Dataset
+	for _, tr := range base {
+		a, b := sts.AlternateSplit(tr)
+		d1 = append(d1, a)
+		d2 = append(d2, sts.Downsample(b, 0.5, rng))
+	}
+	bounds, ok := base.Bounds()
+	if !ok {
+		t.Fatal("no bounds")
+	}
+	g, err := sts.NewGrid(bounds.Expand(140), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sts.NewMeasure(sts.MeasureOptions{Grid: g, NoiseSigma: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sts.Match(d1, d2, sts.NewScorer("STS", m), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Precision < 0.8 {
+		t.Errorf("precision %v on clean split data", res.Precision)
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := corridorWalk("a", 0, 12, 1, rng)
+	b := corridorWalk("b", 0.5, 18, 1, rng)
+	c := corridorWalk("c", 45, 18, 1, rng)
+	if sts.DTW(a, b) >= sts.DTW(a, c) {
+		t.Error("DTW does not discriminate")
+	}
+	if sts.EDwP(a, b) >= sts.EDwP(a, c) {
+		t.Error("EDwP does not discriminate")
+	}
+	if sts.CATS(a, b, 12, 60) <= sts.CATS(a, c, 12, 60) {
+		t.Error("CATS does not discriminate")
+	}
+}
+
+func TestPublicAPINoiseInjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := corridorWalk("a", 0, 12, 0, rng)
+	noisy := sts.AddNoise(a, 10, rng)
+	var moved float64
+	for i := range a.Samples {
+		moved += noisy.Samples[i].Loc.Dist(a.Samples[i].Loc)
+	}
+	avg := moved / float64(a.Len())
+	// Mean displacement of an isotropic Gaussian with beta=10 is
+	// 10·√(π/2) ≈ 12.5; allow generous slack.
+	if avg < 5 || avg > 25 {
+		t.Errorf("average displacement %v", avg)
+	}
+}
+
+func TestPublicAPIDatasetIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := sts.Dataset{corridorWalk("a", 0, 12, 3, rng)}
+	path := filepath.Join(t.TempDir(), "ds.csv")
+	if err := sts.WriteDataset(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sts.ReadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Len() != ds[0].Len() {
+		t.Errorf("round trip lost data")
+	}
+}
+
+func TestPublicAPIGenerateMall(t *testing.T) {
+	ds := sts.GenerateMall(5, 9)
+	if len(ds) != 5 {
+		t.Fatalf("got %d pedestrians", len(ds))
+	}
+	for _, tr := range ds {
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPublicAPIExactOption(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := corridorWalk("a", 0, 25, 2, rng)
+	b := corridorWalk("b", 1, 30, 2, rng)
+	// Coarse grid to keep the exact mode affordable.
+	g, err := sts.NewGrid(sts.NewRect(sts.Point{X: -20, Y: 0}, sts.Point{X: 400, Y: 120}), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disable the speed-quantization slack so both measures evaluate the
+	// same textbook formula and only the support truncation differs.
+	fast, err := sts.NewMeasure(sts.MeasureOptions{Grid: g, NoiseSigma: 5, SpeedSlack: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := sts.NewMeasure(sts.MeasureOptions{Grid: g, NoiseSigma: 5, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vf, err := fast.Similarity(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ve, err := exact.Similarity(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ve > 0 && math.Abs(vf-ve)/ve > 0.15 {
+		t.Errorf("truncated %v vs exact %v", vf, ve)
+	}
+}
