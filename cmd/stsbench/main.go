@@ -27,13 +27,17 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "", "figure to regenerate: 4..14, or 4+5, 6+7, 8+9, 12+13+14")
-		all     = flag.Bool("all", false, "regenerate every figure")
-		n       = flag.Int("n", 0, "mall objects (default 20; taxis default to 3x)")
-		seed    = flag.Int64("seed", 0, "random seed (default 1)")
-		workers = flag.Int("workers", 0, "scoring goroutines (default GOMAXPROCS)")
-		pairs   = flag.Int("pairs", 0, "pairs for the cross-similarity experiment (default 100)")
-		format  = flag.String("format", "text", "output format: text or csv")
+		figure    = flag.String("figure", "", "figure to regenerate: 4..14, or 4+5, 6+7, 8+9, 12+13+14")
+		all       = flag.Bool("all", false, "regenerate every figure")
+		n         = flag.Int("n", 0, "mall objects (default 20; taxis default to 3x)")
+		seed      = flag.Int64("seed", 0, "random seed (default 1)")
+		workers   = flag.Int("workers", 0, "scoring goroutines (default GOMAXPROCS)")
+		pairs     = flag.Int("pairs", 0, "pairs for the cross-similarity experiment (default 100)")
+		format    = flag.String("format", "text", "output format: text or csv")
+		bench     = flag.Bool("bench", false, "run the perf-regression suite instead of a figure")
+		benchOut  = flag.String("benchout", "BENCH_1.json", "output path of the -bench JSON report")
+		baseline  = flag.String("baseline", "", "previous -bench report to compute speedups against")
+		benchTime = flag.Duration("benchtime", time.Second, "minimum measured time per -bench benchmark")
 	)
 	flag.Parse()
 
@@ -41,12 +45,18 @@ func main() {
 	start := time.Now()
 	var err error
 	switch {
+	case *bench:
+		err = experiments.RunPerf(cfg, experiments.PerfOptions{
+			MinTime:      *benchTime,
+			Workers:      *workers,
+			BaselinePath: *baseline,
+		}, *benchOut, os.Stdout)
 	case *all:
 		err = experiments.RunAll(cfg, os.Stdout)
 	case *figure != "":
 		err = experiments.RunFormat(*figure, cfg, os.Stdout, *format)
 	default:
-		fmt.Fprintln(os.Stderr, "stsbench: specify -figure <id> or -all")
+		fmt.Fprintln(os.Stderr, "stsbench: specify -figure <id>, -all or -bench")
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -7,6 +7,81 @@ import (
 	"github.com/stslib/sts/internal/geo"
 )
 
+// TestConcurrentSimilarityStress hammers one shared Measure and a pool of
+// shared Prepared values from many goroutines at once, interleaving
+// SimilarityPrepared, CoLocation and DistAt so the pooled evaluation
+// scratch (pairScratch / stprob.Workspace, including the lattice-offset
+// memo tables and their epoch stamps) is recycled across goroutines under
+// contention. With -race this guards the zero-allocation fast path; the
+// value checks guard its determinism.
+func TestConcurrentSimilarityStress(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	var prep []*Prepared
+	for k := 0; k < 4; k++ {
+		tr := walk("tr", geo.Point{Y: 90 + 5*float64(k)}, 1.0+0.1*float64(k), 0, 14, float64(k), 9)
+		p, err := m.Prepare(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prep = append(prep, p)
+	}
+	type ref struct {
+		sim float64
+		cp  float64
+	}
+	var want [4][4]ref
+	for i := range prep {
+		for j := range prep {
+			sim, err := m.SimilarityPrepared(prep[i], prep[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			tMid := (prep[i].Tr.Start() + prep[i].Tr.End()) / 2
+			cp, err := CoLocation(prep[i], prep[j], tMid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i][j] = ref{sim, cp}
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 10; iter++ {
+				i := (w + iter) % len(prep)
+				j := (w * 3) % len(prep)
+				sim, err := m.SimilarityPrepared(prep[i], prep[j])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if sim != want[i][j].sim {
+					t.Errorf("concurrent sim(%d,%d)=%v want %v", i, j, sim, want[i][j].sim)
+					return
+				}
+				tMid := (prep[i].Tr.Start() + prep[i].Tr.End()) / 2
+				cp, err := CoLocation(prep[i], prep[j], tMid)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if cp != want[i][j].cp {
+					t.Errorf("concurrent cp(%d,%d)=%v want %v", i, j, cp, want[i][j].cp)
+					return
+				}
+				if _, err := prep[i].DistAt(tMid + 0.5); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // TestConcurrentSimilarity exercises a shared Measure and shared Prepared
 // values from many goroutines; with -race this guards the documented
 // concurrency-safety of the measure.

@@ -12,6 +12,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/stslib/sts/internal/geo"
 	"github.com/stslib/sts/internal/kde"
@@ -21,16 +22,17 @@ import (
 )
 
 // TransitionProvider supplies the transition model used for one
-// trajectory's S-T probability estimation, together with an upper bound on
-// the object's plausible speed (m/s, 0 for unknown) used only to truncate
-// candidate supports.
+// trajectory's S-T probability estimation — the transition probability, its
+// optional radial fast-path form, and an upper bound on the object's
+// plausible speed (m/s, 0 for unknown) used only to truncate candidate
+// supports (see stprob.TransitionSpec).
 //
 // The provider abstraction is what separates STS from its ablation
 // variants: the full measure builds a personalized KDE speed model from
 // the trajectory itself; STS-G shares one pooled model; STS-F substitutes
 // frequency-based grid transitions.
 type TransitionProvider interface {
-	For(tr model.Trajectory) (trans stprob.Transition, maxSpeed float64, err error)
+	For(tr model.Trajectory) (stprob.TransitionSpec, error)
 }
 
 // PersonalizedSpeed builds a fresh KDE speed model for each trajectory —
@@ -40,15 +42,19 @@ type PersonalizedSpeed struct{}
 // For implements TransitionProvider. Trajectories too short to carry speed
 // information (fewer than two samples) get a zero transition model; they
 // have no in-between timestamps to interpolate anyway.
-func (PersonalizedSpeed) For(tr model.Trajectory) (stprob.Transition, float64, error) {
+func (PersonalizedSpeed) For(tr model.Trajectory) (stprob.TransitionSpec, error) {
 	sm, err := kde.NewSpeedModel(tr)
 	if err != nil {
 		if errors.Is(err, kde.ErrNoSamples) {
-			return zeroTransition, 0, nil
+			return stprob.TransitionSpec{Trans: zeroTransition}, nil
 		}
-		return nil, 0, err
+		return stprob.TransitionSpec{}, err
 	}
-	return sm.Transition, sm.MaxSpeed(), nil
+	return stprob.TransitionSpec{
+		Trans:    sm.Transition,
+		Radial:   sm.TransitionRadial,
+		MaxSpeed: sm.MaxSpeed(),
+	}, nil
 }
 
 // GlobalSpeed applies one pooled speed model to every trajectory — the
@@ -58,46 +64,69 @@ type GlobalSpeed struct {
 }
 
 // For implements TransitionProvider.
-func (g GlobalSpeed) For(tr model.Trajectory) (stprob.Transition, float64, error) {
+func (g GlobalSpeed) For(tr model.Trajectory) (stprob.TransitionSpec, error) {
 	if g.Model == nil {
-		return nil, 0, errors.New("core: GlobalSpeed provider has no model")
+		return stprob.TransitionSpec{}, errors.New("core: GlobalSpeed provider has no model")
 	}
-	return g.Model.Transition, g.Model.MaxSpeed(), nil
+	return stprob.TransitionSpec{
+		Trans:    g.Model.Transition,
+		Radial:   g.Model.TransitionRadial,
+		MaxSpeed: g.Model.MaxSpeed(),
+	}, nil
 }
 
 // FrequencyTransitions applies a frequency-based Markov grid-transition
 // model to every trajectory — the STS-F ablation, the estimator used by
 // prior work such as APM. MaxSpeed bounds support truncation; it is
 // typically the pooled maximum speed of the training dataset (0 disables
-// speed-based truncation).
+// speed-based truncation). Markov transitions depend on the absolute
+// cells, so no radial fast path exists.
 type FrequencyTransitions struct {
 	Model    *markov.TransitionModel
 	MaxSpeed float64
 }
 
 // For implements TransitionProvider.
-func (f FrequencyTransitions) For(tr model.Trajectory) (stprob.Transition, float64, error) {
+func (f FrequencyTransitions) For(tr model.Trajectory) (stprob.TransitionSpec, error) {
 	if f.Model == nil {
-		return nil, 0, errors.New("core: FrequencyTransitions provider has no model")
+		return stprob.TransitionSpec{}, errors.New("core: FrequencyTransitions provider has no model")
 	}
-	return f.Model.ProbPoints, f.MaxSpeed, nil
+	return stprob.TransitionSpec{Trans: f.Model.ProbPoints, MaxSpeed: f.MaxSpeed}, nil
 }
 
 // FixedTransition applies one externally supplied transition model to
 // every trajectory — e.g. the Brownian random walk of stprob.
 // BrownianTransition, which the paper identifies as the special case of
-// STS's estimation under a Gaussian speed assumption.
+// STS's estimation under a Gaussian speed assumption. Radial, when set,
+// must agree with Trans and enables the memoized evaluation (e.g.
+// stprob.BrownianRadial for the Brownian walk).
 type FixedTransition struct {
 	Trans    stprob.Transition
+	Radial   stprob.RadialTransition
 	MaxSpeed float64
 }
 
 // For implements TransitionProvider.
-func (f FixedTransition) For(tr model.Trajectory) (stprob.Transition, float64, error) {
+func (f FixedTransition) For(tr model.Trajectory) (stprob.TransitionSpec, error) {
 	if f.Trans == nil {
-		return nil, 0, errors.New("core: FixedTransition provider has no transition")
+		return stprob.TransitionSpec{}, errors.New("core: FixedTransition provider has no transition")
 	}
-	return f.Trans, f.MaxSpeed, nil
+	return stprob.TransitionSpec{Trans: f.Trans, Radial: f.Radial, MaxSpeed: f.MaxSpeed}, nil
+}
+
+// StripRadial wraps a provider and discards its radial fast path, forcing
+// the generic per-location transition evaluation. Equivalence tests and
+// ablation benches use it to pin the lattice-offset-memoized path against
+// the original one.
+type StripRadial struct {
+	Provider TransitionProvider
+}
+
+// For implements TransitionProvider.
+func (s StripRadial) For(tr model.Trajectory) (stprob.TransitionSpec, error) {
+	spec, err := s.Provider.For(tr)
+	spec.Radial = nil
+	return spec, err
 }
 
 // zeroTransition is the transition model of a trajectory that carries no
@@ -247,15 +276,16 @@ func (m *Measure) Prepare(tr model.Trajectory) (*Prepared, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
-	trans, maxSpeed, err := m.provider.For(tr)
+	spec, err := m.provider.For(tr)
 	if err != nil {
 		return nil, fmt.Errorf("core: transition model for %q: %w", tr.ID, err)
 	}
 	est := &stprob.Estimator{
 		Grid:              m.grid,
 		Noise:             m.noise,
-		Trans:             trans,
-		MaxSpeed:          maxSpeed,
+		Trans:             spec.Trans,
+		Radial:            spec.Radial,
+		MaxSpeed:          spec.MaxSpeed,
 		Exact:             m.exact,
 		MaxCandidateCells: m.maxCand,
 		MaxSupportCells:   m.maxSupp,
@@ -283,19 +313,54 @@ func (p *Prepared) DistAt(t float64) (stprob.Dist, error) {
 		p.obs[before], p.obs[after], t)
 }
 
+// distAtWS is DistAt with caller-provided scratch: in-between results alias
+// ws and stay valid only until its next use; observed-timestamp results
+// alias the (immutable) preparation cache.
+func (p *Prepared) distAtWS(ws *stprob.Workspace, t float64) (stprob.Dist, error) {
+	if p.Tr.Len() == 0 || t < p.Tr.Start() || t > p.Tr.End() {
+		return stprob.Dist{}, nil
+	}
+	exact, before, after := p.Tr.Bracket(t)
+	if exact >= 0 {
+		return p.obs[exact], nil
+	}
+	return p.est.BetweenDistWS(ws, p.Tr.Samples[before], p.Tr.Samples[after],
+		p.obs[before], p.obs[after], t)
+}
+
+// pairScratch is the reusable evaluation state of one similarity
+// computation: one workspace per side, because Algorithm 1 needs both
+// location distributions alive at once to take their dot product.
+type pairScratch struct {
+	a, b stprob.Workspace
+}
+
+// scratchPool recycles pairScratch values across SimilarityPrepared calls,
+// so steady-state matrix scoring performs no per-pair heap allocations
+// while staying safe under concurrent scoring goroutines.
+var scratchPool = sync.Pool{New: func() any { return new(pairScratch) }}
+
 // CoLocation returns CP(t | Tra1, Tra2) of Eq. 9 — the probability that
 // the two objects are in the same grid cell at time t — implementing
 // Algorithm 1: both location distributions are normalized and their
 // element-wise product is summed over the grid.
 func CoLocation(a, b *Prepared, t float64) (float64, error) {
-	da, err := a.DistAt(t)
+	ws := scratchPool.Get().(*pairScratch)
+	cp, err := coLocationWS(ws, a, b, t)
+	scratchPool.Put(ws)
+	return cp, err
+}
+
+// coLocationWS is CoLocation on caller-provided scratch.
+func coLocationWS(ws *pairScratch, a, b *Prepared, t float64) (float64, error) {
+	da, err := a.distAtWS(&ws.a, t)
 	if err != nil {
 		return 0, err
 	}
 	if da.IsZero() {
 		return 0, nil
 	}
-	db, err := b.DistAt(t)
+	db, err := b.distAtWS(&ws.b, t)
 	if err != nil {
 		return 0, err
 	}
@@ -309,16 +374,18 @@ func (m *Measure) SimilarityPrepared(a, b *Prepared) (float64, error) {
 	if n == 0 {
 		return 0, errors.New("core: both trajectories are empty")
 	}
+	ws := scratchPool.Get().(*pairScratch)
+	defer scratchPool.Put(ws)
 	var total float64
 	for _, s := range a.Tr.Samples {
-		cp, err := CoLocation(a, b, s.T)
+		cp, err := coLocationWS(ws, a, b, s.T)
 		if err != nil {
 			return 0, err
 		}
 		total += cp
 	}
 	for _, s := range b.Tr.Samples {
-		cp, err := CoLocation(a, b, s.T)
+		cp, err := coLocationWS(ws, a, b, s.T)
 		if err != nil {
 			return 0, err
 		}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"math"
 	"runtime"
 	"sync"
 
@@ -13,6 +14,45 @@ import (
 type MatrixScorer interface {
 	Scorer
 	ScoreMatrix(rows, cols model.Dataset, workers int) ([][]float64, error)
+}
+
+// MaskedMatrixScorer is an optional extension for scorers that can skip
+// masked-out pairs cheaply — in particular by not preparing trajectories
+// that appear in no admissible pair at all.
+type MaskedMatrixScorer interface {
+	Scorer
+	ScoreMatrixMasked(rows, cols model.Dataset, mask [][]bool, workers int) ([][]float64, error)
+}
+
+// ScoreMatrixMasked computes scores[i][j] = Score(rows[i], cols[j]) for
+// every pair with mask[i][j] true; masked-out pairs get −Inf (rank last,
+// never link). A nil mask scores everything, exactly like ScoreMatrix.
+// Pre-filters such as the FTL feasibility check belong here: masking
+// before scoring skips the expensive similarity entirely instead of
+// discarding its result afterwards.
+func ScoreMatrixMasked(rows, cols model.Dataset, s Scorer, mask [][]bool, workers int) ([][]float64, error) {
+	if mask == nil {
+		return ScoreMatrix(rows, cols, s, workers)
+	}
+	if ms, ok := s.(MaskedMatrixScorer); ok {
+		m, err := ms.ScoreMatrixMasked(rows, cols, mask, workers)
+		if err != nil {
+			return nil, err
+		}
+		for i := range m {
+			for j := range m[i] {
+				m[i][j] = sanitize(m[i][j])
+			}
+		}
+		return m, nil
+	}
+	return parallelMatrix(len(rows), len(cols), workers, func(i, j int) (float64, error) {
+		if !mask[i][j] {
+			return math.Inf(-1), nil
+		}
+		v, err := s.Score(rows[i], cols[j])
+		return sanitize(v), err
+	})
 }
 
 // ScoreMatrix computes scores[i][j] = Score(rows[i], cols[j]) for every

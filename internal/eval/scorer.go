@@ -83,6 +83,59 @@ func (s *STSScorer) ScoreMatrix(rows, cols model.Dataset, workers int) ([][]floa
 	})
 }
 
+// ScoreMatrixMasked implements MaskedMatrixScorer: trajectories that
+// appear in no admissible pair are never prepared (preparation — speed
+// model estimation and observed-distribution construction — is the
+// dominant per-trajectory cost), and masked-out pairs are never scored.
+func (s *STSScorer) ScoreMatrixMasked(rows, cols model.Dataset, mask [][]bool, workers int) ([][]float64, error) {
+	if mask == nil {
+		return s.ScoreMatrix(rows, cols, workers)
+	}
+	rowNeeded := make([]bool, len(rows))
+	colNeeded := make([]bool, len(cols))
+	for i := range mask {
+		for j, ok := range mask[i] {
+			if ok {
+				rowNeeded[i] = true
+				colNeeded[j] = true
+			}
+		}
+	}
+	prows, err := s.prepareWhere(rows, rowNeeded)
+	if err != nil {
+		return nil, err
+	}
+	pcols, err := s.prepareWhere(cols, colNeeded)
+	if err != nil {
+		return nil, err
+	}
+	return parallelMatrix(len(rows), len(cols), workers, func(i, j int) (float64, error) {
+		if !mask[i][j] {
+			return math.Inf(-1), nil
+		}
+		return s.m.SimilarityPrepared(prows[i], pcols[j])
+	})
+}
+
+func (s *STSScorer) prepareWhere(ds model.Dataset, needed []bool) ([]*core.Prepared, error) {
+	out := make([]*core.Prepared, len(ds))
+	err := parallelFor(len(ds), 0, func(i int) error {
+		if !needed[i] {
+			return nil
+		}
+		p, err := s.m.Prepare(ds[i])
+		if err != nil {
+			return fmt.Errorf("eval: prepare %q: %w", ds[i].ID, err)
+		}
+		out[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 func (s *STSScorer) prepareAll(ds model.Dataset) ([]*core.Prepared, error) {
 	out := make([]*core.Prepared, len(ds))
 	err := parallelFor(len(ds), 0, func(i int) error {

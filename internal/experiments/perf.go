@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/stslib/sts/internal/core"
+	"github.com/stslib/sts/internal/eval"
+	"github.com/stslib/sts/internal/index"
+	"github.com/stslib/sts/internal/kde"
+	"github.com/stslib/sts/internal/linking"
+)
+
+// PerfOptions configures the benchmark-regression harness behind
+// `stsbench -bench`.
+type PerfOptions struct {
+	// MinTime is the minimum measured time per benchmark (default 1s).
+	MinTime time.Duration
+	// Workers bounds scoring parallelism (default 1, so ns/op numbers are
+	// comparable across machines with different core counts).
+	Workers int
+	// BaselinePath, when set, names a previously written report whose
+	// numbers are merged into the output as the baseline, with speedups
+	// computed per benchmark.
+	BaselinePath string
+}
+
+// PerfBench is one benchmark row of the report.
+type PerfBench struct {
+	// Name identifies the benchmark ("matrix_scoring/mall/grid=3" …).
+	Name string `json:"name"`
+	// Iterations is the iteration count of the final measured run.
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// PairsPerSec is the scored-pair throughput, for benchmarks whose op
+	// covers a known number of trajectory pairs (0 otherwise).
+	PairsPerSec float64 `json:"pairs_per_sec,omitempty"`
+	// Baseline numbers and the derived speedup (ratio of baseline ns/op to
+	// current ns/op), present only when PerfOptions.BaselinePath was given.
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselinePairsPerSec float64 `json:"baseline_pairs_per_sec,omitempty"`
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op,omitempty"`
+	Speedup             float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// PerfReport is the machine-readable artifact (BENCH_<n>.json) committed by
+// each perf-sensitive PR so later PRs have a trajectory to compare against.
+type PerfReport struct {
+	Schema     int         `json:"schema"`
+	GoVersion  string      `json:"go_version"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Workers    int         `json:"workers"`
+	N          int         `json:"n"`
+	Seed       int64       `json:"seed"`
+	Benches    []PerfBench `json:"benches"`
+}
+
+// measureLoop runs op repeatedly, testing-style: iteration counts grow until
+// one measured run lasts at least minTime. The final run reports ns, allocs
+// and bytes per op. Allocation counters are process-global, so benchmarks
+// must not run concurrently with other work.
+func measureLoop(minTime time.Duration, op func() error) (PerfBench, error) {
+	var out PerfBench
+	if err := op(); err != nil { // warm caches, trigger lazy init
+		return out, err
+	}
+	n := 1
+	for {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := op(); err != nil {
+				return out, err
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if elapsed >= minTime || n >= 1e8 {
+			fn := float64(n)
+			out.Iterations = n
+			out.NsPerOp = float64(elapsed.Nanoseconds()) / fn
+			out.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / fn
+			out.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / fn
+			return out, nil
+		}
+		// Grow like the testing package: predict from the last run, with
+		// 20% headroom, at least +1, at most 100x.
+		next := int(1.2 * float64(n) * float64(minTime) / (float64(elapsed) + 1))
+		if next > 100*n {
+			next = 100 * n
+		}
+		if next <= n {
+			next = n + 1
+		}
+		n = next
+	}
+}
+
+// RunPerf runs the benchmark suite and writes the JSON report to outPath,
+// echoing a human-readable summary to w.
+func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
+	if opts.MinTime <= 0 {
+		opts.MinTime = time.Second
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	n := cfg.N
+	if n <= 0 {
+		n = 8
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	// Load the baseline before the (minutes-long) run so a bad path fails
+	// fast instead of after the work is done.
+	var base *PerfReport
+	if opts.BaselinePath != "" {
+		b, err := loadBaseline(opts.BaselinePath)
+		if err != nil {
+			return err
+		}
+		base = b
+	}
+	report := PerfReport{
+		Schema:     1,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		N:          n,
+		Seed:       seed,
+	}
+	scenarios := []Scenario{Mall(n, seed), Taxi(3*n, seed)}
+
+	add := func(name string, pairs int, op func() error) error {
+		fmt.Fprintf(w, "%-42s", name)
+		b, err := measureLoop(opts.MinTime, op)
+		if err != nil {
+			fmt.Fprintln(w, "ERROR")
+			return fmt.Errorf("experiments: bench %s: %w", name, err)
+		}
+		b.Name = name
+		if pairs > 0 {
+			b.PairsPerSec = float64(pairs) * 1e9 / b.NsPerOp
+		}
+		fmt.Fprintf(w, "%12.0f ns/op %10.1f allocs/op", b.NsPerOp, b.AllocsPerOp)
+		if pairs > 0 {
+			fmt.Fprintf(w, " %10.1f pairs/s", b.PairsPerSec)
+		}
+		fmt.Fprintln(w)
+		report.Benches = append(report.Benches, b)
+		return nil
+	}
+
+	// Matrix scoring at two grid scales per scenario: the default cell size
+	// and a 2x finer grid (more cells per noise support, the regime the
+	// offset memoization targets).
+	for _, sc := range scenarios {
+		for _, scale := range []float64{1, 0.5} {
+			gridSize := sc.GridSize * scale
+			scorers, err := BuildScorers(sc, gridSize, 0, []string{MethodSTS})
+			if err != nil {
+				return err
+			}
+			ms := scorers[0].(*eval.STSScorer)
+			pairs := len(sc.D1) * len(sc.D2)
+			name := fmt.Sprintf("matrix_scoring/%s/grid=%g", sc.Name, gridSize)
+			if err := add(name, pairs, func() error {
+				_, err := ms.ScoreMatrix(sc.D1, sc.D2, workers)
+				return err
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Steady-state single-pair scoring with cached preparation: the
+	// allocs/op headline of the zero-allocation workspace design.
+	{
+		sc := scenarios[0]
+		grid, err := sc.Grid(sc.GridSize, 0)
+		if err != nil {
+			return err
+		}
+		m, err := core.NewSTS(grid, sc.Sigma(0))
+		if err != nil {
+			return err
+		}
+		pa, err := m.Prepare(sc.D1[0])
+		if err != nil {
+			return err
+		}
+		pb, err := m.Prepare(sc.D2[1])
+		if err != nil {
+			return err
+		}
+		if err := add("similarity_prepared/mall", 1, func() error {
+			_, err := m.SimilarityPrepared(pa, pb)
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Greedy linking with the FTL feasibility pre-filter engaged.
+	{
+		sc := scenarios[1]
+		scorers, err := BuildScorers(sc, sc.GridSize, 0, []string{MethodSTS})
+		if err != nil {
+			return err
+		}
+		pooled, err := kde.NewPooledSpeedModel(sc.Base)
+		if err != nil {
+			return err
+		}
+		lopts := linking.Options{MinScore: 1e-9, MaxSpeed: pooled.MaxSpeed(), Workers: workers}
+		pairs := len(sc.D1) * len(sc.D2)
+		if err := add("linking_greedy/taxi", pairs, func() error {
+			_, err := linking.GreedyLink(sc.D1, sc.D2, scorers[0], lopts)
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Top-k search through the inverted spatio-temporal index.
+	{
+		sc := scenarios[1]
+		grid, err := sc.Grid(sc.GridSize, 0)
+		if err != nil {
+			return err
+		}
+		ix, err := index.Build(sc.D2, index.Options{
+			Grid:         grid,
+			TimeBucket:   120,
+			SpatialSlack: 400,
+			TimeSlack:    120,
+		})
+		if err != nil {
+			return err
+		}
+		scorers, err := BuildScorers(sc, sc.GridSize, 0, []string{MethodSTS})
+		if err != nil {
+			return err
+		}
+		query := sc.D1[0]
+		if err := add("topk_index/taxi", len(sc.D2), func() error {
+			_, err := ix.TopK(query, scorers[0], 5, workers)
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+
+	if base != nil {
+		mergeBaseline(&report, base)
+		for _, b := range report.Benches {
+			if b.Speedup > 0 {
+				fmt.Fprintf(w, "%-42s speedup %.2fx\n", b.Name, b.Speedup)
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", outPath)
+	return nil
+}
+
+// loadBaseline reads and parses a previously written report.
+func loadBaseline(path string) (*PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: baseline: %w", err)
+	}
+	var base PerfReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("experiments: baseline %s: %w", path, err)
+	}
+	return &base, nil
+}
+
+// mergeBaseline copies the matching benchmark numbers of a previous report
+// into report and derives per-benchmark speedups.
+func mergeBaseline(report *PerfReport, base *PerfReport) {
+	byName := make(map[string]PerfBench, len(base.Benches))
+	for _, b := range base.Benches {
+		byName[b.Name] = b
+	}
+	for i := range report.Benches {
+		b, ok := byName[report.Benches[i].Name]
+		if !ok {
+			continue
+		}
+		report.Benches[i].BaselineNsPerOp = b.NsPerOp
+		report.Benches[i].BaselinePairsPerSec = b.PairsPerSec
+		report.Benches[i].BaselineAllocsPerOp = b.AllocsPerOp
+		if report.Benches[i].NsPerOp > 0 {
+			report.Benches[i].Speedup = b.NsPerOp / report.Benches[i].NsPerOp
+		}
+	}
+}

@@ -84,6 +84,24 @@ func (m *SpeedModel) Transition(a geo.Point, ta float64, b geo.Point, tb float64
 	return m.est.MassFast(d / dt)
 }
 
+// TransitionRadial is the radial form of Transition — the same probability
+// expressed over the separation distance d and time interval dt directly.
+// Speed transitions depend only on d/dt, so the model satisfies
+// stprob.RadialTransition, which unlocks the lattice-offset memoization of
+// the S-T probability estimator.
+func (m *SpeedModel) TransitionRadial(d, dt float64) float64 {
+	if dt < 0 {
+		dt = -dt
+	}
+	if dt == 0 {
+		if d == 0 {
+			return 1
+		}
+		return 0
+	}
+	return m.est.MassFast(d / dt)
+}
+
 // MaxSpeed returns a speed beyond which this object's transition
 // probability is small enough to ignore when truncating candidate cells:
 // twice the 99th-percentile speed, capped at the kernel's hard support

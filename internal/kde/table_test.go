@@ -1,0 +1,32 @@
+package kde
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestScatterTableMatchesMassExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []Kernel{Gaussian, Epanechnikov} {
+		samples := make([]float64, 300)
+		for i := range samples {
+			samples[i] = 8 + 3*rng.NormFloat64()
+		}
+		e, err := NewWithKernel(samples, SilvermanBandwidth(samples), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst float64
+		for i, got := range e.table {
+			want := e.massExact(e.tabMin + float64(i)*e.tabStep)
+			if d := math.Abs(got - want); d > worst {
+				worst = d
+			}
+		}
+		t.Logf("kernel=%s bins=%d worst=%g", k.Name, len(e.table), worst)
+		if worst > 1e-12 {
+			t.Fatalf("kernel %s: table deviates from massExact by %g", k.Name, worst)
+		}
+	}
+}

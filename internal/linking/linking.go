@@ -31,17 +31,36 @@ import (
 // compatibility test of FTL with a global velocity threshold. Samples
 // closer in time than minGap seconds are exempted (location noise makes
 // instantaneous speeds unbounded as Δt → 0).
+//
+// The check walks both (time-sorted) sample sequences with two cursors
+// instead of materializing the merged trajectory, so it allocates nothing:
+// it runs as a pre-filter over every candidate pair in GreedyLink, where a
+// per-pair copy of both trajectories would dominate the filter's cost.
+// Ordering matches MergeByTime (ties keep a's sample first).
 func Feasible(a, b model.Trajectory, maxSpeed, minGap float64) bool {
-	merged := MergeByTime(a, b)
-	for i := 1; i < merged.Len(); i++ {
-		dt := merged.Samples[i].T - merged.Samples[i-1].T
-		if dt < minGap {
-			continue
+	i, j := 0, 0
+	var prev model.Sample
+	have := false
+	for i < a.Len() || j < b.Len() {
+		var cur model.Sample
+		if j >= b.Len() || (i < a.Len() && a.Samples[i].T <= b.Samples[j].T) {
+			cur = a.Samples[i]
+			i++
+		} else {
+			cur = b.Samples[j]
+			j++
 		}
-		d := merged.Samples[i].Loc.Dist(merged.Samples[i-1].Loc)
-		if d/dt > maxSpeed {
-			return false
+		if have {
+			dt := cur.T - prev.T
+			if dt >= minGap {
+				d := cur.Loc.Dist(prev.Loc)
+				if d/dt > maxSpeed {
+					return false
+				}
+			}
 		}
+		prev = cur
+		have = true
 	}
 	return true
 }
@@ -95,12 +114,15 @@ type Options struct {
 // ErrEmptyInput is returned when either trajectory set is empty.
 var ErrEmptyInput = errors.New("linking: empty trajectory set")
 
-// GreedyLink links two trajectory sets one-to-one: all pairwise
-// similarities are computed (after the optional feasibility pre-filter),
-// then pairs are accepted best-first, skipping trajectories already
-// linked — the standard greedy assignment used by linkage systems when a
-// full optimal assignment is unnecessary. Returned links are sorted by
-// descending score.
+// GreedyLink links two trajectory sets one-to-one: the optional FTL
+// feasibility pre-filter first masks out incompatible pairs, the
+// similarity of the surviving pairs is computed (masked pairs are never
+// scored — with an STS scorer, trajectories feasible with nothing are not
+// even prepared), and pairs are accepted best-first, skipping trajectories
+// already linked — the standard greedy assignment used by linkage systems
+// when a full optimal assignment is unnecessary. Returned links are sorted
+// by descending score; equal scores break ties by (I, J), so the linking
+// is deterministic.
 func GreedyLink(d1, d2 model.Dataset, scorer eval.Scorer, opts Options) ([]Link, error) {
 	if len(d1) == 0 || len(d2) == 0 {
 		return nil, ErrEmptyInput
@@ -109,7 +131,17 @@ func GreedyLink(d1, d2 model.Dataset, scorer eval.Scorer, opts Options) ([]Link,
 	if opts.MaxSpeed > 0 && minGap <= 0 {
 		minGap = 1
 	}
-	scores, err := eval.ScoreMatrix(d1, d2, scorer, opts.Workers)
+	var mask [][]bool
+	if opts.MaxSpeed > 0 {
+		mask = make([][]bool, len(d1))
+		for i := range d1 {
+			mask[i] = make([]bool, len(d2))
+			for j := range d2 {
+				mask[i][j] = Feasible(d1[i], d2[j], opts.MaxSpeed, minGap)
+			}
+		}
+	}
+	scores, err := eval.ScoreMatrixMasked(d1, d2, scorer, mask, opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("linking: %w", err)
 	}
@@ -120,16 +152,24 @@ func GreedyLink(d1, d2 model.Dataset, scorer eval.Scorer, opts Options) ([]Link,
 	var cands []cand
 	for i := range d1 {
 		for j := range d2 {
-			if scores[i][j] < opts.MinScore {
+			if mask != nil && !mask[i][j] {
 				continue
 			}
-			if opts.MaxSpeed > 0 && !Feasible(d1[i], d2[j], opts.MaxSpeed, minGap) {
+			if scores[i][j] < opts.MinScore {
 				continue
 			}
 			cands = append(cands, cand{i, j, scores[i][j]})
 		}
 	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].s > cands[b].s })
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].s != cands[b].s {
+			return cands[a].s > cands[b].s
+		}
+		if cands[a].i != cands[b].i {
+			return cands[a].i < cands[b].i
+		}
+		return cands[a].j < cands[b].j
+	})
 	usedI := make([]bool, len(d1))
 	usedJ := make([]bool, len(d2))
 	var links []Link

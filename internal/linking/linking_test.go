@@ -147,6 +147,72 @@ func TestGreedyLinkFeasibilityFilter(t *testing.T) {
 	}
 }
 
+func TestGreedyLinkDoesNotScoreInfeasiblePairs(t *testing.T) {
+	// One stationary pair at the origin, one trajectory parked 1 km away:
+	// the far pairs fail the 10 m/s feasibility check and must never reach
+	// the scorer.
+	d1 := model.Dataset{walkAt("a", geo.Point{Y: 0}, 0, 0, 10)}
+	far := model.Trajectory{ID: "far", Samples: []model.Sample{
+		{Loc: geo.Point{X: 1000}, T: 1},
+		{Loc: geo.Point{X: 1000}, T: 11},
+	}}
+	near := walkAt("near", geo.Point{Y: 1}, 0, 5, 15)
+	d2 := model.Dataset{far, near}
+	scored := 0
+	counter := eval.FuncScorer{N: "count", F: func(a, b model.Trajectory) (float64, error) {
+		scored++
+		return 1, nil
+	}}
+	links, err := GreedyLink(d1, d2, counter, Options{MaxSpeed: 10, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scored != 1 {
+		t.Errorf("scored %d pairs, want 1 (the feasible one)", scored)
+	}
+	if len(links) != 1 || links[0].J != 1 {
+		t.Errorf("links=%v want the near pair", links)
+	}
+}
+
+func TestGreedyLinkDeterministicTies(t *testing.T) {
+	// Every pair scores identically: greedy must resolve ties by (I, J),
+	// linking the diagonal, on every run.
+	constScorer := eval.FuncScorer{N: "const", F: func(a, b model.Trajectory) (float64, error) {
+		return 0.5, nil
+	}}
+	var d1, d2 model.Dataset
+	for i := 0; i < 4; i++ {
+		d1 = append(d1, walkAt("a", geo.Point{Y: float64(i)}, 1, 0, 10))
+		d2 = append(d2, walkAt("b", geo.Point{Y: float64(i)}, 1, 5, 15))
+	}
+	for trial := 0; trial < 5; trial++ {
+		links, err := GreedyLink(d1, d2, constScorer, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(links) != 4 {
+			t.Fatalf("got %d links", len(links))
+		}
+		for k, l := range links {
+			if l.I != k || l.J != k {
+				t.Fatalf("trial %d: link %d is (%d,%d), want diagonal", trial, k, l.I, l.J)
+			}
+		}
+	}
+}
+
+func TestFeasibleDoesNotAllocate(t *testing.T) {
+	a := walkAt("a", geo.Point{}, 1, 0, 10, 20, 30, 40)
+	b := walkAt("b", geo.Point{}, 1, 5, 15, 25, 35)
+	allocs := testing.AllocsPerRun(100, func() {
+		Feasible(a, b, 2, 0.5)
+	})
+	if allocs != 0 {
+		t.Errorf("Feasible allocates %v times per call, want 0", allocs)
+	}
+}
+
 func TestGreedyLinkErrors(t *testing.T) {
 	d := model.Dataset{walkAt("a", geo.Point{}, 1, 0, 10)}
 	if _, err := GreedyLink(nil, d, tagScorer, Options{}); !errors.Is(err, ErrEmptyInput) {

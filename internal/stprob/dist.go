@@ -72,6 +72,27 @@ func (d *Dist) normalize() {
 	}
 }
 
+// sortedInPlace ensures cells are in ascending order without allocating:
+// the constructors emit cells in row-major (already ascending) order, so
+// the common case is a linear scan; the fallback is an in-place joint
+// insertion sort of both slices.
+func (d *Dist) sortedInPlace() {
+	if sort.IntsAreSorted(d.Cells) {
+		return
+	}
+	for i := 1; i < len(d.Cells); i++ {
+		c, p := d.Cells[i], d.Probs[i]
+		j := i - 1
+		for j >= 0 && d.Cells[j] > c {
+			d.Cells[j+1] = d.Cells[j]
+			d.Probs[j+1] = d.Probs[j]
+			j--
+		}
+		d.Cells[j+1] = c
+		d.Probs[j+1] = p
+	}
+}
+
 // sorted ensures cells are in ascending order, sorting both slices
 // together if needed.
 func (d *Dist) sorted() {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"sync"
 
 	"github.com/stslib/sts/internal/geo"
 	"github.com/stslib/sts/internal/model"
@@ -26,9 +27,16 @@ type Transition func(a geo.Point, ta float64, b geo.Point, tb float64) float64
 // estimation when the speed distribution is assumed Gaussian; this
 // constructor makes that special case available for comparison.
 func BrownianTransition(sigmaM float64) Transition {
+	radial := BrownianRadial(sigmaM)
 	return func(a geo.Point, ta float64, b geo.Point, tb float64) float64 {
-		dt := math.Abs(ta - tb)
-		d := a.Dist(b)
+		return radial(a.Dist(b), math.Abs(ta-tb))
+	}
+}
+
+// BrownianRadial is the radial form of BrownianTransition, suitable for the
+// memoized fast path (see RadialTransition).
+func BrownianRadial(sigmaM float64) RadialTransition {
+	return func(d, dt float64) float64 {
 		if dt == 0 {
 			if d == 0 {
 				return 1
@@ -53,6 +61,11 @@ type Estimator struct {
 	Noise NoiseModel
 	// Trans is the transition model (Eq. 7 by default).
 	Trans Transition
+	// Radial, when non-nil, declares that Trans is radially symmetric and
+	// supplies its radial form: Trans(a, ta, b, tb) must equal
+	// Radial(dis(a, b), |ta−tb|). It enables the lattice-offset
+	// memoization of BetweenDist; Trans remains required either way.
+	Radial RadialTransition
 	// MaxSpeed bounds the object's plausible speed in m/s, used only to
 	// truncate the candidate-cell set between observations. Zero disables
 	// speed-based truncation (candidates fall back to the noise support
@@ -108,13 +121,21 @@ func (e *Estimator) ObservedDist(obs geo.Point) Dist {
 	return d
 }
 
-// topKByWeight keeps the k highest-weight cells of d.
+// topKByWeight keeps the k highest-weight cells of d. Ties in weight are
+// broken by ascending cell index, so truncation is deterministic across
+// runs (repeated linking produces identical supports).
 func topKByWeight(d Dist, k int) Dist {
 	idx := make([]int, len(d.Cells))
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return d.Probs[idx[a]] > d.Probs[idx[b]] })
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := d.Probs[idx[a]], d.Probs[idx[b]]
+		if pa != pb {
+			return pa > pb
+		}
+		return d.Cells[idx[a]] < d.Cells[idx[b]]
+	})
 	out := Dist{Cells: make([]int, k), Probs: make([]float64, k)}
 	for i := 0; i < k; i++ {
 		out.Cells[i] = d.Cells[idx[i]]
@@ -148,24 +169,152 @@ func (e *Estimator) DistAt(tr model.Trajectory, t float64) (Dist, error) {
 	return e.BetweenDist(prev, next, e.ObservedDist(prev.Loc), e.ObservedDist(next.Loc), t)
 }
 
+// wsPool backs the allocating BetweenDist convenience wrapper; hot callers
+// (core.Prepared) thread their own Workspace through BetweenDistWS instead.
+var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
+
 // BetweenDist evaluates Eq. 4 for t strictly inside (prev.T, next.T),
 // given the (normalized) noise distributions of the two bracketing
 // observations. Callers that evaluate many timestamps against the same
 // trajectory should cache those distributions (core.Prepared does); DistAt
 // rebuilds them on every call.
+//
+// The returned distribution owns its slices. Callers scoring in a loop
+// should use BetweenDistWS with a reusable Workspace to avoid the copy and
+// the per-call allocations.
 func (e *Estimator) BetweenDist(prev, next model.Sample, suppPrev, suppNext Dist, t float64) (Dist, error) {
+	ws := wsPool.Get().(*Workspace)
+	d, err := e.BetweenDistWS(ws, prev, next, suppPrev, suppNext, t)
+	if err == nil && !d.IsZero() {
+		d = Dist{
+			Cells: append([]int(nil), d.Cells...),
+			Probs: append([]float64(nil), d.Probs...),
+		}
+	}
+	wsPool.Put(ws)
+	return d, err
+}
+
+// BetweenDistWS is BetweenDist with caller-provided scratch: the returned
+// Dist aliases ws and is valid only until the next call with the same
+// workspace. When the estimator has a Radial transition, the evaluation
+// memoizes transition masses per distinct lattice offset — the candidate and
+// support cells live on a regular lattice, so dis(center(c), center(s))
+// depends only on Δcol² + Δrow², and the two time intervals are fixed
+// within one call — collapsing the |cand|·(|suppPrev|+|suppNext|) transition
+// evaluations (sqrt + KDE lookup + speed-slack probes) to one per distinct
+// squared offset.
+func (e *Estimator) BetweenDistWS(ws *Workspace, prev, next model.Sample, suppPrev, suppNext Dist, t float64) (Dist, error) {
 	if e.Trans == nil {
 		return Dist{}, ErrNoTransition
 	}
-	cand := e.candidateCells(prev, next, t)
+	cand := e.candidateCellsWS(ws, prev, next, t)
+	ws.probs = ensureFloats(ws.probs, len(cand))
+	probs := ws.probs
+	d := Dist{Cells: cand, Probs: probs}
 
-	prevCenters := e.cellCenters(suppPrev.Cells)
-	nextCenters := e.cellCenters(suppNext.Cells)
+	if e.Radial != nil && e.betweenRadial(ws, d, prev, next, suppPrev, suppNext, t) {
+		// memoized path done
+	} else {
+		e.betweenGeneric(ws, d, prev, next, suppPrev, suppNext, t)
+	}
+	d.sortedInPlace()
+	d.normalize()
+	return d, nil
+}
 
-	d := Dist{Cells: cand, Probs: make([]float64, len(cand))}
+// betweenRadial fills d.Probs via the lattice-offset memo tables. It
+// reports false (leaving d untouched) when the offset range is too large to
+// memoize densely; the caller then falls back to the generic path.
+func (e *Estimator) betweenRadial(ws *Workspace, d Dist, prev, next model.Sample, suppPrev, suppNext Dist, t float64) bool {
+	nx := e.Grid.Cols()
+	cand := d.Cells
+
+	// Lattice coordinates of the support cells, and the bounding boxes that
+	// size the memo tables.
+	ws.spCols = ensureInts(ws.spCols, len(suppPrev.Cells))
+	ws.spRows = ensureInts(ws.spRows, len(suppPrev.Cells))
+	spMinC, spMaxC, spMinR, spMaxR := fillLattice(ws.spCols, ws.spRows, suppPrev.Cells, nx)
+	ws.snCols = ensureInts(ws.snCols, len(suppNext.Cells))
+	ws.snRows = ensureInts(ws.snRows, len(suppNext.Cells))
+	snMinC, snMaxC, snMinR, snMaxR := fillLattice(ws.snCols, ws.snRows, suppNext.Cells, nx)
+
+	cMinC, cMaxC, cMinR, cMaxR := latticeBounds(cand, nx)
+	maxQ := maxSquaredOffset(cMinC, cMaxC, cMinR, cMaxR, spMinC, spMaxC, spMinR, spMaxR)
+	if qb := maxSquaredOffset(cMinC, cMaxC, cMinR, cMaxR, snMinC, snMaxC, snMinR, snMaxR); qb > maxQ {
+		maxQ = qb
+	}
+	if maxQ >= memoLimit {
+		return false
+	}
+	ws.beginMemo(maxQ)
+
+	cs := e.Grid.CellSize()
+	dt1 := t - prev.T
+	dt2 := next.T - t
+	epoch := ws.epoch
+	memoA, stampA := ws.memoA, ws.stampA
+	memoB, stampB := ws.memoB, ws.stampB
+	spCols, spRows := ws.spCols, ws.spRows
+	snCols, snRows := ws.snCols, ws.snRows
+
 	for i, c := range cand {
-		rc := e.Grid.Center(c)
+		ccol := c % nx
+		crow := c / nx
 		// Σ_j f(r_j, ℓ_i) · P(r_c, t | r_j, t_i)
+		var sumA float64
+		for j, w := range suppPrev.Probs {
+			if w == 0 {
+				continue
+			}
+			dc := ccol - spCols[j]
+			dr := crow - spRows[j]
+			q := dc*dc + dr*dr
+			v := memoA[q]
+			if stampA[q] != epoch {
+				v = e.radialTransition(cs*math.Sqrt(float64(q)), dt1)
+				memoA[q] = v
+				stampA[q] = epoch
+			}
+			sumA += w * v
+		}
+		if sumA == 0 {
+			d.Probs[i] = 0
+			continue
+		}
+		// Σ_k f(r_k, ℓ_{i+1}) · P(r_k, t_{i+1} | r_c, t)
+		var sumB float64
+		for k, w := range suppNext.Probs {
+			if w == 0 {
+				continue
+			}
+			dc := ccol - snCols[k]
+			dr := crow - snRows[k]
+			q := dc*dc + dr*dr
+			v := memoB[q]
+			if stampB[q] != epoch {
+				v = e.radialTransition(cs*math.Sqrt(float64(q)), dt2)
+				memoB[q] = v
+				stampB[q] = epoch
+			}
+			sumB += w * v
+		}
+		d.Probs[i] = sumA * sumB
+	}
+	return true
+}
+
+// betweenGeneric is the unmemoized evaluation for transition models that
+// depend on absolute locations (frequency Markov, custom Trans): the
+// original double loop of Eq. 4, with workspace-backed center scratch.
+func (e *Estimator) betweenGeneric(ws *Workspace, d Dist, prev, next model.Sample, suppPrev, suppNext Dist, t float64) {
+	ws.prevCenters = e.cellCentersWS(ws.prevCenters, suppPrev.Cells)
+	ws.nextCenters = e.cellCentersWS(ws.nextCenters, suppNext.Cells)
+	prevCenters := ws.prevCenters
+	nextCenters := ws.nextCenters
+
+	for i, c := range d.Cells {
+		rc := e.Grid.Center(c)
 		var sumA float64
 		for j, pc := range prevCenters {
 			if w := suppPrev.Probs[j]; w != 0 {
@@ -173,9 +322,9 @@ func (e *Estimator) BetweenDist(prev, next model.Sample, suppPrev, suppNext Dist
 			}
 		}
 		if sumA == 0 {
+			d.Probs[i] = 0
 			continue
 		}
-		// Σ_k f(r_k, ℓ_{i+1}) · P(r_k, t_{i+1} | r_c, t)
 		var sumB float64
 		for k, nc := range nextCenters {
 			if w := suppNext.Probs[k]; w != 0 {
@@ -184,9 +333,78 @@ func (e *Estimator) BetweenDist(prev, next model.Sample, suppPrev, suppNext Dist
 		}
 		d.Probs[i] = sumA * sumB
 	}
-	d.sorted()
-	d.normalize()
-	return d, nil
+}
+
+// fillLattice decomposes cells into lattice coordinates and returns their
+// bounding box.
+func fillLattice(cols, rows, cells []int, nx int) (minC, maxC, minR, maxR int) {
+	minC, minR = math.MaxInt, math.MaxInt
+	maxC, maxR = math.MinInt, math.MinInt
+	for i, c := range cells {
+		col := c % nx
+		row := c / nx
+		cols[i] = col
+		rows[i] = row
+		if col < minC {
+			minC = col
+		}
+		if col > maxC {
+			maxC = col
+		}
+		if row < minR {
+			minR = row
+		}
+		if row > maxR {
+			maxR = row
+		}
+	}
+	return minC, maxC, minR, maxR
+}
+
+// latticeBounds returns the bounding box of cells in lattice coordinates.
+func latticeBounds(cells []int, nx int) (minC, maxC, minR, maxR int) {
+	minC, minR = math.MaxInt, math.MaxInt
+	maxC, maxR = math.MinInt, math.MinInt
+	for _, c := range cells {
+		col := c % nx
+		row := c / nx
+		if col < minC {
+			minC = col
+		}
+		if col > maxC {
+			maxC = col
+		}
+		if row < minR {
+			minR = row
+		}
+		if row > maxR {
+			maxR = row
+		}
+	}
+	return minC, maxC, minR, maxR
+}
+
+// maxSquaredOffset bounds Δcol² + Δrow² between any cell of box a and any
+// cell of box b. Empty boxes (max < min) yield 0.
+func maxSquaredOffset(aMinC, aMaxC, aMinR, aMaxR, bMinC, bMaxC, bMinR, bMaxR int) int {
+	if aMaxC < aMinC || bMaxC < bMinC {
+		return 0
+	}
+	dc := aMaxC - bMinC
+	if v := bMaxC - aMinC; v > dc {
+		dc = v
+	}
+	if dc < 0 {
+		dc = 0
+	}
+	dr := aMaxR - bMinR
+	if v := bMaxR - aMinR; v > dr {
+		dr = v
+	}
+	if dr < 0 {
+		dr = 0
+	}
+	return dc*dc + dr*dr
 }
 
 // transition evaluates the transition model, probing with SpeedSlack to
@@ -219,19 +437,41 @@ func (e *Estimator) transition(a geo.Point, ta float64, b geo.Point, tb float64)
 	return best
 }
 
-// cellCenters materializes the centers of a cell list.
-func (e *Estimator) cellCenters(cells []int) []geo.Point {
-	out := make([]geo.Point, len(cells))
-	for i, c := range cells {
-		out[i] = e.Grid.Center(c)
+// radialTransition is the radial form of transition: the same
+// SpeedSlack-probing rescue, expressed purely in distances.
+func (e *Estimator) radialTransition(d, dt float64) float64 {
+	best := e.Radial(d, dt)
+	slack := e.SpeedSlack
+	if best > 0 || slack <= 0 {
+		return best
 	}
-	return out
+	for _, dd := range [2]float64{d - slack, d + slack} {
+		if dd < 0 {
+			dd = 0
+		}
+		if v := e.Radial(dd, dt); v > best {
+			best = v
+		}
+	}
+	return best
 }
 
-// candidateCells selects the cells that can carry non-negligible mass at
-// time t between observations prev and next. In Exact mode this is all of
-// R. Otherwise the object must be reachable from *both* noisy
-// observations, so the candidates are the cells within
+// cellCentersWS materializes cell centers into a reusable buffer.
+func (e *Estimator) cellCentersWS(dst []geo.Point, cells []int) []geo.Point {
+	if cap(dst) < len(cells) {
+		dst = make([]geo.Point, len(cells))
+	}
+	dst = dst[:len(cells)]
+	for i, c := range cells {
+		dst[i] = e.Grid.Center(c)
+	}
+	return dst
+}
+
+// candidateCellsWS selects the cells that can carry non-negligible mass at
+// time t between observations prev and next, into ws.cells. In Exact mode
+// this is all of R. Otherwise the object must be reachable from *both*
+// noisy observations, so the candidates are the cells within
 //
 //	noiseRadius + MaxSpeed·(t − t_prev)   of prev.Loc, and
 //	noiseRadius + MaxSpeed·(t_next − t)   of next.Loc.
@@ -239,9 +479,14 @@ func (e *Estimator) cellCenters(cells []int) []geo.Point {
 // With no speed bound the radii degrade to the noise support around each
 // observation plus the inter-observation gap, which always connects the
 // two disks.
-func (e *Estimator) candidateCells(prev, next model.Sample, t float64) []int {
+func (e *Estimator) candidateCellsWS(ws *Workspace, prev, next model.Sample, t float64) []int {
 	if e.Exact {
-		return e.Grid.AllCells()
+		n := e.Grid.N()
+		ws.cells = ensureInts(ws.cells, n)
+		for i := range ws.cells {
+			ws.cells[i] = i
+		}
+		return ws.cells
 	}
 	nr := e.Noise.SupportRadius()
 	if nr <= 0 {
@@ -264,7 +509,8 @@ func (e *Estimator) candidateCells(prev, next model.Sample, t float64) []int {
 	if bR < aR {
 		aLoc, aR, bLoc, bR = bLoc, bR, aLoc, aR
 	}
-	cand := e.Grid.CellsWithin(nil, aLoc, aR)
+	cand := e.Grid.CellsWithin(ws.cells[:0], aLoc, aR)
+	ws.cells = cand
 	out := cand[:0]
 	for _, c := range cand {
 		if e.Grid.Center(c).Dist(bLoc) <= bR {
@@ -278,31 +524,79 @@ func (e *Estimator) candidateCells(prev, next model.Sample, t float64) []int {
 		// speed bound). Fall back to the noise support around the
 		// time-interpolated position so the distribution stays usable.
 		out = e.Grid.CellsWithin(out, mid, nr)
+		ws.cells = out
 	}
 	if e.MaxCandidateCells > 0 && len(out) > e.MaxCandidateCells {
-		out = nearestCells(e.Grid, out, mid, e.MaxCandidateCells)
+		out = nearestCellsWS(ws, e.Grid, out, mid, e.MaxCandidateCells)
 	}
 	return out
 }
 
-// nearestCells keeps the k cells of cand whose centers are nearest to p,
-// returned in ascending index order.
-func nearestCells(g *geo.Grid, cand []int, p geo.Point, k int) []int {
-	type cd struct {
-		cell int
-		d    float64
-	}
-	all := make([]cd, len(cand))
+// nearestCellsWS keeps the k cells of cand whose centers are nearest to p,
+// in ascending index order, truncating cand in place. Selection is a
+// deterministic O(n) partial partition on (distance, cell) rather than a
+// full sort; distance ties break toward the lower cell index so repeated
+// runs keep identical supports.
+func nearestCellsWS(ws *Workspace, g *geo.Grid, cand []int, p geo.Point, k int) []int {
+	ws.dists = ensureFloats(ws.dists, len(cand))
+	dists := ws.dists
 	for i, c := range cand {
-		all[i] = cd{cell: c, d: g.Center(c).Dist(p)}
+		dists[i] = g.Center(c).Dist(p)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
-	out := make([]int, k)
-	for i := 0; i < k; i++ {
-		out[i] = all[i].cell
-	}
+	quickselectByDist(cand, dists, k)
+	out := cand[:k]
 	sort.Ints(out)
 	return out
+}
+
+// quickselectByDist partially partitions the parallel slices (cells, dists)
+// so that the k entries with the smallest (dist, cell) order come first.
+// Median-of-three pivoting keeps the expected cost linear and deterministic
+// for a given input.
+func quickselectByDist(cells []int, dists []float64, k int) {
+	lo, hi := 0, len(cells)-1
+	for lo < hi {
+		// Median-of-three pivot of (dist, cell), moved to lo.
+		mid := lo + (hi-lo)/2
+		if lessDist(dists[mid], cells[mid], dists[lo], cells[lo]) {
+			swapDist(cells, dists, lo, mid)
+		}
+		if lessDist(dists[hi], cells[hi], dists[lo], cells[lo]) {
+			swapDist(cells, dists, lo, hi)
+		}
+		if lessDist(dists[mid], cells[mid], dists[hi], cells[hi]) {
+			swapDist(cells, dists, mid, hi)
+		}
+		pd, pc := dists[hi], cells[hi]
+		i := lo
+		for j := lo; j < hi; j++ {
+			if lessDist(dists[j], cells[j], pd, pc) {
+				swapDist(cells, dists, i, j)
+				i++
+			}
+		}
+		swapDist(cells, dists, i, hi)
+		switch {
+		case i == k || i == k-1:
+			return
+		case i < k:
+			lo = i + 1
+		default:
+			hi = i - 1
+		}
+	}
+}
+
+func lessDist(d1 float64, c1 int, d2 float64, c2 int) bool {
+	if d1 != d2 {
+		return d1 < d2
+	}
+	return c1 < c2
+}
+
+func swapDist(cells []int, dists []float64, i, j int) {
+	cells[i], cells[j] = cells[j], cells[i]
+	dists[i], dists[j] = dists[j], dists[i]
 }
 
 // STP returns the scalar spatial-temporal probability STP(r, t, Tra) of
