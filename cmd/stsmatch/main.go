@@ -7,21 +7,25 @@
 //	stsmatch -d1 a.csv -d2 b.csv -grid 3 -sigma 3          # full matching, STS
 //	stsmatch -d1 a.csv -d2 b.csv -method CATS              # baseline measure
 //	stsmatch -d1 a.csv -d2 b.csv -id1 ped-0001 -id2 ped-0002  # one pair
+//	stsmatch -d1 q.csv -d2 corpus.csv -top 5 -timeout 30s  # top-5, bounded
 //
 // When the two datasets are paired (row i of each observes the same
 // object), the tool reports precision and mean rank; otherwise use -top to
-// list the best matches per trajectory.
+// list the best matches per trajectory. The -top path runs through the
+// engine: d2 becomes a corpus queried per d1 trajectory, with cached
+// per-trajectory preparation shared across queries.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
 	"github.com/stslib/sts/internal/baseline"
 	"github.com/stslib/sts/internal/core"
 	"github.com/stslib/sts/internal/dataset"
+	"github.com/stslib/sts/internal/engine"
 	"github.com/stslib/sts/internal/eval"
 	"github.com/stslib/sts/internal/geo"
 	"github.com/stslib/sts/internal/model"
@@ -29,15 +33,17 @@ import (
 
 func main() {
 	var (
-		d1Path = flag.String("d1", "", "first dataset CSV (required)")
-		d2Path = flag.String("d2", "", "second dataset CSV (required)")
-		method = flag.String("method", "STS", "measure: STS, CATS, SST, WGM, APM, EDwP, KF, DTW")
-		gridSz = flag.Float64("grid", 0, "grid cell size in meters (default: sigma, or a 1/100 of the extent)")
-		sigma  = flag.Float64("sigma", 0, "location noise sigma in meters (default: grid size)")
-		id1    = flag.String("id1", "", "score a single pair: trajectory id in d1")
-		id2    = flag.String("id2", "", "score a single pair: trajectory id in d2")
-		top    = flag.Int("top", 0, "list the top-K matches for every trajectory of d1")
-		paired = flag.Bool("paired", true, "datasets are index-paired (report precision and mean rank)")
+		d1Path  = flag.String("d1", "", "first dataset CSV (required)")
+		d2Path  = flag.String("d2", "", "second dataset CSV (required)")
+		method  = flag.String("method", "STS", "measure: STS, CATS, SST, WGM, APM, EDwP, KF, DTW")
+		gridSz  = flag.Float64("grid", 0, "grid cell size in meters (default: sigma, or a 1/100 of the extent)")
+		sigma   = flag.Float64("sigma", 0, "location noise sigma in meters (default: grid size)")
+		id1     = flag.String("id1", "", "score a single pair: trajectory id in d1")
+		id2     = flag.String("id2", "", "score a single pair: trajectory id in d2")
+		top     = flag.Int("top", 0, "list the top-K matches for every trajectory of d1")
+		paired  = flag.Bool("paired", true, "datasets are index-paired (report precision and mean rank)")
+		strict  = flag.Bool("strict", false, "reject datasets with out-of-order samples instead of sorting them")
+		timeout = flag.Duration("timeout", 0, "abort scoring after this duration (0 = no limit)")
 	)
 	flag.Parse()
 	if *d1Path == "" || *d2Path == "" {
@@ -45,10 +51,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	d1, err := dataset.ReadFile(*d1Path)
+	ropts := dataset.ReadOptions{RejectUnsorted: *strict}
+	d1, err := dataset.ReadFileWith(*d1Path, ropts)
 	check(err)
-	d2, err := dataset.ReadFile(*d2Path)
+	d2, err := dataset.ReadFileWith(*d2Path, ropts)
 	check(err)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	scorer, err := buildScorer(*method, d1, d2, *gridSz, *sigma)
 	check(err)
@@ -69,31 +83,33 @@ func main() {
 	}
 
 	if *top > 0 {
-		scores, err := eval.ScoreMatrix(d1, d2, scorer, 0)
+		// d2 is the corpus; every d1 trajectory queries it through one
+		// engine, so per-trajectory preparation is cached across queries.
+		eng, err := engine.New(scorer, engine.Options{})
 		check(err)
-		for i, row := range scores {
-			type m struct {
-				j int
-				v float64
-			}
-			ms := make([]m, len(row))
-			for j, v := range row {
-				ms[j] = m{j, v}
-			}
-			sort.Slice(ms, func(a, b int) bool { return ms[a].v > ms[b].v })
-			fmt.Printf("%s:", d1[i].ID)
-			for k := 0; k < *top && k < len(ms); k++ {
-				fmt.Printf("  %s=%.4g", d2[ms[k].j].ID, ms[k].v)
+		for _, tr := range d2 {
+			_, err := eng.Add(tr)
+			check(err)
+		}
+		for _, q := range d1 {
+			matches, err := eng.TopK(ctx, q, *top)
+			check(err)
+			fmt.Printf("%s:", q.ID)
+			for _, m := range matches {
+				fmt.Printf("  %s=%.4g", m.ID, m.Score)
 			}
 			fmt.Println()
 		}
+		stats := eng.CacheStats()
+		fmt.Printf("# prepared cache: %d hits / %d misses (%.0f%% hit rate)\n",
+			stats.Hits, stats.Misses, 100*stats.HitRate())
 		return
 	}
 
 	if !*paired {
 		check(fmt.Errorf("nothing to do: pass -top K, or -id1/-id2, or leave -paired=true"))
 	}
-	res, err := eval.Matching(d1, d2, scorer, 0)
+	res, err := eval.MatchingContext(ctx, d1, d2, scorer, 0)
 	check(err)
 	fmt.Printf("method=%s  n=%d  precision=%.4f  mean_rank=%.4f  elapsed=%s\n",
 		scorer.Name(), len(d1), res.Precision, res.MeanRank, res.Elapsed)

@@ -1,0 +1,84 @@
+package sts
+
+import (
+	"context"
+
+	"github.com/stslib/sts/internal/engine"
+	"github.com/stslib/sts/internal/eval"
+	"github.com/stslib/sts/internal/index"
+	"github.com/stslib/sts/internal/linking"
+)
+
+// Engine is the long-lived execution layer for serving similarity
+// workloads over a mutating corpus: it binds a scorer to a corpus of
+// trajectories and owns the prepared-trajectory LRU cache, the candidate-
+// pruning index (kept incrementally up to date under Add/Remove/Replace),
+// and the cancellable worker pool every query runs on.
+//
+// Use it instead of the one-shot functions when the corpus outlives a
+// single call — repeated queries reuse cached per-trajectory preparation
+// (speed models, observed-timestamp distributions) instead of rebuilding
+// it per request.
+type Engine = engine.Engine
+
+// EngineMatch is one result of Engine.TopK: the matched trajectory's ID,
+// its corpus slot, and its similarity to the query.
+type EngineMatch = engine.Match
+
+// CacheStats reports the engine's prepared-trajectory cache counters.
+type CacheStats = engine.CacheStats
+
+// EngineOptions configures NewEngine.
+type EngineOptions struct {
+	// Workers bounds query parallelism (0 selects GOMAXPROCS).
+	Workers int
+	// CacheSize bounds the prepared-trajectory LRU cache (0 selects the
+	// default of 4096 entries; negative means unbounded).
+	CacheSize int
+	// Index, when set, maintains a spatial-temporal inverted index over
+	// the corpus so TopK scores only candidates that plausibly overlap
+	// the query in space-time. Without it, TopK scans the whole corpus.
+	Index *IndexOptions
+}
+
+// NewEngine builds an engine around a scorer (use NewScorer to wrap a
+// Measure — measure-backed scorers get the prepared-cache fast path).
+// Populate the corpus with Add/Replace; query with TopK and ScoreBatch.
+func NewEngine(scorer Scorer, opts EngineOptions) (*Engine, error) {
+	var pruner engine.Pruner
+	if opts.Index != nil {
+		ix, err := index.New(*opts.Index)
+		if err != nil {
+			return nil, err
+		}
+		pruner = ix
+	}
+	return engine.New(scorer, engine.Options{
+		Workers:   opts.Workers,
+		CacheSize: opts.CacheSize,
+		Pruner:    pruner,
+	})
+}
+
+// MatchContext is Match with cancellation: the full-matrix scoring runs on
+// the engine executor and aborts promptly when ctx is cancelled or its
+// deadline passes.
+func MatchContext(ctx context.Context, d1, d2 Dataset, s Scorer, workers int) (MatchResult, error) {
+	return eval.MatchingContext(ctx, d1, d2, s, workers)
+}
+
+// LinkDatasetsContext is LinkDatasets with cancellation.
+func LinkDatasetsContext(ctx context.Context, d1, d2 Dataset, scorer Scorer, opts LinkOptions) ([]Link, error) {
+	return linking.GreedyLinkContext(ctx, d1, d2, scorer, opts)
+}
+
+// LinkDatasetsOptimalContext is LinkDatasetsOptimal with cancellation.
+func LinkDatasetsOptimalContext(ctx context.Context, d1, d2 Dataset, scorer Scorer, opts LinkOptions) ([]Link, error) {
+	return linking.OptimalLinkContext(ctx, d1, d2, scorer, opts)
+}
+
+// ScoreMatrixContext scores rows × cols with cancellation; see
+// eval.ScoreMatrixContext for the masked/unmasked semantics.
+func ScoreMatrixContext(ctx context.Context, rows, cols Dataset, s Scorer, workers int) ([][]float64, error) {
+	return eval.ScoreMatrixContext(ctx, rows, cols, s, workers)
+}

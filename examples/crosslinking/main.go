@@ -1,17 +1,19 @@
 // Cross-system trajectory linking at corpus scale: two sensing systems
 // each observe the same fleet of taxis; link every trajectory in one
-// system to its counterpart in the other. This composes three parts of
-// the library:
+// system to its counterpart in the other. This composes the engine layer
+// with three parts of the library:
 //
-//   - the spatial-temporal index prunes the candidate pairs (trajectories
-//     that never come close in space-time are never scored);
+//   - the engine owns the corpus: the spatial-temporal index prunes
+//     candidate pairs incrementally as trajectories are added, and
+//     per-trajectory preparation is cached across queries;
 //   - the FTL-style velocity feasibility test vetoes physically
 //     impossible links;
 //   - STS scores the survivors and a greedy one-to-one assignment links
-//     them.
+//     them, under a cancellable deadline.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -43,25 +45,51 @@ func main() {
 	}
 	scorer := sts.NewScorer("STS", measure)
 
-	// How much does the index prune? Count candidates per query.
-	ix, err := sts.NewIndex(d2, sts.IndexOptions{
-		Grid:         grid,
-		TimeBucket:   120,
-		SpatialSlack: 400,
-		TimeSlack:    120,
+	// One engine owns the second system's corpus: the index postings are
+	// maintained incrementally by Add, and every query below reuses the
+	// cached per-trajectory preparation.
+	eng, err := sts.NewEngine(scorer, sts.EngineOptions{
+		Index: &sts.IndexOptions{
+			Grid:         grid,
+			TimeBucket:   120,
+			SpatialSlack: 400,
+			TimeSlack:    120,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	totalCand := 0
-	for _, q := range d1 {
-		totalCand += len(ix.Candidates(q))
+	for i, tr := range d2 {
+		// The split halves share the vehicle's ID; key the corpus by a
+		// system-qualified ID as a real deployment would.
+		tr.ID = fmt.Sprintf("sys2/%s", tr.ID)
+		d2[i] = tr
+		if _, err := eng.Add(tr); err != nil {
+			log.Fatal(err)
+		}
 	}
-	fmt.Printf("index pruning: %.0f%% of pairs never scored (%d of %d survive)\n",
-		100*(1-float64(totalCand)/float64(fleet*fleet)), totalCand, fleet*fleet)
 
+	// Per-query top-1 through the engine: the index prunes, the cache
+	// reuses preparation across the fleet of queries.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	top1 := 0
+	for _, q := range d1 {
+		matches, err := eng.TopK(ctx, q, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(matches) == 1 && matches[0].ID == "sys2/"+q.ID {
+			top1++
+		}
+	}
+	stats := eng.CacheStats()
+	fmt.Printf("engine top-1: %d/%d correct; prepared cache %d hits / %d misses (%.0f%% hit rate)\n",
+		top1, fleet, stats.Hits, stats.Misses, 100*stats.HitRate())
+
+	// Full one-to-one linking with the feasibility veto, cancellable.
 	start := time.Now()
-	links, err := sts.LinkDatasets(d1, d2, scorer, sts.LinkOptions{
+	links, err := sts.LinkDatasetsContext(ctx, d1, d2, scorer, sts.LinkOptions{
 		MinScore: 1e-6,
 		MaxSpeed: 40, // no taxi exceeds 144 km/h
 	})
@@ -70,7 +98,7 @@ func main() {
 	}
 	correct := 0
 	for _, l := range links {
-		if d1[l.I].ID == d2[l.J].ID {
+		if "sys2/"+d1[l.I].ID == d2[l.J].ID {
 			correct++
 		}
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -76,4 +77,21 @@ func main() {
 	} else {
 		fmt.Println("unexpected: unrelated pair scored higher")
 	}
+
+	// For repeated queries, hand the corpus to an engine: it caches each
+	// trajectory's preparation, so querying twice prepares nothing anew.
+	eng, err := sts.NewEngine(sts.NewScorer("STS", measure), sts.EngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tr := range []sts.Trajectory{b, c} {
+		if _, err := eng.Add(tr); err != nil {
+			log.Fatal(err)
+		}
+	}
+	matches, err := eng.TopK(context.Background(), a, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engine best match for %s: %s (score %.5f)\n", a.ID, matches[0].ID, matches[0].Score)
 }

@@ -6,8 +6,12 @@
 //	id,t,x,y
 //	taxi-0001,0.0,1200.5,900.25
 //
-// Rows of the same id must be contiguous or will be grouped; samples are
-// sorted by time on load.
+// Rows of the same id must be contiguous or will be grouped. Sample
+// time-ordering is validated on load: out-of-order samples are sorted by
+// default, or rejected with an error naming the trajectory and offending
+// timestamp when ReadOptions.RejectUnsorted is set. Duplicate timestamps
+// within a trajectory are always rejected — downstream S-T probability
+// interpolation is undefined on them.
 package dataset
 
 import (
@@ -56,9 +60,44 @@ func WriteFile(path string, ds model.Dataset) error {
 	return f.Close()
 }
 
+// ReadOptions configures the time-ordering policy of the readers.
+type ReadOptions struct {
+	// RejectUnsorted returns an error for trajectories whose samples are
+	// out of time order, instead of the default of sorting them. Strict
+	// ingestion catches corrupted or mis-merged feeds at the boundary,
+	// where the trajectory and timestamps can still be named, rather than
+	// as undefined S-T interpolation downstream.
+	RejectUnsorted bool
+}
+
+// normalize applies the ordering policy and the structural validation to a
+// freshly decoded trajectory, wrapping violations in errors that name the
+// trajectory and the offending timestamps.
+func normalize(tr *model.Trajectory, opts ReadOptions) error {
+	for i := 1; i < len(tr.Samples); i++ {
+		if tr.Samples[i].T < tr.Samples[i-1].T {
+			if opts.RejectUnsorted {
+				return fmt.Errorf("dataset: trajectory %q: sample %d out of time order (t=%v precedes t=%v); sort the input or load without strict ordering",
+					tr.ID, i, tr.Samples[i].T, tr.Samples[i-1].T)
+			}
+			tr.SortByTime()
+			break
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	return nil
+}
+
 // Read decodes a dataset from r. Trajectories appear in order of first
 // occurrence of their id; each trajectory's samples are sorted by time.
 func Read(r io.Reader) (model.Dataset, error) {
+	return ReadWith(r, ReadOptions{})
+}
+
+// ReadWith is Read with an explicit time-ordering policy.
+func ReadWith(r io.Reader, opts ReadOptions) (model.Dataset, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 4
 	header, err := cr.Read()
@@ -102,9 +141,8 @@ func Read(r io.Reader) (model.Dataset, error) {
 		ds[i].Samples = append(ds[i].Samples, model.Sample{Loc: geo.Point{X: x, Y: y}, T: t})
 	}
 	for i := range ds {
-		ds[i].SortByTime()
-		if err := ds[i].Validate(); err != nil {
-			return nil, fmt.Errorf("dataset: %w", err)
+		if err := normalize(&ds[i], opts); err != nil {
+			return nil, err
 		}
 	}
 	return ds, nil
@@ -112,10 +150,15 @@ func Read(r io.Reader) (model.Dataset, error) {
 
 // ReadFile reads a dataset from the named file.
 func ReadFile(path string) (model.Dataset, error) {
+	return ReadFileWith(path, ReadOptions{})
+}
+
+// ReadFileWith is ReadFile with an explicit time-ordering policy.
+func ReadFileWith(path string, opts ReadOptions) (model.Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Read(f)
+	return ReadWith(f, opts)
 }

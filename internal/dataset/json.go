@@ -39,6 +39,13 @@ func WriteJSON(w io.Writer, ds model.Dataset) error {
 // ReadJSON decodes a dataset written by WriteJSON. Samples are sorted by
 // time and validated.
 func ReadJSON(r io.Reader) (model.Dataset, error) {
+	return ReadJSONWith(r, ReadOptions{})
+}
+
+// ReadJSONWith is ReadJSON with an explicit time-ordering policy: out-of-
+// order samples are sorted by default, or rejected with an error naming
+// the trajectory when opts.RejectUnsorted is set.
+func ReadJSONWith(r io.Reader, opts ReadOptions) (model.Dataset, error) {
 	var in []jsonTrajectory
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&in); err != nil {
@@ -50,9 +57,8 @@ func ReadJSON(r io.Reader) (model.Dataset, error) {
 		for j, s := range jt.Samples {
 			tr.Samples[j] = model.Sample{T: s[0], Loc: geo.Point{X: s[1], Y: s[2]}}
 		}
-		tr.SortByTime()
-		if err := tr.Validate(); err != nil {
-			return nil, fmt.Errorf("dataset: %w", err)
+		if err := normalize(&tr, opts); err != nil {
+			return nil, err
 		}
 		ds[i] = tr
 	}
@@ -74,10 +80,15 @@ func WriteJSONFile(path string, ds model.Dataset) error {
 
 // ReadJSONFile reads a JSON dataset from the named file.
 func ReadJSONFile(path string) (model.Dataset, error) {
+	return ReadJSONFileWith(path, ReadOptions{})
+}
+
+// ReadJSONFileWith is ReadJSONFile with an explicit time-ordering policy.
+func ReadJSONFileWith(path string, opts ReadOptions) (model.Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadJSON(f)
+	return ReadJSONWith(f, opts)
 }

@@ -1,0 +1,73 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+const unsortedCSV = "id,t,x,y\n" +
+	"a,10,1,1\n" +
+	"a,5,2,2\n" +
+	"a,20,3,3\n"
+
+const unsortedJSON = `[{"id":"a","samples":[[10,1,1],[5,2,2],[20,3,3]]}]`
+
+func TestReadSortsOutOfOrderByDefault(t *testing.T) {
+	ds, err := Read(strings.NewReader(unsortedCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Len() != 3 {
+		t.Fatalf("got %v", ds)
+	}
+	for i := 1; i < ds[0].Len(); i++ {
+		if ds[0].Samples[i].T < ds[0].Samples[i-1].T {
+			t.Fatalf("samples not sorted: %v", ds[0].Samples)
+		}
+	}
+}
+
+func TestReadWithRejectUnsorted(t *testing.T) {
+	_, err := ReadWith(strings.NewReader(unsortedCSV), ReadOptions{RejectUnsorted: true})
+	if err == nil {
+		t.Fatal("out-of-order samples accepted in strict mode")
+	}
+	for _, want := range []string{`"a"`, "out of time order", "t=5"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q", err, want)
+		}
+	}
+}
+
+func TestReadJSONWithRejectUnsorted(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(unsortedJSON)); err != nil {
+		t.Fatalf("lenient JSON read: %v", err)
+	}
+	_, err := ReadJSONWith(strings.NewReader(unsortedJSON), ReadOptions{RejectUnsorted: true})
+	if err == nil {
+		t.Fatal("out-of-order samples accepted in strict mode")
+	}
+	if !strings.Contains(err.Error(), "out of time order") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestReadRejectsDuplicateTimestampsEitherWay(t *testing.T) {
+	dup := "id,t,x,y\na,5,1,1\na,5,2,2\n"
+	for _, opts := range []ReadOptions{{}, {RejectUnsorted: true}} {
+		if _, err := ReadWith(strings.NewReader(dup), opts); err == nil {
+			t.Errorf("duplicate timestamps accepted with %+v", opts)
+		}
+	}
+}
+
+func TestSortedInputPassesStrict(t *testing.T) {
+	sorted := "id,t,x,y\na,1,1,1\na,2,2,2\n"
+	ds, err := ReadWith(strings.NewReader(sorted), ReadOptions{RejectUnsorted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Len() != 2 {
+		t.Fatalf("got %v", ds)
+	}
+}

@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/stslib/sts/internal/core"
+	"github.com/stslib/sts/internal/model"
+)
+
+// prepKey identifies one trajectory's prepared state. Trajectory IDs alone
+// are not unique across datasets (matching experiments reuse an object's ID
+// for both halves of a split), so the key also pins the sample count and
+// the identity of the backing sample array. Trajectories handed to the
+// engine must not be mutated in place afterwards — the standard contract
+// for sharing slices across goroutines anyway.
+type prepKey struct {
+	id    string
+	n     int
+	first *model.Sample
+}
+
+func keyOf(tr model.Trajectory) prepKey {
+	k := prepKey{id: tr.ID, n: len(tr.Samples)}
+	if k.n > 0 {
+		k.first = &tr.Samples[0]
+	}
+	return k
+}
+
+// CacheStats reports the prepared-trajectory cache counters. Hits+Misses
+// is the total number of preparation lookups; Evictions counts entries
+// dropped by the LRU bound.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	// Size is the current number of cached entries, Cap the configured
+	// bound (0 = unbounded).
+	Size int
+	Cap  int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// prepEntry is one cache slot. ready is closed once p/err are set, so
+// concurrent requests for the same trajectory block on the single in-flight
+// preparation instead of duplicating it.
+type prepEntry struct {
+	key   prepKey
+	ready chan struct{}
+	done  bool
+	p     *core.Prepared
+	err   error
+}
+
+// prepCache is a size-bounded LRU of prepared trajectories with
+// single-flight semantics and hit/miss/eviction counters. All methods are
+// safe for concurrent use.
+type prepCache struct {
+	mu      sync.Mutex
+	cap     int // 0 = unbounded
+	order   *list.List // front = most recently used; values are *prepEntry
+	entries map[prepKey]*list.Element
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+func newPrepCache(capacity int) *prepCache {
+	return &prepCache{cap: capacity, order: list.New(), entries: make(map[prepKey]*list.Element)}
+}
+
+// get returns the prepared state for key, preparing it with prepare() on a
+// miss. Errors are not cached: the failed entry is removed so a later call
+// retries, but every waiter of the in-flight attempt sees the error.
+func (c *prepCache) get(key prepKey, prepare func() (*core.Prepared, error)) (*core.Prepared, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		e := el.Value.(*prepEntry)
+		c.mu.Unlock()
+		<-e.ready
+		return e.p, e.err
+	}
+	c.misses++
+	e := &prepEntry{key: key, ready: make(chan struct{})}
+	c.entries[key] = c.order.PushFront(e)
+	c.evictLocked()
+	c.mu.Unlock()
+
+	p, err := prepare()
+
+	c.mu.Lock()
+	e.p, e.err = p, err
+	e.done = true
+	if err != nil {
+		if el, ok := c.entries[key]; ok && el.Value.(*prepEntry) == e {
+			c.order.Remove(el)
+			delete(c.entries, key)
+		}
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return p, err
+}
+
+// evictLocked drops least-recently-used *completed* entries until the cache
+// fits its bound. In-flight entries are skipped — evicting them would
+// strand waiters — so the cache can transiently exceed cap while many
+// preparations race.
+func (c *prepCache) evictLocked() {
+	if c.cap <= 0 {
+		return
+	}
+	for el := c.order.Back(); el != nil && len(c.entries) > c.cap; {
+		prev := el.Prev()
+		e := el.Value.(*prepEntry)
+		if e.done {
+			c.order.Remove(el)
+			delete(c.entries, e.key)
+			c.evictions++
+		}
+		el = prev
+	}
+}
+
+// forget removes a trajectory's entry (if completed) — corpus Remove and
+// Replace call it so stale prepared state does not linger at full cache
+// capacity.
+func (c *prepCache) forget(key prepKey) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok && el.Value.(*prepEntry).done {
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
+	c.mu.Unlock()
+}
+
+func (c *prepCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      len(c.entries),
+		Cap:       c.cap,
+	}
+}

@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/stslib/sts/internal/core"
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+// measureScorer adapts a bare core.Measure to the MeasureScorer interface
+// without importing eval (which sits above this package).
+type measureScorer struct{ m *core.Measure }
+
+func (s measureScorer) Name() string          { return "STS" }
+func (s measureScorer) Measure() *core.Measure { return s.m }
+func (s measureScorer) Score(a, b model.Trajectory) (float64, error) {
+	return s.m.Similarity(a, b)
+}
+
+func cacheTestMeasure(t *testing.T) *core.Measure {
+	t.Helper()
+	g, err := geo.NewGrid(geo.NewRect(geo.Point{X: -50, Y: -50}, geo.Point{X: 600, Y: 600}), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewSTS(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func cacheWalk(id string, x0 float64, n int) model.Trajectory {
+	tr := model.Trajectory{ID: id, Samples: make([]model.Sample, n)}
+	for i := range tr.Samples {
+		f := float64(i)
+		tr.Samples[i] = model.Sample{Loc: geo.Point{X: x0 + 4*f, Y: 100}, T: 12 * f}
+	}
+	return tr
+}
+
+// TestCacheSizeOneEquivalence is the eviction-then-rescore equivalence
+// check from the issue: a cache bounded to a single entry thrashes —
+// every trajectory is evicted and re-prepared between batches — but the
+// scores must be bit-identical to an unbounded cache.
+func TestCacheSizeOneEquivalence(t *testing.T) {
+	m := cacheTestMeasure(t)
+	rows := model.Dataset{cacheWalk("r0", 100, 8), cacheWalk("r1", 160, 8), cacheWalk("r2", 220, 8)}
+	cols := model.Dataset{cacheWalk("c0", 104, 8), cacheWalk("c1", 400, 8), cacheWalk("c2", 226, 8)}
+
+	run := func(cacheSize int) ([][]float64, CacheStats) {
+		t.Helper()
+		// Workers:1 keeps LRU traffic deterministic for the Size assertion.
+		e, err := New(measureScorer{m}, Options{Workers: 1, CacheSize: cacheSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last [][]float64
+		for round := 0; round < 3; round++ {
+			last, err = e.ScoreBatch(context.Background(), rows, cols, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return last, e.CacheStats()
+	}
+
+	tiny, tinyStats := run(1)
+	unbounded, bigStats := run(-1)
+	for i := range tiny {
+		for j := range tiny[i] {
+			if tiny[i][j] != unbounded[i][j] {
+				t.Errorf("scores diverge at [%d][%d]: cache=1 %v, unbounded %v", i, j, tiny[i][j], unbounded[i][j])
+			}
+		}
+	}
+	if tinyStats.Evictions == 0 {
+		t.Errorf("cache of 1 over 6 trajectories never evicted: %+v", tinyStats)
+	}
+	if tinyStats.Size > 1 {
+		t.Errorf("bounded cache holds %d entries, cap 1", tinyStats.Size)
+	}
+	if bigStats.Evictions != 0 {
+		t.Errorf("unbounded cache evicted: %+v", bigStats)
+	}
+	// Unbounded: 6 misses in round one, pure hits in the other two rounds.
+	if bigStats.Misses != 6 || bigStats.Hits != 12 {
+		t.Errorf("unbounded cache stats %+v, want 6 misses / 12 hits", bigStats)
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := newPrepCache(0)
+	key := keyOf(cacheWalk("a", 0, 4))
+	var calls int32
+	var mu sync.Mutex
+	prepare := func() (*core.Prepared, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		time.Sleep(20 * time.Millisecond) // widen the race window
+		return &core.Prepared{}, nil
+	}
+	var wg sync.WaitGroup
+	const workers = 8
+	results := make([]*core.Prepared, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p, err := c.get(key, prepare)
+			if err != nil {
+				t.Error(err)
+			}
+			results[w] = p
+		}(w)
+	}
+	wg.Wait()
+	if calls != 1 {
+		t.Errorf("prepare ran %d times for one key under concurrency", calls)
+	}
+	for w := 1; w < workers; w++ {
+		if results[w] != results[0] {
+			t.Errorf("waiter %d got a different prepared instance", w)
+		}
+	}
+	s := c.stats()
+	if s.Misses != 1 || s.Hits != workers-1 {
+		t.Errorf("stats %+v, want 1 miss / %d hits", s, workers-1)
+	}
+}
+
+func TestCacheErrorNotCachedAndRetried(t *testing.T) {
+	c := newPrepCache(4)
+	key := keyOf(cacheWalk("a", 0, 4))
+	boom := errors.New("boom")
+	calls := 0
+	prepare := func() (*core.Prepared, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return &core.Prepared{}, nil
+	}
+	if _, err := c.get(key, prepare); !errors.Is(err, boom) {
+		t.Fatalf("first get: %v", err)
+	}
+	if s := c.stats(); s.Size != 0 {
+		t.Fatalf("failed entry cached: %+v", s)
+	}
+	p, err := c.get(key, prepare)
+	if err != nil || p == nil {
+		t.Fatalf("retry after error: %v %v", p, err)
+	}
+	if calls != 2 {
+		t.Errorf("prepare calls=%d want 2 (error must not be cached)", calls)
+	}
+	if s := c.stats(); s.Size != 1 || s.Misses != 2 {
+		t.Errorf("stats after retry: %+v", s)
+	}
+}
+
+func TestCacheForget(t *testing.T) {
+	c := newPrepCache(4)
+	a, b := keyOf(cacheWalk("a", 0, 4)), keyOf(cacheWalk("b", 50, 4))
+	ok := func() (*core.Prepared, error) { return &core.Prepared{}, nil }
+	if _, err := c.get(a, ok); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.get(b, ok); err != nil {
+		t.Fatal(err)
+	}
+	c.forget(a)
+	if s := c.stats(); s.Size != 1 {
+		t.Fatalf("forget left %d entries", s.Size)
+	}
+	// Re-getting a forgotten key is a miss, not a hit on stale state.
+	if _, err := c.get(a, ok); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.stats(); s.Misses != 3 || s.Hits != 0 {
+		t.Errorf("stats %+v, want 3 misses / 0 hits", s)
+	}
+}
+
+func TestCacheLRUOrderingEvictsColdest(t *testing.T) {
+	c := newPrepCache(2)
+	a, b, d := keyOf(cacheWalk("a", 0, 4)), keyOf(cacheWalk("b", 50, 4)), keyOf(cacheWalk("d", 100, 4))
+	ok := func() (*core.Prepared, error) { return &core.Prepared{}, nil }
+	mustGet := func(k prepKey) {
+		t.Helper()
+		if _, err := c.get(k, ok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGet(a)
+	mustGet(b)
+	mustGet(a) // touch a: b is now coldest
+	mustGet(d) // evicts b
+	s := c.stats()
+	if s.Evictions != 1 || s.Size != 2 {
+		t.Fatalf("stats %+v, want 1 eviction, size 2", s)
+	}
+	hitsBefore := s.Hits
+	mustGet(a)
+	mustGet(d)
+	if s := c.stats(); s.Hits != hitsBefore+2 {
+		t.Errorf("survivors a/d missed: %+v", s)
+	}
+	mustGet(b) // must be a miss — it was evicted
+	if s := c.stats(); s.Misses != 4 {
+		t.Errorf("evicted b re-fetch: %+v, want 4th miss", s)
+	}
+}

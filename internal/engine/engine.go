@@ -1,0 +1,378 @@
+// Package engine is the execution layer under scoring, matching, linking,
+// and top-k search: one long-lived owner for prepared-trajectory state and
+// one cancellable worker-pool executor, shared by every entry point that
+// previously hand-rolled its own goroutine fan-out.
+//
+// An Engine binds a similarity scorer (typically STS, via core.Measure) to
+// a mutable Corpus of trajectories. It owns
+//
+//   - the prepared-trajectory lifecycle: a size-bounded LRU cache of
+//     core.Prepared with hit/miss/eviction counters and single-flight
+//     preparation under concurrency;
+//   - corpus mutation (Add/Remove/Replace) with incremental updates to an
+//     optional spatio-temporal pruner (the inverted index);
+//   - the single executor (ForEach) through which all parallel work runs,
+//     with context cancellation and deadline propagation.
+//
+// The eval, linking, and index packages re-express their entry points as
+// thin views over this package, so a server can hold one Engine per corpus
+// and serve continuous top-k / join queries without re-preparing
+// trajectories per request.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/stslib/sts/internal/core"
+	"github.com/stslib/sts/internal/model"
+)
+
+// Scorer assigns a similarity score to a pair of trajectories; higher is
+// more similar. It is structurally identical to eval.Scorer (this package
+// sits below eval, so it declares its own copy; any eval.Scorer value
+// satisfies it).
+type Scorer interface {
+	Name() string
+	Score(a, b model.Trajectory) (float64, error)
+}
+
+// MeasureScorer is a Scorer backed by a core.Measure. Engines detect it to
+// route scoring through the prepared-trajectory cache and
+// core.Measure.SimilarityPrepared instead of pairwise Score calls.
+// eval.STSScorer implements it.
+type MeasureScorer interface {
+	Scorer
+	Measure() *core.Measure
+}
+
+// Pruner is the candidate-pruning index the engine keeps incrementally
+// up to date under corpus mutation. index.Index implements it; the
+// interface lives here so engine does not import index (index's TopK is a
+// thin view over this package).
+type Pruner interface {
+	// Insert records the trajectory stored in the given corpus slot.
+	Insert(slot int, tr model.Trajectory)
+	// Remove forgets the trajectory previously inserted at slot.
+	Remove(slot int, tr model.Trajectory)
+	// Candidates returns the slots that could plausibly overlap the query
+	// in space-time; slots outside the result are never scored by TopK.
+	Candidates(query model.Trajectory) []int
+}
+
+// DefaultCacheSize bounds the prepared-trajectory LRU when Options.
+// CacheSize is zero.
+const DefaultCacheSize = 4096
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds scoring parallelism (0 selects GOMAXPROCS).
+	Workers int
+	// CacheSize bounds the prepared-trajectory LRU cache (0 selects
+	// DefaultCacheSize; negative means unbounded).
+	CacheSize int
+	// Pruner, when set, prunes TopK candidate sets and is kept up to date
+	// incrementally by Add/Remove/Replace.
+	Pruner Pruner
+}
+
+// Match is one result of Engine.TopK.
+type Match struct {
+	// ID is the corpus trajectory's ID, Slot its corpus slot.
+	ID   string
+	Slot int
+	// Score is its similarity to the query.
+	Score float64
+}
+
+// Engine binds a scorer to a corpus. All methods are safe for concurrent
+// use; queries observe a consistent snapshot of the corpus taken when they
+// start.
+type Engine struct {
+	scorer  Scorer
+	measure *core.Measure // non-nil when scorer is a MeasureScorer
+	workers int
+	cache   *prepCache
+	pruner  Pruner
+
+	mu    sync.RWMutex
+	slots []corpusSlot
+	byID  map[string]int
+	free  []int
+	count int
+}
+
+// corpusSlot holds one corpus entry; freed slots are reused by Add so
+// pruner postings stay small.
+type corpusSlot struct {
+	tr   model.Trajectory
+	used bool
+}
+
+// New builds an Engine. The scorer is required; a MeasureScorer enables
+// the prepared cache and the zero-allocation prepared scoring path.
+func New(scorer Scorer, opts Options) (*Engine, error) {
+	if scorer == nil {
+		return nil, errors.New("engine: scorer is required")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	capacity := opts.CacheSize
+	switch {
+	case capacity == 0:
+		capacity = DefaultCacheSize
+	case capacity < 0:
+		capacity = 0 // unbounded
+	}
+	e := &Engine{
+		scorer:  scorer,
+		workers: workers,
+		cache:   newPrepCache(capacity),
+		pruner:  opts.Pruner,
+		byID:    make(map[string]int),
+	}
+	if ms, ok := scorer.(MeasureScorer); ok {
+		e.measure = ms.Measure()
+	}
+	return e, nil
+}
+
+// Scorer returns the engine's scorer.
+func (e *Engine) Scorer() Scorer { return e.scorer }
+
+// Workers returns the engine's parallelism bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// CacheStats returns the prepared-trajectory cache counters.
+func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
+
+// Len returns the number of trajectories in the corpus.
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.count
+}
+
+// Get returns the corpus trajectory with the given ID.
+func (e *Engine) Get(id string) (model.Trajectory, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if slot, ok := e.byID[id]; ok {
+		return e.slots[slot].tr, true
+	}
+	return model.Trajectory{}, false
+}
+
+// IDs returns the corpus trajectory IDs in slot order.
+func (e *Engine) IDs() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, e.count)
+	for _, s := range e.slots {
+		if s.used {
+			out = append(out, s.tr.ID)
+		}
+	}
+	return out
+}
+
+// Add inserts a trajectory into the corpus and returns its slot. The
+// trajectory must validate, carry a non-empty ID not already present, and
+// must not be mutated afterwards. The pruner's postings are updated
+// incrementally — no corpus rebuild.
+func (e *Engine) Add(tr model.Trajectory) (int, error) {
+	if tr.ID == "" {
+		return 0, errors.New("engine: corpus trajectories need a non-empty ID")
+	}
+	if err := tr.Validate(); err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.byID[tr.ID]; ok {
+		return 0, fmt.Errorf("engine: trajectory %q already in corpus (use Replace)", tr.ID)
+	}
+	slot := e.takeSlotLocked(tr)
+	if e.pruner != nil {
+		e.pruner.Insert(slot, tr)
+	}
+	return slot, nil
+}
+
+// Remove deletes the trajectory with the given ID from the corpus, its
+// pruner postings, and the prepared cache.
+func (e *Engine) Remove(id string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	slot, ok := e.byID[id]
+	if !ok {
+		return fmt.Errorf("engine: trajectory %q not in corpus", id)
+	}
+	e.dropSlotLocked(slot)
+	return nil
+}
+
+// Replace swaps the corpus trajectory with tr.ID for tr, keeping its slot
+// when present and adding it otherwise. Stale cache entries and postings
+// are dropped incrementally.
+func (e *Engine) Replace(tr model.Trajectory) (int, error) {
+	if tr.ID == "" {
+		return 0, errors.New("engine: corpus trajectories need a non-empty ID")
+	}
+	if err := tr.Validate(); err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if slot, ok := e.byID[tr.ID]; ok {
+		old := e.slots[slot].tr
+		if e.pruner != nil {
+			e.pruner.Remove(slot, old)
+			e.pruner.Insert(slot, tr)
+		}
+		e.cache.forget(keyOf(old))
+		e.slots[slot].tr = tr
+		return slot, nil
+	}
+	slot := e.takeSlotLocked(tr)
+	if e.pruner != nil {
+		e.pruner.Insert(slot, tr)
+	}
+	return slot, nil
+}
+
+// takeSlotLocked stores tr in a free (or new) slot. Caller holds e.mu.
+func (e *Engine) takeSlotLocked(tr model.Trajectory) int {
+	var slot int
+	if n := len(e.free); n > 0 {
+		slot = e.free[n-1]
+		e.free = e.free[:n-1]
+		e.slots[slot] = corpusSlot{tr: tr, used: true}
+	} else {
+		slot = len(e.slots)
+		e.slots = append(e.slots, corpusSlot{tr: tr, used: true})
+	}
+	e.byID[tr.ID] = slot
+	e.count++
+	return slot
+}
+
+// dropSlotLocked frees a slot and its derived state. Caller holds e.mu.
+func (e *Engine) dropSlotLocked(slot int) {
+	tr := e.slots[slot].tr
+	if e.pruner != nil {
+		e.pruner.Remove(slot, tr)
+	}
+	e.cache.forget(keyOf(tr))
+	delete(e.byID, tr.ID)
+	e.slots[slot] = corpusSlot{}
+	e.free = append(e.free, slot)
+	e.count--
+}
+
+// ErrNoQuery is returned by TopK when the query trajectory is invalid.
+var ErrNoQuery = errors.New("engine: invalid query trajectory")
+
+// TopK scores the query against the corpus — against the pruner's
+// candidate set when a pruner is configured, the whole corpus otherwise —
+// and returns the k best matches by descending score (ties break by slot,
+// so results are deterministic). Scoring runs on the engine's worker pool
+// and honors ctx cancellation and deadlines; corpus mutations during the
+// query do not affect the snapshot being scored.
+func (e *Engine) TopK(ctx context.Context, query model.Trajectory, k int) ([]Match, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	if err := query.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoQuery, err)
+	}
+	type cand struct {
+		slot int
+		tr   model.Trajectory
+	}
+	e.mu.RLock()
+	var cands []cand
+	if e.pruner != nil {
+		for _, slot := range e.pruner.Candidates(query) {
+			if slot >= 0 && slot < len(e.slots) && e.slots[slot].used {
+				cands = append(cands, cand{slot: slot, tr: e.slots[slot].tr})
+			}
+		}
+	} else {
+		cands = make([]cand, 0, e.count)
+		for slot, s := range e.slots {
+			if s.used {
+				cands = append(cands, cand{slot: slot, tr: s.tr})
+			}
+		}
+	}
+	e.mu.RUnlock()
+	if len(cands) == 0 {
+		return nil, nil
+	}
+
+	scores := make([]float64, len(cands))
+	var scoreOne func(i int) error
+	if e.measure != nil {
+		pq, err := e.prepared(query)
+		if err != nil {
+			return nil, err
+		}
+		scoreOne = func(i int) error {
+			pc, err := e.prepared(cands[i].tr)
+			if err != nil {
+				return err
+			}
+			v, err := e.measure.SimilarityPrepared(pq, pc)
+			if err != nil {
+				return err
+			}
+			scores[i] = sanitize(v)
+			return nil
+		}
+	} else {
+		scoreOne = func(i int) error {
+			v, err := e.scorer.Score(query, cands[i].tr)
+			if err != nil {
+				return err
+			}
+			scores[i] = sanitize(v)
+			return nil
+		}
+	}
+	if err := ForEach(ctx, len(cands), e.workers, scoreOne); err != nil {
+		return nil, err
+	}
+	matches := make([]Match, len(cands))
+	for i, c := range cands {
+		matches[i] = Match{ID: c.tr.ID, Slot: c.slot, Score: scores[i]}
+	}
+	sort.Slice(matches, func(a, b int) bool {
+		if matches[a].Score != matches[b].Score {
+			return matches[a].Score > matches[b].Score
+		}
+		return matches[a].Slot < matches[b].Slot
+	})
+	if len(matches) > k {
+		matches = matches[:k]
+	}
+	return matches, nil
+}
+
+// prepared returns the cached prepared state for tr, preparing at most
+// once concurrently per trajectory.
+func (e *Engine) prepared(tr model.Trajectory) (*core.Prepared, error) {
+	return e.cache.get(keyOf(tr), func() (*core.Prepared, error) {
+		p, err := e.measure.Prepare(tr)
+		if err != nil {
+			return nil, fmt.Errorf("engine: prepare %q: %w", tr.ID, err)
+		}
+		return p, nil
+	})
+}

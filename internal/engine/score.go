@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"context"
+	"math"
+
+	"github.com/stslib/sts/internal/core"
+	"github.com/stslib/sts/internal/model"
+)
+
+// ScoreBatch computes scores[i][j] = Score(rows[i], cols[j]) for every
+// pair with mask[i][j] true (a nil mask scores everything); masked-out
+// pairs get −Inf so they rank last and never link. NaN scores are
+// sanitized to −Inf. Scoring runs on the engine's worker pool with ctx
+// cancellation.
+//
+// With a measure-backed scorer, each distinct trajectory is prepared once
+// through the engine's LRU cache — repeated batches over the same data hit
+// the cache instead of re-estimating speed models — and trajectories that
+// appear in no admissible pair are never prepared at all (preparation is
+// the dominant per-trajectory cost).
+func (e *Engine) ScoreBatch(ctx context.Context, rows, cols model.Dataset, mask [][]bool) ([][]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if e.measure == nil {
+		return e.scoreBatchGeneric(ctx, rows, cols, mask)
+	}
+	rowNeeded, colNeeded := neededSides(len(rows), len(cols), mask)
+	prows := make([]*core.Prepared, len(rows))
+	pcols := make([]*core.Prepared, len(cols))
+	// One fan-out prepares both sides; the cache dedupes trajectories
+	// shared between rows and cols (or with earlier batches).
+	if err := ForEach(ctx, len(rows)+len(cols), e.workers, func(i int) error {
+		if i < len(rows) {
+			if !rowNeeded[i] {
+				return nil
+			}
+			p, err := e.prepared(rows[i])
+			if err != nil {
+				return err
+			}
+			prows[i] = p
+			return nil
+		}
+		j := i - len(rows)
+		if !colNeeded[j] {
+			return nil
+		}
+		p, err := e.prepared(cols[j])
+		if err != nil {
+			return err
+		}
+		pcols[j] = p
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return matrix(ctx, len(rows), len(cols), e.workers, func(i, j int) (float64, error) {
+		if mask != nil && !mask[i][j] {
+			return math.Inf(-1), nil
+		}
+		return e.measure.SimilarityPrepared(prows[i], pcols[j])
+	})
+}
+
+// scoreBatchGeneric is ScoreBatch for plain pairwise scorers (baselines).
+func (e *Engine) scoreBatchGeneric(ctx context.Context, rows, cols model.Dataset, mask [][]bool) ([][]float64, error) {
+	return matrix(ctx, len(rows), len(cols), e.workers, func(i, j int) (float64, error) {
+		if mask != nil && !mask[i][j] {
+			return math.Inf(-1), nil
+		}
+		return e.scorer.Score(rows[i], cols[j])
+	})
+}
+
+// neededSides marks the rows and columns that appear in at least one
+// admissible pair. A nil mask needs everything.
+func neededSides(n, m int, mask [][]bool) (rows, cols []bool) {
+	rows = make([]bool, n)
+	cols = make([]bool, m)
+	if mask == nil {
+		for i := range rows {
+			rows[i] = true
+		}
+		for j := range cols {
+			cols[j] = true
+		}
+		return rows, cols
+	}
+	for i := range mask {
+		for j, ok := range mask[i] {
+			if ok {
+				rows[i] = true
+				cols[j] = true
+			}
+		}
+	}
+	return rows, cols
+}
+
+// ScoreMatrix scores rows × cols through a transient engine — the thin
+// view eval.ScoreMatrix and friends are built on. The transient engine's
+// cache is unbounded: within one call, every distinct trajectory is
+// prepared exactly once, matching the pre-engine semantics. Long-lived
+// callers that want caching across calls should hold an Engine instead.
+func ScoreMatrix(ctx context.Context, s Scorer, rows, cols model.Dataset, mask [][]bool, workers int) ([][]float64, error) {
+	e, err := New(s, Options{Workers: workers, CacheSize: -1})
+	if err != nil {
+		return nil, err
+	}
+	return e.ScoreBatch(ctx, rows, cols, mask)
+}

@@ -149,6 +149,19 @@ func TestFromDistance(t *testing.T) {
 	}
 }
 
+func TestFromDistanceNaNBecomesNegInf(t *testing.T) {
+	for name, d := range map[string]float64{"nan": math.NaN(), "+inf": math.Inf(1)} {
+		s := FromDistance("d", func(a, b model.Trajectory) float64 { return d })
+		v, err := s.Score(tagged("a", 0), tagged("b", 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsInf(v, -1) {
+			t.Errorf("%s distance scored %v, want -Inf (ranks last instead of poisoning comparisons)", name, v)
+		}
+	}
+}
+
 func TestParallelForPropagatesError(t *testing.T) {
 	err := parallelFor(100, 4, func(i int) error {
 		if i == 37 {

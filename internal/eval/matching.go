@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sort"
@@ -35,6 +36,13 @@ var ErrSizeMismatch = errors.New("eval: paired datasets must be the same length"
 // split); every trajectory of d1 is scored against every trajectory of
 // d2, and the rank of the true twin is recorded.
 func Matching(d1, d2 model.Dataset, s Scorer, workers int) (MatchResult, error) {
+	return MatchingContext(context.Background(), d1, d2, s, workers)
+}
+
+// MatchingContext is Matching with cancellation: the full-matrix scoring
+// runs on the engine executor and aborts promptly when ctx is cancelled or
+// its deadline passes.
+func MatchingContext(ctx context.Context, d1, d2 model.Dataset, s Scorer, workers int) (MatchResult, error) {
 	if len(d1) != len(d2) {
 		return MatchResult{}, ErrSizeMismatch
 	}
@@ -42,7 +50,7 @@ func Matching(d1, d2 model.Dataset, s Scorer, workers int) (MatchResult, error) 
 		return MatchResult{}, errors.New("eval: empty datasets")
 	}
 	start := time.Now()
-	scores, err := ScoreMatrix(d1, d2, s, workers)
+	scores, err := ScoreMatrixContext(ctx, d1, d2, s, workers)
 	if err != nil {
 		return MatchResult{}, err
 	}

@@ -1,10 +1,9 @@
 package eval
 
 import (
-	"math"
-	"runtime"
-	"sync"
+	"context"
 
+	"github.com/stslib/sts/internal/engine"
 	"github.com/stslib/sts/internal/model"
 )
 
@@ -24,6 +23,14 @@ type MaskedMatrixScorer interface {
 	ScoreMatrixMasked(rows, cols model.Dataset, mask [][]bool, workers int) ([][]float64, error)
 }
 
+// ContextMatrixScorer is the cancellable form of MatrixScorer +
+// MaskedMatrixScorer. STSScorer implements it by routing through the
+// engine; the context-taking entry points prefer it when available.
+type ContextMatrixScorer interface {
+	Scorer
+	ScoreMatrixContext(ctx context.Context, rows, cols model.Dataset, mask [][]bool, workers int) ([][]float64, error)
+}
+
 // ScoreMatrixMasked computes scores[i][j] = Score(rows[i], cols[j]) for
 // every pair with mask[i][j] true; masked-out pairs get −Inf (rank last,
 // never link). A nil mask scores everything, exactly like ScoreMatrix.
@@ -31,130 +38,53 @@ type MaskedMatrixScorer interface {
 // before scoring skips the expensive similarity entirely instead of
 // discarding its result afterwards.
 func ScoreMatrixMasked(rows, cols model.Dataset, s Scorer, mask [][]bool, workers int) ([][]float64, error) {
-	if mask == nil {
-		return ScoreMatrix(rows, cols, s, workers)
+	return ScoreMatrixMaskedContext(context.Background(), rows, cols, s, mask, workers)
+}
+
+// ScoreMatrixMaskedContext is ScoreMatrixMasked with cancellation: the
+// scoring fan-out runs on the engine executor and aborts promptly when ctx
+// is cancelled or its deadline passes.
+func ScoreMatrixMaskedContext(ctx context.Context, rows, cols model.Dataset, s Scorer, mask [][]bool, workers int) ([][]float64, error) {
+	if cs, ok := s.(ContextMatrixScorer); ok {
+		return cs.ScoreMatrixContext(ctx, rows, cols, mask, workers)
 	}
-	if ms, ok := s.(MaskedMatrixScorer); ok {
-		m, err := ms.ScoreMatrixMasked(rows, cols, mask, workers)
-		if err != nil {
-			return nil, err
+	if mask != nil {
+		if ms, ok := s.(MaskedMatrixScorer); ok {
+			m, err := ms.ScoreMatrixMasked(rows, cols, mask, workers)
+			return sanitizeMatrix(m), err
 		}
-		for i := range m {
-			for j := range m[i] {
-				m[i][j] = sanitize(m[i][j])
-			}
-		}
-		return m, nil
+	} else if ms, ok := s.(MatrixScorer); ok {
+		m, err := ms.ScoreMatrix(rows, cols, workers)
+		return sanitizeMatrix(m), err
 	}
-	return parallelMatrix(len(rows), len(cols), workers, func(i, j int) (float64, error) {
-		if !mask[i][j] {
-			return math.Inf(-1), nil
-		}
-		v, err := s.Score(rows[i], cols[j])
-		return sanitize(v), err
-	})
+	return engine.ScoreMatrix(ctx, s, rows, cols, mask, workers)
 }
 
 // ScoreMatrix computes scores[i][j] = Score(rows[i], cols[j]) for every
 // pair, in parallel across `workers` goroutines (0 selects GOMAXPROCS).
-// Scorers implementing MatrixScorer are given the whole matrix at once.
+// Scorers implementing a matrix extension are given the whole matrix at
+// once; everything else routes through the shared engine executor.
 func ScoreMatrix(rows, cols model.Dataset, s Scorer, workers int) ([][]float64, error) {
-	if ms, ok := s.(MatrixScorer); ok {
-		m, err := ms.ScoreMatrix(rows, cols, workers)
-		if err != nil {
-			return nil, err
-		}
-		for i := range m {
-			for j := range m[i] {
-				m[i][j] = sanitize(m[i][j])
-			}
-		}
-		return m, nil
-	}
-	return parallelMatrix(len(rows), len(cols), workers, func(i, j int) (float64, error) {
-		v, err := s.Score(rows[i], cols[j])
-		return sanitize(v), err
-	})
+	return ScoreMatrixContext(context.Background(), rows, cols, s, workers)
 }
 
-// parallelMatrix fills an n×m matrix with f(i, j), parallelizing over
-// rows. The first error aborts the computation.
-func parallelMatrix(n, m, workers int, f func(i, j int) (float64, error)) ([][]float64, error) {
-	out := make([][]float64, n)
-	err := parallelFor(n, workers, func(i int) error {
-		row := make([]float64, m)
-		for j := 0; j < m; j++ {
-			v, err := f(i, j)
-			if err != nil {
-				return err
-			}
-			row[j] = v
+// ScoreMatrixContext is ScoreMatrix with cancellation.
+func ScoreMatrixContext(ctx context.Context, rows, cols model.Dataset, s Scorer, workers int) ([][]float64, error) {
+	return ScoreMatrixMaskedContext(ctx, rows, cols, s, nil, workers)
+}
+
+// sanitizeMatrix maps NaN entries to −Inf in place and returns m.
+func sanitizeMatrix(m [][]float64) [][]float64 {
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] = sanitize(m[i][j])
 		}
-		out[i] = row
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	return out, nil
+	return m
 }
 
 // parallelFor runs f(0..n-1) across workers goroutines (0 selects
-// GOMAXPROCS) and returns the first error encountered.
+// GOMAXPROCS) on the engine executor and returns the first error.
 func parallelFor(n, workers int, f func(i int) error) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := f(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
-	)
-	claim := func() (int, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr != nil || next >= n {
-			return 0, false
-		}
-		i := next
-		next++
-		return i, true
-	}
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i, ok := claim()
-				if !ok {
-					return
-				}
-				if err := f(i); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return engine.ForEach(context.Background(), n, workers, f)
 }

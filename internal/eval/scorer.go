@@ -1,20 +1,23 @@
 // Package eval implements the evaluation protocol of Section VI: the
 // trajectory-matching task with its precision (Eq. 11) and mean rank
 // (Eq. 12) metrics, the cross-similarity deviation (Eq. 13), and the
-// parallel scoring machinery the experiments are built on.
+// scoring entry points the experiments are built on — thin views over the
+// engine package's cancellable executor and prepared-trajectory cache.
 package eval
 
 import (
-	"fmt"
+	"context"
 	"math"
 
 	"github.com/stslib/sts/internal/core"
+	"github.com/stslib/sts/internal/engine"
 	"github.com/stslib/sts/internal/model"
 )
 
 // Scorer assigns a similarity score to a pair of trajectories. Higher
 // scores mean more similar. Implementations must be safe for concurrent
-// use; the harness fans out over goroutines.
+// use; the harness fans out over goroutines. Any Scorer also satisfies
+// engine.Scorer (the interfaces are structurally identical).
 type Scorer interface {
 	// Name identifies the measure in experiment output ("STS", "CATS" …).
 	Name() string
@@ -35,18 +38,26 @@ func (s FuncScorer) Name() string { return s.N }
 func (s FuncScorer) Score(a, b model.Trajectory) (float64, error) { return s.F(a, b) }
 
 // FromDistance adapts a distance function (smaller = more similar) to a
-// Scorer by negation. Infinite distances map to −Inf scores, which rank
-// last, matching the intuition that an undefined distance is a non-match.
+// Scorer by negation. Infinite and NaN distances both map to −Inf scores,
+// which rank last: an undefined distance is a non-match, and letting a
+// degenerate baseline's NaN propagate would poison greedy linking's
+// max-score selection (NaN compares false with everything, so it would
+// survive every threshold).
 func FromDistance(name string, f func(a, b model.Trajectory) float64) Scorer {
 	return FuncScorer{N: name, F: func(a, b model.Trajectory) (float64, error) {
-		return -f(a, b), nil
+		d := f(a, b)
+		if math.IsNaN(d) || math.IsInf(d, 1) {
+			return math.Inf(-1), nil
+		}
+		return -d, nil
 	}}
 }
 
-// STSScorer wraps a core.Measure, caching the per-trajectory preparation
-// (personalized speed model, observed-timestamp distributions) so that
-// scoring a full n×m matrix prepares each trajectory once rather than
-// n+m times. It implements MatrixScorer.
+// STSScorer wraps a core.Measure, routing matrix scoring through the
+// engine so that per-trajectory preparation (personalized speed model,
+// observed-timestamp distributions) happens once per distinct trajectory
+// rather than once per pair. It implements MatrixScorer,
+// MaskedMatrixScorer, ContextMatrixScorer, and engine.MeasureScorer.
 type STSScorer struct {
 	name string
 	m    *core.Measure
@@ -60,7 +71,8 @@ func NewSTSScorer(name string, m *core.Measure) *STSScorer {
 // Name implements Scorer.
 func (s *STSScorer) Name() string { return s.name }
 
-// Measure exposes the wrapped measure.
+// Measure exposes the wrapped measure (it also makes STSScorer an
+// engine.MeasureScorer, enabling the engine's prepared-cache fast path).
 func (s *STSScorer) Measure() *core.Measure { return s.m }
 
 // Score implements Scorer for one-off pairs.
@@ -68,19 +80,16 @@ func (s *STSScorer) Score(a, b model.Trajectory) (float64, error) {
 	return s.m.Similarity(a, b)
 }
 
+// ScoreMatrixContext implements ContextMatrixScorer: a transient engine
+// prepares each distinct trajectory once and fans scoring out on the
+// shared cancellable executor.
+func (s *STSScorer) ScoreMatrixContext(ctx context.Context, rows, cols model.Dataset, mask [][]bool, workers int) ([][]float64, error) {
+	return engine.ScoreMatrix(ctx, s, rows, cols, mask, workers)
+}
+
 // ScoreMatrix implements MatrixScorer with per-trajectory preparation.
 func (s *STSScorer) ScoreMatrix(rows, cols model.Dataset, workers int) ([][]float64, error) {
-	prows, err := s.prepareAll(rows)
-	if err != nil {
-		return nil, err
-	}
-	pcols, err := s.prepareAll(cols)
-	if err != nil {
-		return nil, err
-	}
-	return parallelMatrix(len(rows), len(cols), workers, func(i, j int) (float64, error) {
-		return s.m.SimilarityPrepared(prows[i], pcols[j])
-	})
+	return s.ScoreMatrixContext(context.Background(), rows, cols, nil, workers)
 }
 
 // ScoreMatrixMasked implements MaskedMatrixScorer: trajectories that
@@ -88,68 +97,7 @@ func (s *STSScorer) ScoreMatrix(rows, cols model.Dataset, workers int) ([][]floa
 // model estimation and observed-distribution construction — is the
 // dominant per-trajectory cost), and masked-out pairs are never scored.
 func (s *STSScorer) ScoreMatrixMasked(rows, cols model.Dataset, mask [][]bool, workers int) ([][]float64, error) {
-	if mask == nil {
-		return s.ScoreMatrix(rows, cols, workers)
-	}
-	rowNeeded := make([]bool, len(rows))
-	colNeeded := make([]bool, len(cols))
-	for i := range mask {
-		for j, ok := range mask[i] {
-			if ok {
-				rowNeeded[i] = true
-				colNeeded[j] = true
-			}
-		}
-	}
-	prows, err := s.prepareWhere(rows, rowNeeded)
-	if err != nil {
-		return nil, err
-	}
-	pcols, err := s.prepareWhere(cols, colNeeded)
-	if err != nil {
-		return nil, err
-	}
-	return parallelMatrix(len(rows), len(cols), workers, func(i, j int) (float64, error) {
-		if !mask[i][j] {
-			return math.Inf(-1), nil
-		}
-		return s.m.SimilarityPrepared(prows[i], pcols[j])
-	})
-}
-
-func (s *STSScorer) prepareWhere(ds model.Dataset, needed []bool) ([]*core.Prepared, error) {
-	out := make([]*core.Prepared, len(ds))
-	err := parallelFor(len(ds), 0, func(i int) error {
-		if !needed[i] {
-			return nil
-		}
-		p, err := s.m.Prepare(ds[i])
-		if err != nil {
-			return fmt.Errorf("eval: prepare %q: %w", ds[i].ID, err)
-		}
-		out[i] = p
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-func (s *STSScorer) prepareAll(ds model.Dataset) ([]*core.Prepared, error) {
-	out := make([]*core.Prepared, len(ds))
-	err := parallelFor(len(ds), 0, func(i int) error {
-		p, err := s.m.Prepare(ds[i])
-		if err != nil {
-			return fmt.Errorf("eval: prepare %q: %w", ds[i].ID, err)
-		}
-		out[i] = p
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return s.ScoreMatrixContext(context.Background(), rows, cols, mask, workers)
 }
 
 // sanitize maps NaN scores (which would poison rankings) to −Inf.

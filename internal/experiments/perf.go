@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"github.com/stslib/sts/internal/core"
+	"github.com/stslib/sts/internal/engine"
 	"github.com/stslib/sts/internal/eval"
 	"github.com/stslib/sts/internal/index"
 	"github.com/stslib/sts/internal/kde"
@@ -41,6 +43,10 @@ type PerfBench struct {
 	// PairsPerSec is the scored-pair throughput, for benchmarks whose op
 	// covers a known number of trajectory pairs (0 otherwise).
 	PairsPerSec float64 `json:"pairs_per_sec,omitempty"`
+	// CacheHitRate is the engine's prepared-cache hit rate over the whole
+	// measured run, for benchmarks that serve queries through a persistent
+	// engine (0 otherwise).
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
 	// Baseline numbers and the derived speedup (ratio of baseline ns/op to
 	// current ns/op), present only when PerfOptions.BaselinePath was given.
 	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
@@ -259,6 +265,72 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 		}); err != nil {
 			return err
 		}
+	}
+
+	// Top-k served by a persistent engine: the index prunes candidates and
+	// the LRU cache reuses each trajectory's preparation across queries —
+	// the steady-state serving path the engine layer exists for.
+	{
+		sc := scenarios[1]
+		grid, err := sc.Grid(sc.GridSize, 0)
+		if err != nil {
+			return err
+		}
+		ix, err := index.New(index.Options{
+			Grid:         grid,
+			TimeBucket:   120,
+			SpatialSlack: 400,
+			TimeSlack:    120,
+		})
+		if err != nil {
+			return err
+		}
+		scorers, err := BuildScorers(sc, sc.GridSize, 0, []string{MethodSTS})
+		if err != nil {
+			return err
+		}
+		eng, err := engine.New(scorers[0], engine.Options{Workers: workers, Pruner: ix})
+		if err != nil {
+			return err
+		}
+		for _, tr := range sc.D2 {
+			if _, err := eng.Add(tr); err != nil {
+				return err
+			}
+		}
+		qi := 0
+		if err := add("engine_topk/taxi", len(sc.D2), func() error {
+			q := sc.D1[qi%len(sc.D1)]
+			qi++
+			_, err := eng.TopK(context.Background(), q, 5)
+			return err
+		}); err != nil {
+			return err
+		}
+		report.Benches[len(report.Benches)-1].CacheHitRate = eng.CacheStats().HitRate()
+	}
+
+	// Repeated batch rescoring through a persistent engine: after the first
+	// batch every preparation is a cache hit, so this isolates the pure
+	// scoring cost a long-lived server pays per request.
+	{
+		sc := scenarios[0]
+		scorers, err := BuildScorers(sc, sc.GridSize, 0, []string{MethodSTS})
+		if err != nil {
+			return err
+		}
+		eng, err := engine.New(scorers[0], engine.Options{Workers: workers})
+		if err != nil {
+			return err
+		}
+		pairs := len(sc.D1) * len(sc.D2)
+		if err := add("engine_rescore/mall", pairs, func() error {
+			_, err := eng.ScoreBatch(context.Background(), sc.D1, sc.D2, nil)
+			return err
+		}); err != nil {
+			return err
+		}
+		report.Benches[len(report.Benches)-1].CacheHitRate = eng.CacheStats().HitRate()
 	}
 
 	if base != nil {

@@ -1,6 +1,7 @@
 package linking
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,6 +20,13 @@ import (
 // −∞ utility and are dropped from the result if chosen anyway (which only
 // happens when a row has no feasible partner at all).
 func OptimalLink(d1, d2 model.Dataset, scorer eval.Scorer, opts Options) ([]Link, error) {
+	return OptimalLinkContext(context.Background(), d1, d2, scorer, opts)
+}
+
+// OptimalLinkContext is OptimalLink with cancellation: scoring runs on the
+// engine executor and aborts promptly when ctx is cancelled. (The O(n·m²)
+// assignment itself is not interruptible; it is cheap next to scoring.)
+func OptimalLinkContext(ctx context.Context, d1, d2 model.Dataset, scorer eval.Scorer, opts Options) ([]Link, error) {
 	if len(d1) == 0 || len(d2) == 0 {
 		return nil, ErrEmptyInput
 	}
@@ -26,7 +34,7 @@ func OptimalLink(d1, d2 model.Dataset, scorer eval.Scorer, opts Options) ([]Link
 	if opts.MaxSpeed > 0 && minGap <= 0 {
 		minGap = 1
 	}
-	scores, err := eval.ScoreMatrix(d1, d2, scorer, opts.Workers)
+	scores, err := eval.ScoreMatrixContext(ctx, d1, d2, scorer, opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("linking: %w", err)
 	}

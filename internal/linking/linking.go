@@ -18,10 +18,12 @@
 package linking
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
+	"github.com/stslib/sts/internal/engine"
 	"github.com/stslib/sts/internal/eval"
 	"github.com/stslib/sts/internal/model"
 )
@@ -124,24 +126,21 @@ var ErrEmptyInput = errors.New("linking: empty trajectory set")
 // by descending score; equal scores break ties by (I, J), so the linking
 // is deterministic.
 func GreedyLink(d1, d2 model.Dataset, scorer eval.Scorer, opts Options) ([]Link, error) {
+	return GreedyLinkContext(context.Background(), d1, d2, scorer, opts)
+}
+
+// GreedyLinkContext is GreedyLink with cancellation: the feasibility
+// pre-filter and the scoring matrix both run on the engine executor, so
+// cancelling ctx aborts the linking promptly at either stage.
+func GreedyLinkContext(ctx context.Context, d1, d2 model.Dataset, scorer eval.Scorer, opts Options) ([]Link, error) {
 	if len(d1) == 0 || len(d2) == 0 {
 		return nil, ErrEmptyInput
 	}
-	minGap := opts.MinGap
-	if opts.MaxSpeed > 0 && minGap <= 0 {
-		minGap = 1
+	mask, err := feasibilityMask(ctx, d1, d2, opts)
+	if err != nil {
+		return nil, fmt.Errorf("linking: %w", err)
 	}
-	var mask [][]bool
-	if opts.MaxSpeed > 0 {
-		mask = make([][]bool, len(d1))
-		for i := range d1 {
-			mask[i] = make([]bool, len(d2))
-			for j := range d2 {
-				mask[i][j] = Feasible(d1[i], d2[j], opts.MaxSpeed, minGap)
-			}
-		}
-	}
-	scores, err := eval.ScoreMatrixMasked(d1, d2, scorer, mask, opts.Workers)
+	scores, err := eval.ScoreMatrixMaskedContext(ctx, d1, d2, scorer, mask, opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("linking: %w", err)
 	}
@@ -182,6 +181,32 @@ func GreedyLink(d1, d2 model.Dataset, scorer eval.Scorer, opts Options) ([]Link,
 		links = append(links, Link{I: c.i, J: c.j, Score: c.s})
 	}
 	return links, nil
+}
+
+// feasibilityMask builds the FTL pre-filter mask (nil when the filter is
+// disabled), parallelizing the pairwise feasibility checks over rows on
+// the engine executor.
+func feasibilityMask(ctx context.Context, d1, d2 model.Dataset, opts Options) ([][]bool, error) {
+	if opts.MaxSpeed <= 0 {
+		return nil, nil
+	}
+	minGap := opts.MinGap
+	if minGap <= 0 {
+		minGap = 1
+	}
+	mask := make([][]bool, len(d1))
+	err := engine.ForEach(ctx, len(d1), opts.Workers, func(i int) error {
+		row := make([]bool, len(d2))
+		for j := range d2 {
+			row[j] = Feasible(d1[i], d2[j], opts.MaxSpeed, minGap)
+		}
+		mask[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mask, nil
 }
 
 // Accuracy evaluates a linking against the ground truth that d1[i] and
