@@ -11,6 +11,13 @@
 //	stsbench -figure 8 -n 40         # bigger datasets
 //	stsbench -figure 11 -format csv  # machine-readable output
 //
+// The -bench mode runs the perf-regression suite instead; it supports
+// pprof capture and a regression gate for CI:
+//
+//	stsbench -bench -benchout BENCH.json                  # fresh baseline
+//	stsbench -bench -baseline BENCH_3.json -gate 20       # fail on >20% slowdown
+//	stsbench -bench -cpuprofile cpu.out -memprofile mem.out
+//
 // Dataset sizes default to a laptop-friendly 20 mall objects / 60 taxis;
 // the paper's absolute numbers used far larger corpora (and hours of
 // Python runtime), so expect the same shapes, not the same decimals.
@@ -20,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/stslib/sts/internal/experiments"
@@ -38,8 +47,26 @@ func main() {
 		benchOut  = flag.String("benchout", "BENCH_1.json", "output path of the -bench JSON report")
 		baseline  = flag.String("baseline", "", "previous -bench report to compute speedups against")
 		benchTime = flag.Duration("benchtime", time.Second, "minimum measured time per -bench benchmark")
+		profBkt   = flag.Float64("profile-bucket", 0, "bucket width in seconds of the -bench profile_* benches (0 = library default)")
+		gate      = flag.Float64("gate", 0, "with -baseline: exit non-zero if any shared benchmark slowed by more than this percent")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	cfg := experiments.Config{N: *n, Seed: *seed, Workers: *workers, Pairs: *pairs}
 	start := time.Now()
@@ -47,9 +74,11 @@ func main() {
 	switch {
 	case *bench:
 		err = experiments.RunPerf(cfg, experiments.PerfOptions{
-			MinTime:      *benchTime,
-			Workers:      *workers,
-			BaselinePath: *baseline,
+			MinTime:       *benchTime,
+			Workers:       *workers,
+			BaselinePath:  *baseline,
+			ProfileBucket: *profBkt,
+			GatePercent:   *gate,
 		}, *benchOut, os.Stdout)
 	case *all:
 		err = experiments.RunAll(cfg, os.Stdout)
@@ -60,9 +89,28 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *memProf != "" {
+		f, merr := os.Create(*memProf)
+		if merr != nil {
+			fatal(merr)
+		}
+		runtime.GC() // settle live heap before the snapshot
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			fatal(merr)
+		}
+		f.Close()
+	}
 	if err != nil {
+		if *cpuProf != "" {
+			pprof.StopCPUProfile()
+		}
 		fmt.Fprintf(os.Stderr, "stsbench: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("done in %.1fs\n", time.Since(start).Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "stsbench: %v\n", err)
+	os.Exit(1)
 }

@@ -44,6 +44,7 @@ func main() {
 		paired  = flag.Bool("paired", true, "datasets are index-paired (report precision and mean rank)")
 		strict  = flag.Bool("strict", false, "reject datasets with out-of-order samples instead of sorting them")
 		timeout = flag.Duration("timeout", 0, "abort scoring after this duration (0 = no limit)")
+		profile = flag.Float64("profile-bucket", 0, "STS only: bucketed-profile scoring with this bucket width in seconds (0 = exact; -1 = default width)")
 	)
 	flag.Parse()
 	if *d1Path == "" || *d2Path == "" {
@@ -64,7 +65,7 @@ func main() {
 		defer cancel()
 	}
 
-	scorer, err := buildScorer(*method, d1, d2, *gridSz, *sigma)
+	scorer, err := buildScorer(*method, d1, d2, *gridSz, *sigma, *profile)
 	check(err)
 
 	if *id1 != "" || *id2 != "" {
@@ -103,6 +104,10 @@ func main() {
 		stats := eng.CacheStats()
 		fmt.Printf("# prepared cache: %d hits / %d misses (%.0f%% hit rate)\n",
 			stats.Hits, stats.Misses, 100*stats.HitRate())
+		if ps := eng.ProfileCacheStats(); ps.Hits+ps.Misses > 0 {
+			fmt.Printf("# profile cache:  %d hits / %d misses (%.0f%% hit rate)\n",
+				ps.Hits, ps.Misses, 100*ps.HitRate())
+		}
 		return
 	}
 
@@ -116,8 +121,10 @@ func main() {
 }
 
 // buildScorer assembles the requested measure with scales derived from
-// the data when not given explicitly.
-func buildScorer(method string, d1, d2 model.Dataset, gridSize, sigma float64) (eval.Scorer, error) {
+// the data when not given explicitly. profileBucket > 0 switches STS to
+// bucketed-profile scoring with that bucket width; negative selects the
+// default width.
+func buildScorer(method string, d1, d2 model.Dataset, gridSize, sigma, profileBucket float64) (eval.Scorer, error) {
 	all := append(append(model.Dataset{}, d1...), d2...)
 	bounds, ok := all.Bounds()
 	if !ok {
@@ -150,6 +157,13 @@ func buildScorer(method string, d1, d2 model.Dataset, gridSize, sigma float64) (
 		m, err := core.NewSTS(grid, sigma)
 		if err != nil {
 			return nil, err
+		}
+		if profileBucket != 0 {
+			popts := core.ProfileOptions{}
+			if profileBucket > 0 {
+				popts.BucketSeconds = profileBucket
+			}
+			return eval.NewSTSScorerProfiled("STS-P", m, popts), nil
 		}
 		return eval.NewSTSScorer("STS", m), nil
 	case "CATS":

@@ -39,6 +39,15 @@ type EngineOptions struct {
 	// the corpus so TopK scores only candidates that plausibly overlap
 	// the query in space-time. Without it, TopK scans the whole corpus.
 	Index *IndexOptions
+	// Profile, when set, switches measure-backed scoring to the bucketed
+	// S-T profile approximation: each corpus trajectory's sparse profile
+	// is built once (cached in a second LRU with its own hit/miss stats,
+	// see Engine.ProfileCacheStats) and every pair evaluation becomes a
+	// sparse dot-product merge — trading a bounded, BucketSeconds-
+	// controlled score deviation for an O(N)→O(1) amortization of the
+	// per-trajectory interpolation work across pairs. Requires a
+	// measure-backed scorer (NewScorer / NewProfiledScorer).
+	Profile *ProfileOptions
 }
 
 // NewEngine builds an engine around a scorer (use NewScorer to wrap a
@@ -57,6 +66,7 @@ func NewEngine(scorer Scorer, opts EngineOptions) (*Engine, error) {
 		Workers:   opts.Workers,
 		CacheSize: opts.CacheSize,
 		Pruner:    pruner,
+		Profile:   opts.Profile,
 	})
 }
 

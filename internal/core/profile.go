@@ -1,0 +1,231 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/stslib/sts/internal/stprob"
+)
+
+// ProfileOptions configures the bucketed S-T profile approximation of
+// SimilarityProfiled: time is quantized into fixed-width buckets and each
+// trajectory's location distributions are precomputed once per bucket, so
+// pair scoring becomes a sparse dot-product join instead of re-running the
+// Markov interpolation of Eq. 4 for every pair.
+type ProfileOptions struct {
+	// BucketSeconds is the width of one time bucket. It is the accuracy ↔
+	// speed knob: profiled scores converge to the exact SimilarityPrepared
+	// values as BucketSeconds → 0 and get cheaper (fewer buckets per
+	// trajectory) as it grows. Zero selects DefaultProfileBucketSeconds;
+	// negative or non-finite values are rejected.
+	BucketSeconds float64
+}
+
+// DefaultProfileBucketSeconds is the default profile bucket width. It sits
+// at the scale of typical sampling gaps (15 s taxi GPS, ~25 s mall WiFi),
+// so weight-carrying buckets mostly hold a single observation and the
+// quantization error stays within one inter-sample interpolation step.
+const DefaultProfileBucketSeconds = 30
+
+// maxProfileBuckets bounds the bucket count of one profile. A pathological
+// width (microseconds against an hours-long trajectory) would otherwise
+// materialize millions of distributions; beyond the bound Profile returns
+// an error instead of exhausting memory.
+const maxProfileBuckets = 1 << 20
+
+// bucketWidth resolves the configured width, validating it.
+func (o ProfileOptions) bucketWidth() (float64, error) {
+	w := o.BucketSeconds
+	if w == 0 {
+		w = DefaultProfileBucketSeconds
+	}
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return 0, fmt.Errorf("core: ProfileOptions.BucketSeconds must be positive and finite, got %v", o.BucketSeconds)
+	}
+	return w, nil
+}
+
+// Profile is one trajectory's sparse spatial-temporal profile: for every
+// time bucket intersecting the trajectory's active span, the normalized
+// location distribution STP(·, t_b, Tra) at the bucket's representative
+// time, plus the number of the trajectory's own observations in the bucket
+// (the timestamp weight of Eq. 10's average). Buckets whose distribution is
+// zero are omitted — they can never contribute co-location mass.
+//
+// Profiles are immutable after construction and safe for concurrent use;
+// their distributions own their storage (two shared backing arrays), so a
+// profile stays valid independently of the Prepared it was built from.
+type Profile struct {
+	// ID is the source trajectory's ID.
+	ID string
+	// BucketSeconds is the bucket width the profile was built with. Only
+	// profiles with identical widths can be scored against each other.
+	BucketSeconds float64
+
+	n       int     // the trajectory's sample count, Eq. 10's per-side weight
+	buckets []int64 // sorted ascending
+	weights []int32 // own-observation count per bucket
+	dists   []stprob.Dist
+	// cells/probs back every entry's Dist, keeping the profile compact
+	// (two allocations instead of two per bucket).
+	cells []int
+	probs []float64
+}
+
+// SampleCount returns the source trajectory's number of observations.
+func (p *Profile) SampleCount() int { return p.n }
+
+// NumBuckets returns the number of (non-zero) bucket entries.
+func (p *Profile) NumBuckets() int { return len(p.buckets) }
+
+// EntryAt returns the i-th bucket entry: the bucket index, the number of
+// the trajectory's own observations in it, and the location distribution
+// at its representative time. The Dist aliases the profile's backing
+// arrays and must not be mutated.
+func (p *Profile) EntryAt(i int) (bucket int64, weight int, d stprob.Dist) {
+	return p.buckets[i], int(p.weights[i]), p.dists[i]
+}
+
+// MemoryCells returns the total number of (cell, prob) pairs the profile
+// stores — its dominant memory cost.
+func (p *Profile) MemoryCells() int { return len(p.cells) }
+
+// bucketIndex quantizes a timestamp onto the bucket axis shared by all
+// profiles of one width (floor, so negative timestamps bucket correctly).
+func bucketIndex(t, w float64) int64 {
+	return int64(math.Floor(t / w))
+}
+
+// Profile builds the bucketed S-T profile of a prepared trajectory. Every
+// bucket overlapping [Start, End] gets one distribution:
+//
+//   - a bucket holding own observations is represented at its first
+//     observation's timestamp, reusing the exact (cached) noise
+//     distribution — weight-carrying buckets are therefore exact;
+//   - an empty bucket is represented at its center (clamped to the active
+//     span), one Markov interpolation of Eq. 4.
+//
+// The per-trajectory cost is O(span / BucketSeconds) interpolations, paid
+// once; scoring the trajectory against any partner afterwards touches only
+// the precomputed distributions.
+func (m *Measure) Profile(p *Prepared, opts ProfileOptions) (*Profile, error) {
+	w, err := opts.bucketWidth()
+	if err != nil {
+		return nil, err
+	}
+	if p == nil || p.Tr.Len() == 0 {
+		return nil, errors.New("core: Profile needs a non-empty prepared trajectory")
+	}
+	start, end := p.Tr.Start(), p.Tr.End()
+	b0, b1 := bucketIndex(start, w), bucketIndex(end, w)
+	if nb := b1 - b0 + 1; nb > maxProfileBuckets {
+		return nil, fmt.Errorf("core: profile of %q would span %d buckets (max %d); widen ProfileOptions.BucketSeconds",
+			p.Tr.ID, nb, maxProfileBuckets)
+	}
+	prof := &Profile{ID: p.Tr.ID, BucketSeconds: w, n: p.Tr.Len()}
+	ws := scratchPool.Get().(*pairScratch)
+	defer scratchPool.Put(ws)
+	si := 0 // cursor over the trajectory's samples
+	for b := b0; b <= b1; b++ {
+		bucketEnd := float64(b+1) * w
+		// Count own observations in this bucket; the first one becomes the
+		// representative time with its exact cached noise distribution.
+		var weight int32
+		var d stprob.Dist
+		var derr error
+		for si < len(p.Tr.Samples) && p.Tr.Samples[si].T < bucketEnd {
+			if weight == 0 {
+				d = p.obs[si]
+			}
+			weight++
+			si++
+		}
+		if weight == 0 {
+			t := (float64(b) + 0.5) * w
+			if t < start {
+				t = start
+			} else if t > end {
+				t = end
+			}
+			d, derr = p.distAtWS(&ws.a, t)
+			if derr != nil {
+				return nil, derr
+			}
+		}
+		// Copy the distribution, trimming explicit zero-probability cells:
+		// they contribute nothing to any dot product but would be paid for
+		// in memory and merge work on every pair evaluation.
+		off := len(prof.cells)
+		for k, c := range d.Cells {
+			if pv := d.Probs[k]; pv > 0 {
+				prof.cells = append(prof.cells, c)
+				prof.probs = append(prof.probs, pv)
+			}
+		}
+		if len(prof.cells) == off {
+			continue // distribution is all-zero mass
+		}
+		prof.buckets = append(prof.buckets, b)
+		prof.weights = append(prof.weights, weight)
+		prof.dists = append(prof.dists, stprob.Dist{
+			Cells: prof.cells[off:len(prof.cells):len(prof.cells)],
+			Probs: prof.probs[off:len(prof.probs):len(prof.probs)],
+		})
+	}
+	// Appends may have grown the backing arrays past earlier views; rebuild
+	// the views over the final arrays so all entries share one allocation.
+	off := 0
+	for i := range prof.dists {
+		n := len(prof.dists[i].Cells)
+		prof.dists[i] = stprob.Dist{
+			Cells: prof.cells[off : off+n : off+n],
+			Probs: prof.probs[off : off+n : off+n],
+		}
+		off += n
+	}
+	return prof, nil
+}
+
+// SimilarityProfiled returns the bucketed approximation of STS(Tra, Tra′)
+// of Eq. 10: each observation's co-location probability is evaluated at
+// its bucket's representative times instead of its own timestamp, so the
+// whole pair score collapses to a two-cursor merge over the profiles'
+// bucket intersection with one sparse Dist.Dot per shared bucket — no
+// estimator work, no allocations. The approximation converges to
+// SimilarityPrepared as ProfileOptions.BucketSeconds → 0.
+func (m *Measure) SimilarityProfiled(a, b *Profile) (float64, error) {
+	return SimilarityProfiled(a, b)
+}
+
+// SimilarityProfiled is the measure-independent form of
+// Measure.SimilarityProfiled: profiles carry everything scoring needs.
+func SimilarityProfiled(a, b *Profile) (float64, error) {
+	if a == nil || b == nil {
+		return 0, errors.New("core: SimilarityProfiled needs two profiles")
+	}
+	if a.BucketSeconds != b.BucketSeconds {
+		return 0, fmt.Errorf("core: profile bucket widths differ (%v vs %v)", a.BucketSeconds, b.BucketSeconds)
+	}
+	n := a.n + b.n
+	if n == 0 {
+		return 0, errors.New("core: both trajectories are empty")
+	}
+	var total float64
+	i, j := 0, 0
+	for i < len(a.buckets) && j < len(b.buckets) {
+		switch {
+		case a.buckets[i] < b.buckets[j]:
+			i++
+		case a.buckets[i] > b.buckets[j]:
+			j++
+		default:
+			if w := a.weights[i] + b.weights[j]; w > 0 {
+				total += float64(w) * a.dists[i].Dot(b.dists[j])
+			}
+			i++
+			j++
+		}
+	}
+	return total / float64(n), nil
+}

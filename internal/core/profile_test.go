@@ -1,0 +1,277 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+func mustProfile(t *testing.T, m *Measure, tr model.Trajectory, opts ProfileOptions) *Profile {
+	t.Helper()
+	p, err := m.Prepare(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := m.Profile(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+// checkProfileInvariants asserts the structural contract of a Profile:
+// strictly ascending buckets, weights summing to at most the sample count
+// (buckets whose distribution is zero — e.g. observations outside the grid
+// — are dropped with their weight, matching their zero contribution to the
+// exact score), every entry non-zero with sorted cells, and the backing
+// arrays exactly tiled by the entries' views.
+func checkProfileInvariants(t *testing.T, prof *Profile) {
+	t.Helper()
+	var wsum, cells int
+	var prev int64
+	for i := 0; i < prof.NumBuckets(); i++ {
+		b, w, d := prof.EntryAt(i)
+		if i > 0 && b <= prev {
+			t.Fatalf("entry %d: bucket %d not after %d", i, b, prev)
+		}
+		prev = b
+		wsum += w
+		if len(d.Cells) == 0 {
+			t.Fatalf("entry %d (bucket %d): zero distribution kept", i, b)
+		}
+		if len(d.Cells) != len(d.Probs) {
+			t.Fatalf("entry %d: %d cells vs %d probs", i, len(d.Cells), len(d.Probs))
+		}
+		if !sort.IntsAreSorted(d.Cells) {
+			t.Fatalf("entry %d (bucket %d): cells not sorted: %v", i, b, d.Cells)
+		}
+		var sum float64
+		for j, p := range d.Probs {
+			if p <= 0 {
+				t.Fatalf("entry %d cell %d: prob %v not positive", i, d.Cells[j], p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("entry %d (bucket %d): probs sum to %v", i, b, sum)
+		}
+		cells += len(d.Cells)
+	}
+	if wsum > prof.SampleCount() {
+		t.Fatalf("weights sum to %d > sample count %d", wsum, prof.SampleCount())
+	}
+	if cells != prof.MemoryCells() {
+		t.Fatalf("entries hold %d cells, MemoryCells=%d", cells, prof.MemoryCells())
+	}
+}
+
+func TestProfileInvariants(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	a := walk("a", geo.Point{Y: 100}, 1.2, 0.3, 13, 0, 12)
+	for _, w := range []float64{0, 5, 30, 1000} {
+		prof := mustProfile(t, m, a, ProfileOptions{BucketSeconds: w})
+		checkProfileInvariants(t, prof)
+		// This walk stays inside the grid, so no observation is dropped and
+		// every timestamp of Eq. 10's average is accounted for.
+		var wsum int
+		for i := 0; i < prof.NumBuckets(); i++ {
+			_, weight, _ := prof.EntryAt(i)
+			wsum += weight
+		}
+		if wsum != prof.SampleCount() {
+			t.Errorf("width %v: weights sum to %d, sample count %d", w, wsum, prof.SampleCount())
+		}
+		want := w
+		if want == 0 {
+			want = DefaultProfileBucketSeconds
+		}
+		if prof.BucketSeconds != want {
+			t.Errorf("width %v: BucketSeconds=%v", w, prof.BucketSeconds)
+		}
+		if prof.ID != "a" {
+			t.Errorf("ID=%q", prof.ID)
+		}
+		if prof.NumBuckets() == 0 {
+			t.Errorf("width %v: empty profile", w)
+		}
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	a, err := m.Prepare(walk("a", geo.Point{Y: 100}, 1, 0, 10, 0, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := m.Profile(a, ProfileOptions{BucketSeconds: w}); err == nil {
+			t.Errorf("width %v accepted", w)
+		}
+	}
+	if _, err := m.Profile(nil, ProfileOptions{}); err == nil {
+		t.Error("nil prepared accepted")
+	}
+	// A pathological width against the trajectory's span must be refused,
+	// not materialized.
+	if _, err := m.Profile(a, ProfileOptions{BucketSeconds: 1e-9}); err == nil {
+		t.Error("sub-nanosecond bucket width accepted")
+	}
+}
+
+func TestSimilarityProfiledValidation(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	tr := walk("a", geo.Point{Y: 100}, 1, 0, 10, 0, 8)
+	p30 := mustProfile(t, m, tr, ProfileOptions{BucketSeconds: 30})
+	p10 := mustProfile(t, m, tr, ProfileOptions{BucketSeconds: 10})
+	if _, err := SimilarityProfiled(p30, nil); err == nil {
+		t.Error("nil profile accepted")
+	}
+	if _, err := SimilarityProfiled(p30, p10); err == nil {
+		t.Error("mismatched bucket widths accepted")
+	}
+	if v, err := m.SimilarityProfiled(p30, p30); err != nil || v <= 0 {
+		t.Errorf("self-similarity = %v, %v", v, err)
+	}
+}
+
+func TestSimilarityProfiledSymmetricAndBounded(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	a := walk("a", geo.Point{Y: 100}, 1, 0, 10, 0, 10)
+	b := walk("b", geo.Point{Y: 105}, 1, 0.1, 15, 3, 8)
+	pa := mustProfile(t, m, a, ProfileOptions{})
+	pb := mustProfile(t, m, b, ProfileOptions{})
+	ab, err := SimilarityProfiled(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := SimilarityProfiled(pb, pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ab-ba) > 1e-12 {
+		t.Errorf("profiled STS(a,b)=%v STS(b,a)=%v", ab, ba)
+	}
+	if ab < 0 || ab > 1 {
+		t.Errorf("profiled STS=%v outside [0,1]", ab)
+	}
+}
+
+func TestSimilarityProfiledDisjointTimesIsZero(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	pa := mustProfile(t, m, walk("a", geo.Point{Y: 100}, 1, 0, 10, 0, 5), ProfileOptions{})
+	pb := mustProfile(t, m, walk("b", geo.Point{Y: 100}, 1, 0, 10, 1000, 5), ProfileOptions{})
+	v, err := SimilarityProfiled(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("disjoint time windows: profiled STS=%v want 0", v)
+	}
+}
+
+// TestProfileSingleObservationBucketsExact pins the representation choice
+// that makes convergence work: a bucket holding exactly one observation is
+// represented at that observation's timestamp with its exact noise
+// distribution, so with one sample per bucket on both sides the profiled
+// score equals the exact score at the shared timestamps.
+func TestProfileSingleObservationBucketsExact(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	// Both trajectories sampled at the same timestamps, one per 10 s bucket.
+	a := walk("a", geo.Point{Y: 100}, 1, 0, 10, 2, 8)
+	b := walk("b", geo.Point{Y: 103}, 1, 0, 10, 2, 8)
+	exact, err := m.Similarity(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := mustProfile(t, m, a, ProfileOptions{BucketSeconds: 10})
+	pb := mustProfile(t, m, b, ProfileOptions{BucketSeconds: 10})
+	prof, err := SimilarityProfiled(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact-prof) > 1e-12 {
+		t.Errorf("aligned single-sample buckets: exact %v vs profiled %v", exact, prof)
+	}
+}
+
+// FuzzProfileEntries drives Profile over randomized trajectories and bucket
+// widths, asserting the sorted-cells invariant Dist.Dot depends on for every
+// entry, plus the rest of the structural contract, and that the two-cursor
+// merge of SimilarityProfiled agrees with a naive map-based evaluation.
+func FuzzProfileEntries(f *testing.F) {
+	f.Add(int64(1), 30.0)
+	f.Add(int64(7), 5.0)
+	f.Add(int64(42), 120.0)
+	g, err := geo.NewGrid(geo.NewRect(geo.Point{X: -30, Y: -30}, geo.Point{X: 230, Y: 230}), 5)
+	if err != nil {
+		f.Fatal(err)
+	}
+	m, err := NewSTS(g, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, width float64) {
+		if width <= 0 || math.IsNaN(width) || math.IsInf(width, 0) {
+			t.Skip()
+		}
+		if width < 1 {
+			width = 1 // keep bucket counts sane against ~200 s spans
+		}
+		r := rand.New(rand.NewSource(seed))
+		mk := func(id string) model.Trajectory {
+			return walk(id,
+				geo.Point{X: r.Float64() * 200, Y: r.Float64() * 200},
+				r.Float64()*2-1, r.Float64()*2-1,
+				5+r.Float64()*20, r.Float64()*10, 4+r.Intn(8))
+		}
+		a, b := mk("a"), mk("b")
+		opts := ProfileOptions{BucketSeconds: width}
+		pa, pb := mustProfile(t, m, a, opts), mustProfile(t, m, b, opts)
+		checkProfileInvariants(t, pa)
+		checkProfileInvariants(t, pb)
+
+		got, err := SimilarityProfiled(pa, pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Naive reference: index one side's entries by bucket, accumulate
+		// dot products cell-by-cell through a map.
+		bDists := make(map[int64]int)
+		for i := 0; i < pb.NumBuckets(); i++ {
+			bucket, _, _ := pb.EntryAt(i)
+			bDists[bucket] = i
+		}
+		var total float64
+		for i := 0; i < pa.NumBuckets(); i++ {
+			bucket, wa, da := pa.EntryAt(i)
+			j, ok := bDists[bucket]
+			if !ok {
+				continue
+			}
+			_, wb, db := pb.EntryAt(j)
+			probs := make(map[int]float64, len(da.Cells))
+			for k, c := range da.Cells {
+				probs[c] = da.Probs[k]
+			}
+			var dot float64
+			for k, c := range db.Cells {
+				dot += probs[c] * db.Probs[k]
+			}
+			total += float64(wa+wb) * dot
+		}
+		want := total / float64(pa.SampleCount()+pb.SampleCount())
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("merge scoring %v vs naive %v (seed %d width %v)", got, want, seed, width)
+		}
+	})
+}

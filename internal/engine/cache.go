@@ -4,16 +4,16 @@ import (
 	"container/list"
 	"sync"
 
-	"github.com/stslib/sts/internal/core"
 	"github.com/stslib/sts/internal/model"
 )
 
-// prepKey identifies one trajectory's prepared state. Trajectory IDs alone
-// are not unique across datasets (matching experiments reuse an object's ID
-// for both halves of a split), so the key also pins the sample count and
-// the identity of the backing sample array. Trajectories handed to the
-// engine must not be mutated in place afterwards — the standard contract
-// for sharing slices across goroutines anyway.
+// prepKey identifies one trajectory's derived state (prepared estimator or
+// bucketed profile). Trajectory IDs alone are not unique across datasets
+// (matching experiments reuse an object's ID for both halves of a split),
+// so the key also pins the sample count and the identity of the backing
+// sample array. Trajectories handed to the engine must not be mutated in
+// place afterwards — the standard contract for sharing slices across
+// goroutines anyway.
 type prepKey struct {
 	id    string
 	n     int
@@ -28,9 +28,11 @@ func keyOf(tr model.Trajectory) prepKey {
 	return k
 }
 
-// CacheStats reports the prepared-trajectory cache counters. Hits+Misses
-// is the total number of preparation lookups; Evictions counts entries
-// dropped by the LRU bound.
+// CacheStats reports one derived-state cache's counters. Hits+Misses is
+// the total number of lookups; Evictions counts entries dropped by the LRU
+// bound. The engine keeps one cache per kind of derived state (prepared
+// trajectories, and bucketed profiles when profiling is enabled), each
+// with its own stats.
 type CacheStats struct {
 	Hits      uint64
 	Misses    uint64
@@ -50,24 +52,25 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// prepEntry is one cache slot. ready is closed once p/err are set, so
-// concurrent requests for the same trajectory block on the single in-flight
-// preparation instead of duplicating it.
-type prepEntry struct {
+// cacheEntry is one cache slot. ready is closed once v/err are set, so
+// concurrent requests for the same trajectory block on the single
+// in-flight build instead of duplicating it.
+type cacheEntry[V any] struct {
 	key   prepKey
 	ready chan struct{}
 	done  bool
-	p     *core.Prepared
+	v     V
 	err   error
 }
 
-// prepCache is a size-bounded LRU of prepared trajectories with
-// single-flight semantics and hit/miss/eviction counters. All methods are
+// lruCache is a size-bounded LRU of per-trajectory derived state with
+// single-flight semantics and hit/miss/eviction counters. The engine
+// instantiates it for *core.Prepared and *core.Profile. All methods are
 // safe for concurrent use.
-type prepCache struct {
+type lruCache[V any] struct {
 	mu      sync.Mutex
-	cap     int // 0 = unbounded
-	order   *list.List // front = most recently used; values are *prepEntry
+	cap     int        // 0 = unbounded
+	order   *list.List // front = most recently used; values are *cacheEntry[V]
 	entries map[prepKey]*list.Element
 
 	hits      uint64
@@ -75,56 +78,56 @@ type prepCache struct {
 	evictions uint64
 }
 
-func newPrepCache(capacity int) *prepCache {
-	return &prepCache{cap: capacity, order: list.New(), entries: make(map[prepKey]*list.Element)}
+func newLRUCache[V any](capacity int) *lruCache[V] {
+	return &lruCache[V]{cap: capacity, order: list.New(), entries: make(map[prepKey]*list.Element)}
 }
 
-// get returns the prepared state for key, preparing it with prepare() on a
+// get returns the derived state for key, building it with build() on a
 // miss. Errors are not cached: the failed entry is removed so a later call
 // retries, but every waiter of the in-flight attempt sees the error.
-func (c *prepCache) get(key prepKey, prepare func() (*core.Prepared, error)) (*core.Prepared, error) {
+func (c *lruCache[V]) get(key prepKey, build func() (V, error)) (V, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.hits++
 		c.order.MoveToFront(el)
-		e := el.Value.(*prepEntry)
+		e := el.Value.(*cacheEntry[V])
 		c.mu.Unlock()
 		<-e.ready
-		return e.p, e.err
+		return e.v, e.err
 	}
 	c.misses++
-	e := &prepEntry{key: key, ready: make(chan struct{})}
+	e := &cacheEntry[V]{key: key, ready: make(chan struct{})}
 	c.entries[key] = c.order.PushFront(e)
 	c.evictLocked()
 	c.mu.Unlock()
 
-	p, err := prepare()
+	v, err := build()
 
 	c.mu.Lock()
-	e.p, e.err = p, err
+	e.v, e.err = v, err
 	e.done = true
 	if err != nil {
-		if el, ok := c.entries[key]; ok && el.Value.(*prepEntry) == e {
+		if el, ok := c.entries[key]; ok && el.Value.(*cacheEntry[V]) == e {
 			c.order.Remove(el)
 			delete(c.entries, key)
 		}
 	}
 	c.mu.Unlock()
 	close(e.ready)
-	return p, err
+	return v, err
 }
 
 // evictLocked drops least-recently-used *completed* entries until the cache
 // fits its bound. In-flight entries are skipped — evicting them would
 // strand waiters — so the cache can transiently exceed cap while many
-// preparations race.
-func (c *prepCache) evictLocked() {
+// builds race.
+func (c *lruCache[V]) evictLocked() {
 	if c.cap <= 0 {
 		return
 	}
 	for el := c.order.Back(); el != nil && len(c.entries) > c.cap; {
 		prev := el.Prev()
-		e := el.Value.(*prepEntry)
+		e := el.Value.(*cacheEntry[V])
 		if e.done {
 			c.order.Remove(el)
 			delete(c.entries, e.key)
@@ -135,18 +138,18 @@ func (c *prepCache) evictLocked() {
 }
 
 // forget removes a trajectory's entry (if completed) — corpus Remove and
-// Replace call it so stale prepared state does not linger at full cache
+// Replace call it so stale derived state does not linger at full cache
 // capacity.
-func (c *prepCache) forget(key prepKey) {
+func (c *lruCache[V]) forget(key prepKey) {
 	c.mu.Lock()
-	if el, ok := c.entries[key]; ok && el.Value.(*prepEntry).done {
+	if el, ok := c.entries[key]; ok && el.Value.(*cacheEntry[V]).done {
 		c.order.Remove(el)
 		delete(c.entries, key)
 	}
 	c.mu.Unlock()
 }
 
-func (c *prepCache) stats() CacheStats {
+func (c *lruCache[V]) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{

@@ -50,6 +50,17 @@ type MeasureScorer interface {
 	Measure() *core.Measure
 }
 
+// ProfileScorer is a MeasureScorer that asks for the bucketed-profile
+// approximation: when ProfileOptions returns non-nil, engines score its
+// pairs with core.SimilarityProfiled over cached per-trajectory profiles
+// instead of the exact SimilarityPrepared. eval.STSScorer implements it
+// (returning nil unless built profiled). Options.Profile on the engine
+// takes precedence when set.
+type ProfileScorer interface {
+	MeasureScorer
+	ProfileOptions() *core.ProfileOptions
+}
+
 // Pruner is the candidate-pruning index the engine keeps incrementally
 // up to date under corpus mutation. index.Index implements it; the
 // interface lives here so engine does not import index (index's TopK is a
@@ -78,6 +89,13 @@ type Options struct {
 	// Pruner, when set, prunes TopK candidate sets and is kept up to date
 	// incrementally by Add/Remove/Replace.
 	Pruner Pruner
+	// Profile, when set, switches measure-backed scoring to the bucketed
+	// S-T profile approximation: each trajectory's sparse profile is built
+	// once (cached in a second LRU alongside the prepared state) and pair
+	// scoring becomes a sparse dot-product merge. When nil, the scorer's
+	// own ProfileOptions (if it is a ProfileScorer) apply; when both are
+	// nil, scoring stays exact. Requires a MeasureScorer.
+	Profile *core.ProfileOptions
 }
 
 // Match is one result of Engine.TopK.
@@ -93,11 +111,13 @@ type Match struct {
 // use; queries observe a consistent snapshot of the corpus taken when they
 // start.
 type Engine struct {
-	scorer  Scorer
-	measure *core.Measure // non-nil when scorer is a MeasureScorer
-	workers int
-	cache   *prepCache
-	pruner  Pruner
+	scorer   Scorer
+	measure  *core.Measure // non-nil when scorer is a MeasureScorer
+	workers  int
+	cache    *lruCache[*core.Prepared]
+	profOpts *core.ProfileOptions // non-nil switches scoring to profiles
+	profiles *lruCache[*core.Profile]
+	pruner   Pruner
 
 	mu    sync.RWMutex
 	slots []corpusSlot
@@ -133,15 +153,30 @@ func New(scorer Scorer, opts Options) (*Engine, error) {
 	e := &Engine{
 		scorer:  scorer,
 		workers: workers,
-		cache:   newPrepCache(capacity),
+		cache:   newLRUCache[*core.Prepared](capacity),
 		pruner:  opts.Pruner,
 		byID:    make(map[string]int),
 	}
 	if ms, ok := scorer.(MeasureScorer); ok {
 		e.measure = ms.Measure()
 	}
+	e.profOpts = opts.Profile
+	if e.profOpts == nil {
+		if ps, ok := scorer.(ProfileScorer); ok {
+			e.profOpts = ps.ProfileOptions()
+		}
+	}
+	if e.profOpts != nil {
+		if e.measure == nil {
+			return nil, errors.New("engine: Options.Profile requires a measure-backed scorer")
+		}
+		e.profiles = newLRUCache[*core.Profile](capacity)
+	}
 	return e, nil
 }
+
+// Profiled reports whether the engine scores through bucketed profiles.
+func (e *Engine) Profiled() bool { return e.profOpts != nil }
 
 // Scorer returns the engine's scorer.
 func (e *Engine) Scorer() Scorer { return e.scorer }
@@ -151,6 +186,15 @@ func (e *Engine) Workers() int { return e.workers }
 
 // CacheStats returns the prepared-trajectory cache counters.
 func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
+
+// ProfileCacheStats returns the profile cache counters (all zero when the
+// engine is not profiled).
+func (e *Engine) ProfileCacheStats() CacheStats {
+	if e.profiles == nil {
+		return CacheStats{}
+	}
+	return e.profiles.stats()
+}
 
 // Len returns the number of trajectories in the corpus.
 func (e *Engine) Len() int {
@@ -236,7 +280,7 @@ func (e *Engine) Replace(tr model.Trajectory) (int, error) {
 			e.pruner.Remove(slot, old)
 			e.pruner.Insert(slot, tr)
 		}
-		e.cache.forget(keyOf(old))
+		e.forgetDerived(keyOf(old))
 		e.slots[slot].tr = tr
 		return slot, nil
 	}
@@ -269,7 +313,7 @@ func (e *Engine) dropSlotLocked(slot int) {
 	if e.pruner != nil {
 		e.pruner.Remove(slot, tr)
 	}
-	e.cache.forget(keyOf(tr))
+	e.forgetDerived(keyOf(tr))
 	delete(e.byID, tr.ID)
 	e.slots[slot] = corpusSlot{}
 	e.free = append(e.free, slot)
@@ -319,7 +363,24 @@ func (e *Engine) TopK(ctx context.Context, query model.Trajectory, k int) ([]Mat
 
 	scores := make([]float64, len(cands))
 	var scoreOne func(i int) error
-	if e.measure != nil {
+	if e.profOpts != nil {
+		fq, err := e.profiled(query)
+		if err != nil {
+			return nil, err
+		}
+		scoreOne = func(i int) error {
+			fc, err := e.profiled(cands[i].tr)
+			if err != nil {
+				return err
+			}
+			v, err := core.SimilarityProfiled(fq, fc)
+			if err != nil {
+				return err
+			}
+			scores[i] = sanitize(v)
+			return nil
+		}
+	} else if e.measure != nil {
 		pq, err := e.prepared(query)
 		if err != nil {
 			return nil, err
@@ -375,4 +436,30 @@ func (e *Engine) prepared(tr model.Trajectory) (*core.Prepared, error) {
 		}
 		return p, nil
 	})
+}
+
+// profiled returns the cached bucketed profile for tr, building at most
+// once concurrently per trajectory. The build routes through the prepared
+// cache, so a trajectory's estimator state is shared between the exact and
+// profiled paths.
+func (e *Engine) profiled(tr model.Trajectory) (*core.Profile, error) {
+	return e.profiles.get(keyOf(tr), func() (*core.Profile, error) {
+		p, err := e.prepared(tr)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := e.measure.Profile(p, *e.profOpts)
+		if err != nil {
+			return nil, fmt.Errorf("engine: profile %q: %w", tr.ID, err)
+		}
+		return prof, nil
+	})
+}
+
+// forgetDerived drops every cached derived state of one trajectory.
+func (e *Engine) forgetDerived(key prepKey) {
+	e.cache.forget(key)
+	if e.profiles != nil {
+		e.profiles.forget(key)
+	}
 }

@@ -2,7 +2,9 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"math"
+	"runtime"
 
 	"github.com/stslib/sts/internal/core"
 	"github.com/stslib/sts/internal/model"
@@ -18,7 +20,9 @@ import (
 // through the engine's LRU cache — repeated batches over the same data hit
 // the cache instead of re-estimating speed models — and trajectories that
 // appear in no admissible pair are never prepared at all (preparation is
-// the dominant per-trajectory cost).
+// the dominant per-trajectory cost). A profiled engine additionally builds
+// each trajectory's bucketed S-T profile once (second LRU), collapsing
+// every pair evaluation to a sparse dot-product merge.
 func (e *Engine) ScoreBatch(ctx context.Context, rows, cols model.Dataset, mask [][]bool) ([][]float64, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -27,32 +31,37 @@ func (e *Engine) ScoreBatch(ctx context.Context, rows, cols model.Dataset, mask 
 		return e.scoreBatchGeneric(ctx, rows, cols, mask)
 	}
 	rowNeeded, colNeeded := neededSides(len(rows), len(cols), mask)
+	if e.profOpts != nil {
+		prows := make([]*core.Profile, len(rows))
+		pcols := make([]*core.Profile, len(cols))
+		if err := e.forEachSide(ctx, rows, cols, rowNeeded, colNeeded, func(i int) error {
+			p, err := e.profiled(rows[i])
+			prows[i] = p
+			return err
+		}, func(j int) error {
+			p, err := e.profiled(cols[j])
+			pcols[j] = p
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		return matrix(ctx, len(rows), len(cols), e.workers, func(i, j int) (float64, error) {
+			if mask != nil && !mask[i][j] {
+				return math.Inf(-1), nil
+			}
+			return core.SimilarityProfiled(prows[i], pcols[j])
+		})
+	}
 	prows := make([]*core.Prepared, len(rows))
 	pcols := make([]*core.Prepared, len(cols))
-	// One fan-out prepares both sides; the cache dedupes trajectories
-	// shared between rows and cols (or with earlier batches).
-	if err := ForEach(ctx, len(rows)+len(cols), e.workers, func(i int) error {
-		if i < len(rows) {
-			if !rowNeeded[i] {
-				return nil
-			}
-			p, err := e.prepared(rows[i])
-			if err != nil {
-				return err
-			}
-			prows[i] = p
-			return nil
-		}
-		j := i - len(rows)
-		if !colNeeded[j] {
-			return nil
-		}
+	if err := e.forEachSide(ctx, rows, cols, rowNeeded, colNeeded, func(i int) error {
+		p, err := e.prepared(rows[i])
+		prows[i] = p
+		return err
+	}, func(j int) error {
 		p, err := e.prepared(cols[j])
-		if err != nil {
-			return err
-		}
 		pcols[j] = p
-		return nil
+		return err
 	}); err != nil {
 		return nil, err
 	}
@@ -61,6 +70,25 @@ func (e *Engine) ScoreBatch(ctx context.Context, rows, cols model.Dataset, mask 
 			return math.Inf(-1), nil
 		}
 		return e.measure.SimilarityPrepared(prows[i], pcols[j])
+	})
+}
+
+// forEachSide runs one fan-out building the needed per-trajectory state of
+// both sides; the LRU caches dedupe trajectories shared between rows and
+// cols (or with earlier batches).
+func (e *Engine) forEachSide(ctx context.Context, rows, cols model.Dataset, rowNeeded, colNeeded []bool, doRow, doCol func(int) error) error {
+	return ForEach(ctx, len(rows)+len(cols), e.workers, func(i int) error {
+		if i < len(rows) {
+			if !rowNeeded[i] {
+				return nil
+			}
+			return doRow(i)
+		}
+		j := i - len(rows)
+		if !colNeeded[j] {
+			return nil
+		}
+		return doCol(j)
 	})
 }
 
@@ -99,15 +127,104 @@ func neededSides(n, m int, mask [][]bool) (rows, cols []bool) {
 	return rows, cols
 }
 
-// ScoreMatrix scores rows × cols through a transient engine — the thin
-// view eval.ScoreMatrix and friends are built on. The transient engine's
-// cache is unbounded: within one call, every distinct trajectory is
-// prepared exactly once, matching the pre-engine semantics. Long-lived
-// callers that want caching across calls should hold an Engine instead.
+// ScoreMatrix scores rows × cols without a persistent engine — the thin
+// view eval.ScoreMatrix and friends are built on. Within one call every
+// distinct trajectory (by identity key, so a trajectory shared between
+// rows and cols counts once) is prepared exactly once; trajectories in no
+// admissible pair are never prepared. Unlike Engine.ScoreBatch there is no
+// LRU, no single-flight channel and no eviction bookkeeping — one-shot
+// batches pay only a flat dedup map and the prepared state itself.
+// Long-lived callers that want caching across calls should hold an Engine.
+//
+// A ProfileScorer with non-nil options is scored through bucketed
+// profiles: each distinct trajectory's profile is built once in the same
+// fan-out and pairs reduce to sparse dot-product merges.
 func ScoreMatrix(ctx context.Context, s Scorer, rows, cols model.Dataset, mask [][]bool, workers int) ([][]float64, error) {
-	e, err := New(s, Options{Workers: workers, CacheSize: -1})
-	if err != nil {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ms, ok := s.(MeasureScorer)
+	if !ok {
+		return matrix(ctx, len(rows), len(cols), workers, func(i, j int) (float64, error) {
+			if mask != nil && !mask[i][j] {
+				return math.Inf(-1), nil
+			}
+			return s.Score(rows[i], cols[j])
+		})
+	}
+	m := ms.Measure()
+	var popts *core.ProfileOptions
+	if ps, ok := s.(ProfileScorer); ok {
+		popts = ps.ProfileOptions()
+	}
+
+	// Dedupe the needed trajectories of both sides by identity key.
+	rowNeeded, colNeeded := neededSides(len(rows), len(cols), mask)
+	uniq := make(model.Dataset, 0, len(rows)+len(cols))
+	slotOf := make(map[prepKey]int, len(rows)+len(cols))
+	rowSlot := make([]int, len(rows))
+	colSlot := make([]int, len(cols))
+	assign := func(tr model.Trajectory) int {
+		k := keyOf(tr)
+		if slot, ok := slotOf[k]; ok {
+			return slot
+		}
+		slot := len(uniq)
+		slotOf[k] = slot
+		uniq = append(uniq, tr)
+		return slot
+	}
+	for i, tr := range rows {
+		rowSlot[i] = -1
+		if rowNeeded[i] {
+			rowSlot[i] = assign(tr)
+		}
+	}
+	for j, tr := range cols {
+		colSlot[j] = -1
+		if colNeeded[j] {
+			colSlot[j] = assign(tr)
+		}
+	}
+
+	preps := make([]*core.Prepared, len(uniq))
+	var profs []*core.Profile
+	if popts != nil {
+		profs = make([]*core.Profile, len(uniq))
+	}
+	if err := ForEach(ctx, len(uniq), workers, func(i int) error {
+		p, err := m.Prepare(uniq[i])
+		if err != nil {
+			return fmt.Errorf("engine: prepare %q: %w", uniq[i].ID, err)
+		}
+		preps[i] = p
+		if popts != nil {
+			prof, err := m.Profile(p, *popts)
+			if err != nil {
+				return fmt.Errorf("engine: profile %q: %w", uniq[i].ID, err)
+			}
+			profs[i] = prof
+		}
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	return e.ScoreBatch(ctx, rows, cols, mask)
+
+	if popts != nil {
+		return matrix(ctx, len(rows), len(cols), workers, func(i, j int) (float64, error) {
+			if mask != nil && !mask[i][j] {
+				return math.Inf(-1), nil
+			}
+			return core.SimilarityProfiled(profs[rowSlot[i]], profs[colSlot[j]])
+		})
+	}
+	return matrix(ctx, len(rows), len(cols), workers, func(i, j int) (float64, error) {
+		if mask != nil && !mask[i][j] {
+			return math.Inf(-1), nil
+		}
+		return m.SimilarityPrepared(preps[rowSlot[i]], preps[colSlot[j]])
+	})
 }

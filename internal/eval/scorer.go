@@ -57,15 +57,27 @@ func FromDistance(name string, f func(a, b model.Trajectory) float64) Scorer {
 // engine so that per-trajectory preparation (personalized speed model,
 // observed-timestamp distributions) happens once per distinct trajectory
 // rather than once per pair. It implements MatrixScorer,
-// MaskedMatrixScorer, ContextMatrixScorer, and engine.MeasureScorer.
+// MaskedMatrixScorer, ContextMatrixScorer, engine.MeasureScorer, and
+// engine.ProfileScorer.
 type STSScorer struct {
-	name string
-	m    *core.Measure
+	name    string
+	m       *core.Measure
+	profile *core.ProfileOptions
 }
 
-// NewSTSScorer names and wraps a measure.
+// NewSTSScorer names and wraps a measure; scoring is exact (Eq. 10).
 func NewSTSScorer(name string, m *core.Measure) *STSScorer {
 	return &STSScorer{name: name, m: m}
+}
+
+// NewSTSScorerProfiled names and wraps a measure with the bucketed S-T
+// profile approximation: every scoring path (one-off pairs, matrices,
+// engine top-k) builds each trajectory's sparse profile once and scores
+// pairs as sparse dot-product merges — an O(N)→O(1) amortization of the
+// per-trajectory STP work across an N-pair workload, at an accuracy set by
+// opts.BucketSeconds.
+func NewSTSScorerProfiled(name string, m *core.Measure, opts core.ProfileOptions) *STSScorer {
+	return &STSScorer{name: name, m: m, profile: &opts}
 }
 
 // Name implements Scorer.
@@ -75,9 +87,34 @@ func (s *STSScorer) Name() string { return s.name }
 // engine.MeasureScorer, enabling the engine's prepared-cache fast path).
 func (s *STSScorer) Measure() *core.Measure { return s.m }
 
-// Score implements Scorer for one-off pairs.
+// ProfileOptions implements engine.ProfileScorer: non-nil when the scorer
+// was built with NewSTSScorerProfiled, switching engines and matrix entry
+// points to profiled scoring.
+func (s *STSScorer) ProfileOptions() *core.ProfileOptions { return s.profile }
+
+// Score implements Scorer for one-off pairs, honoring the profiled mode so
+// rankings agree with the matrix and engine paths.
 func (s *STSScorer) Score(a, b model.Trajectory) (float64, error) {
-	return s.m.Similarity(a, b)
+	if s.profile == nil {
+		return s.m.Similarity(a, b)
+	}
+	pa, err := s.m.Prepare(a)
+	if err != nil {
+		return 0, err
+	}
+	pb, err := s.m.Prepare(b)
+	if err != nil {
+		return 0, err
+	}
+	fa, err := s.m.Profile(pa, *s.profile)
+	if err != nil {
+		return 0, err
+	}
+	fb, err := s.m.Profile(pb, *s.profile)
+	if err != nil {
+		return 0, err
+	}
+	return core.SimilarityProfiled(fa, fb)
 }
 
 // ScoreMatrixContext implements ContextMatrixScorer: a transient engine

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"github.com/stslib/sts/internal/core"
@@ -29,6 +30,14 @@ type PerfOptions struct {
 	// numbers are merged into the output as the baseline, with speedups
 	// computed per benchmark.
 	BaselinePath string
+	// ProfileBucket is the bucket width in seconds of the profile_*
+	// benches (0 selects core.DefaultProfileBucketSeconds).
+	ProfileBucket float64
+	// GatePercent, with BaselinePath, turns the run into a regression
+	// gate: RunPerf returns an error when any benchmark shared with the
+	// baseline slowed down by more than this percent (ns/op ratio). Zero
+	// disables the gate.
+	GatePercent float64
 }
 
 // PerfBench is one benchmark row of the report.
@@ -167,6 +176,8 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 		return nil
 	}
 
+	profOpts := core.ProfileOptions{BucketSeconds: opts.ProfileBucket}
+
 	// Matrix scoring at two grid scales per scenario: the default cell size
 	// and a 2x finer grid (more cells per noise support, the regime the
 	// offset memoization targets).
@@ -186,6 +197,27 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 			}); err != nil {
 				return err
 			}
+		}
+	}
+
+	// Profiled matrix scoring: the same workload as matrix_scoring at the
+	// default grid, through bucketed S-T profiles — each op rebuilds every
+	// profile (one interpolation pass per trajectory) and then scores all
+	// pairs as sparse dot-product merges, so the headline speedup already
+	// pays the full build cost.
+	for _, sc := range scenarios {
+		scorers, err := BuildScorers(sc, sc.GridSize, 0, []string{MethodSTS})
+		if err != nil {
+			return err
+		}
+		ps := eval.NewSTSScorerProfiled("STS-P", scorers[0].(*eval.STSScorer).Measure(), profOpts)
+		pairs := len(sc.D1) * len(sc.D2)
+		name := fmt.Sprintf("profile_matrix/%s/grid=%g", sc.Name, sc.GridSize)
+		if err := add(name, pairs, func() error {
+			_, err := ps.ScoreMatrix(sc.D1, sc.D2, workers)
+			return err
+		}); err != nil {
+			return err
 		}
 	}
 
@@ -310,6 +342,50 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 		report.Benches[len(report.Benches)-1].CacheHitRate = eng.CacheStats().HitRate()
 	}
 
+	// Top-k served by a persistent *profiled* engine: same corpus, index and
+	// query mix as engine_topk, but pair scoring runs over cached bucketed
+	// profiles — the steady-state regime where the per-trajectory STP work
+	// is fully amortized and each query pays only sparse dot products.
+	{
+		sc := scenarios[1]
+		grid, err := sc.Grid(sc.GridSize, 0)
+		if err != nil {
+			return err
+		}
+		ix, err := index.New(index.Options{
+			Grid:         grid,
+			TimeBucket:   120,
+			SpatialSlack: 400,
+			TimeSlack:    120,
+		})
+		if err != nil {
+			return err
+		}
+		scorers, err := BuildScorers(sc, sc.GridSize, 0, []string{MethodSTS})
+		if err != nil {
+			return err
+		}
+		eng, err := engine.New(scorers[0], engine.Options{Workers: workers, Pruner: ix, Profile: &profOpts})
+		if err != nil {
+			return err
+		}
+		for _, tr := range sc.D2 {
+			if _, err := eng.Add(tr); err != nil {
+				return err
+			}
+		}
+		qi := 0
+		if err := add("profile_topk/taxi", len(sc.D2), func() error {
+			q := sc.D1[qi%len(sc.D1)]
+			qi++
+			_, err := eng.TopK(context.Background(), q, 5)
+			return err
+		}); err != nil {
+			return err
+		}
+		report.Benches[len(report.Benches)-1].CacheHitRate = eng.ProfileCacheStats().HitRate()
+	}
+
 	// Repeated batch rescoring through a persistent engine: after the first
 	// batch every preparation is a cache hit, so this isolates the pure
 	// scoring cost a long-lived server pays per request.
@@ -351,6 +427,24 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "wrote %s\n", outPath)
+
+	if base != nil && opts.GatePercent > 0 {
+		// A slowdown of G percent means ns/op grew to (1+G/100)× the
+		// baseline, i.e. speedup below 1/(1+G/100).
+		floor := 1 / (1 + opts.GatePercent/100)
+		var bad []string
+		for _, b := range report.Benches {
+			if b.Speedup > 0 && b.Speedup < floor {
+				bad = append(bad, fmt.Sprintf("%s %.0f%% slower (%.0f → %.0f ns/op)",
+					b.Name, 100*(b.NsPerOp/b.BaselineNsPerOp-1), b.BaselineNsPerOp, b.NsPerOp))
+			}
+		}
+		if len(bad) > 0 {
+			return fmt.Errorf("experiments: bench regression gate (>%g%% slowdown): %s",
+				opts.GatePercent, strings.Join(bad, "; "))
+		}
+		fmt.Fprintf(w, "gate ok: no benchmark slowed more than %g%%\n", opts.GatePercent)
+	}
 	return nil
 }
 

@@ -143,6 +143,19 @@ func (g *Grid) CellsWithin(dst []int, p Point, radius float64) []int {
 	return dst
 }
 
+// CellRangeWithin returns the clamped column and row ranges [c0,c1]×[r0,r1]
+// of the cells intersecting the axis-aligned square of half-width radius
+// around p — the rectangular superset of CellsWithin's disc. Callers that
+// difference consecutive probe areas (the index's candidate scan) prefer
+// the rectangle: set differences of clamped ranges stay unions of ranges.
+func (g *Grid) CellRangeWithin(p Point, radius float64) (c0, c1, r0, r1 int) {
+	if radius < 0 {
+		radius = 0
+	}
+	return g.clampCol(p.X - radius), g.clampCol(p.X + radius),
+		g.clampRow(p.Y - radius), g.clampRow(p.Y + radius)
+}
+
 // AllCells returns the indices of every cell, for exact (untruncated)
 // evaluation of the paper's sums over R.
 func (g *Grid) AllCells() []int {

@@ -191,28 +191,61 @@ func (ix *Index) Keys() int {
 func (ix *Index) Dataset() model.Dataset { return ix.ds }
 
 // Candidates returns the slots of trajectories sharing at least one
-// dilated spatio-temporal key with the query, in ascending order. The
-// query's own samples are dilated by SpatialSlack and TimeSlack, so an
-// object passing within that envelope of any query observation is a
-// candidate. It implements engine.Pruner.
+// dilated spatio-temporal key with the query, in ascending order. Each
+// query sample is dilated to the axis-aligned cell box of half-width
+// SpatialSlack and ±TimeSlack in time, so an object passing within that
+// envelope of any query observation is a candidate. It implements
+// engine.Pruner.
+//
+// Consecutive samples dilate to heavily overlapping boxes — an object
+// advances a fraction of the slack per sampling period — so the scan
+// probes only the rectangle difference against the previous sample's box
+// whenever the time-bucket range carries over: cells inside the previous
+// box were already probed for those buckets. This drops the postings
+// probes per query from O(samples · box) to O(samples · box-perimeter ·
+// velocity) without changing the returned set.
 func (ix *Index) Candidates(query model.Trajectory) []int {
 	found := make(map[int32]bool)
-	var cells []int
+	nx := ix.opts.Grid.Cols()
+	// One read-lock round per query instead of two atomics per probe:
+	// mutators take a single shard lock at a time, so grabbing all shards
+	// in index order cannot deadlock against them.
+	for i := range ix.shards {
+		ix.shards[i].mu.RLock()
+	}
+	defer func() {
+		for i := range ix.shards {
+			ix.shards[i].mu.RUnlock()
+		}
+	}()
+	probe := func(cell, b int) {
+		k := key{cell: int32(cell), bucket: int32(b)}
+		for _, ti := range ix.shardOf(k).postings[k] {
+			found[ti] = true
+		}
+	}
+	var pc0, pc1, pr0, pr1, pb0, pb1 int
+	first := true
 	for _, s := range query.Samples {
-		cells = ix.opts.Grid.CellsWithin(cells[:0], s.Loc, ix.opts.SpatialSlack)
+		c0, c1, r0, r1 := ix.opts.Grid.CellRangeWithin(s.Loc, ix.opts.SpatialSlack)
 		b0 := bucketOf(s.T-ix.opts.TimeSlack, ix.opts.TimeBucket)
 		b1 := bucketOf(s.T+ix.opts.TimeSlack, ix.opts.TimeBucket)
-		for _, c := range cells {
-			for b := b0; b <= b1; b++ {
-				k := key{cell: int32(c), bucket: int32(b)}
-				sh := ix.shardOf(k)
-				sh.mu.RLock()
-				for _, ti := range sh.postings[k] {
-					found[ti] = true
+		for b := b0; b <= b1; b++ {
+			skipPrev := !first && b >= pb0 && b <= pb1
+			for row := r0; row <= r1; row++ {
+				rowInPrev := skipPrev && row >= pr0 && row <= pr1
+				base := row * nx
+				for col := c0; col <= c1; col++ {
+					if rowInPrev && col >= pc0 && col <= pc1 {
+						col = pc1 // skip the span probed at the previous sample
+						continue
+					}
+					probe(base+col, b)
 				}
-				sh.mu.RUnlock()
 			}
 		}
+		pc0, pc1, pr0, pr1, pb0, pb1 = c0, c1, r0, r1, b0, b1
+		first = false
 	}
 	out := make([]int, 0, len(found))
 	for ti := range found {
@@ -241,8 +274,10 @@ func (ix *Index) TopK(query model.Trajectory, scorer engine.Scorer, k, workers i
 // Trajectories outside the candidate set are never scored — they cannot
 // overlap the query in space-time within the configured slack. Scoring is
 // a thin view over the engine executor, so cancelling ctx aborts it
-// promptly. Requires an index built with Build (a mutable engine-owned
-// index serves queries through Engine.TopK instead).
+// promptly; a profiled scorer (engine.ProfileScorer with non-nil options,
+// e.g. eval.NewSTSScorerProfiled) is scored through bucketed S-T profiles.
+// Requires an index built with Build (a mutable engine-owned index serves
+// queries through Engine.TopK instead).
 func (ix *Index) TopKContext(ctx context.Context, query model.Trajectory, scorer engine.Scorer, k, workers int) ([]Match, error) {
 	if k <= 0 {
 		return nil, nil

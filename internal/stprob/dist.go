@@ -1,6 +1,9 @@
 package stprob
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // Dist is a sparse, normalized probability distribution over grid cells:
 // the discrete representation of STP(·, t, Tra) restricted to its support.
@@ -67,6 +70,14 @@ func (d *Dist) normalize() {
 		return
 	}
 	inv := 1 / total
+	if math.IsInf(inv, 0) {
+		// total is denormal (deep noise/transition tails), so its reciprocal
+		// overflows. Per-element division stays finite.
+		for i := range d.Probs {
+			d.Probs[i] /= total
+		}
+		return
+	}
 	for i := range d.Probs {
 		d.Probs[i] *= inv
 	}

@@ -167,6 +167,30 @@ type (
 // per-trajectory preparation caching.
 func NewScorer(name string, m *Measure) Scorer { return eval.NewSTSScorer(name, m) }
 
+// Profile re-exports.
+type (
+	// ProfileOptions configures the bucketed S-T profile approximation:
+	// BucketSeconds is the accuracy ↔ speed knob (0 selects the default
+	// of 30 s; scores converge to the exact Eq. 10 values as it shrinks).
+	ProfileOptions = core.ProfileOptions
+	// TrajectoryProfile is a trajectory's precomputed sparse profile: one
+	// location distribution per time bucket of its active span.
+	TrajectoryProfile = core.Profile
+)
+
+// DefaultProfileBucketSeconds is the default profile bucket width.
+const DefaultProfileBucketSeconds = core.DefaultProfileBucketSeconds
+
+// NewProfiledScorer wraps a Measure as a Scorer that evaluates the
+// bucketed S-T profile approximation of STS: each trajectory's sparse
+// profile is built once and every pair score is a sparse dot-product
+// merge over the shared time buckets. On N×N matrix and top-k workloads
+// this amortizes the per-trajectory interpolation work (the dominant cost
+// of exact scoring) from O(N) evaluations down to one.
+func NewProfiledScorer(name string, m *Measure, opts ProfileOptions) Scorer {
+	return eval.NewSTSScorerProfiled(name, m, opts)
+}
+
 // Match runs the trajectory-matching experiment of Section VI-B: d1[i]
 // and d2[i] must observe the same object; precision and mean rank of the
 // true twin are reported.
