@@ -1,0 +1,158 @@
+// Package api defines the JSON wire contract of the stsserved HTTP API:
+// the request and response bodies exchanged by the server (internal/server)
+// and the typed Go client (client). Trajectories travel in the same compact
+// form as the dataset JSON interchange format — one object per trajectory
+// with samples as [t, x, y] triples — so payloads written by
+// sts.WriteDatasetJSON can be replayed against the ingestion endpoints
+// directly.
+//
+// The package is dependency-light on purpose: it carries data, not
+// behavior, and both sides of the wire (and any third-party tooling) can
+// import it without pulling in the engine.
+package api
+
+import (
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+// Trajectory is the wire form of one trajectory: samples are [t, x, y]
+// triples (seconds, meters, meters).
+type Trajectory struct {
+	ID      string       `json:"id"`
+	Samples [][3]float64 `json:"samples"`
+}
+
+// FromTrajectory converts a library trajectory (sts.Trajectory) to its
+// wire form.
+func FromTrajectory(tr model.Trajectory) Trajectory {
+	out := Trajectory{ID: tr.ID, Samples: make([][3]float64, len(tr.Samples))}
+	for i, s := range tr.Samples {
+		out.Samples[i] = [3]float64{s.T, s.Loc.X, s.Loc.Y}
+	}
+	return out
+}
+
+// FromDataset converts a dataset to its wire form.
+func FromDataset(ds model.Dataset) []Trajectory {
+	out := make([]Trajectory, len(ds))
+	for i, tr := range ds {
+		out[i] = FromTrajectory(tr)
+	}
+	return out
+}
+
+// Model converts the wire trajectory back to a library trajectory. No
+// validation or time-ordering happens here; ingestion boundaries apply
+// dataset.Normalize.
+func (t Trajectory) Model() model.Trajectory {
+	tr := model.Trajectory{ID: t.ID, Samples: make([]model.Sample, len(t.Samples))}
+	for i, s := range t.Samples {
+		tr.Samples[i] = model.Sample{T: s[0], Loc: geo.Point{X: s[1], Y: s[2]}}
+	}
+	return tr
+}
+
+// PutResponse acknowledges PUT /v1/trajectories/{id}.
+type PutResponse struct {
+	ID string `json:"id"`
+	// CorpusSize is the corpus size after the write.
+	CorpusSize int `json:"corpus_size"`
+}
+
+// BatchRequest is the body of POST /v1/trajectories:batch.
+type BatchRequest struct {
+	Trajectories []Trajectory `json:"trajectories"`
+}
+
+// BatchResponse acknowledges a batch ingestion.
+type BatchResponse struct {
+	Ingested   int `json:"ingested"`
+	CorpusSize int `json:"corpus_size"`
+}
+
+// ListResponse is the body of GET /v1/trajectories: the corpus IDs in
+// sorted order.
+type ListResponse struct {
+	IDs   []string `json:"ids"`
+	Count int      `json:"count"`
+}
+
+// SimilarityResponse is the body of GET /v1/similarity. Score is null when
+// the measure is undefined on the pair (a NaN score, sanitized to a
+// non-match) — JSON has no -Inf.
+type SimilarityResponse struct {
+	A     string   `json:"a"`
+	B     string   `json:"b"`
+	Score *float64 `json:"score"`
+}
+
+// Match is one result of a top-k query.
+type Match struct {
+	ID    string  `json:"id"`
+	Score float64 `json:"score"`
+}
+
+// TopKResponse is the body of GET /v1/topk.
+type TopKResponse struct {
+	Query   string  `json:"query"`
+	K       int     `json:"k"`
+	Matches []Match `json:"matches"`
+}
+
+// LinkRequest is the body of POST /v1/link: greedily link the corpus
+// subset A one-to-one to the corpus subset B (an empty list selects the
+// whole corpus). MinScore rejects weak links; MaxSpeed, when positive,
+// enables the FTL velocity-feasibility pre-filter with the MinGap Δt
+// exemption (default 1 s).
+type LinkRequest struct {
+	A        []string `json:"a"`
+	B        []string `json:"b"`
+	MinScore float64  `json:"min_score,omitempty"`
+	MaxSpeed float64  `json:"max_speed,omitempty"`
+	MinGap   float64  `json:"min_gap,omitempty"`
+}
+
+// LinkedPair is one link of a LinkResponse.
+type LinkedPair struct {
+	A     string  `json:"a"`
+	B     string  `json:"b"`
+	Score float64 `json:"score"`
+}
+
+// LinkResponse is the body of POST /v1/link, links sorted by descending
+// score.
+type LinkResponse struct {
+	Links []LinkedPair `json:"links"`
+}
+
+// CacheStats mirrors the engine's per-cache counters on the wire.
+type CacheStats struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	Size      int     `json:"size"`
+	Cap       int     `json:"cap"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	// Version is the server build version (module version + VCS revision).
+	Version string `json:"version"`
+	// CorpusSize is the number of trajectories in the corpus.
+	CorpusSize int `json:"corpus_size"`
+	// Profiled reports whether scoring runs through bucketed S-T profiles.
+	Profiled bool `json:"profiled"`
+	// Workers is the engine's parallelism bound.
+	Workers int `json:"workers"`
+	// Prepared and Profile are the per-kind derived-state cache counters.
+	Prepared CacheStats `json:"prepared_cache"`
+	// Profile is only present when Profiled is true.
+	Profile *CacheStats `json:"profile_cache,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

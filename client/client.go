@@ -1,0 +1,192 @@
+// Package client is the typed Go caller for an stsserved instance. Every
+// method takes a context — deadline and cancellation propagate through the
+// server into the engine's cancellable executor — and non-2xx responses
+// surface as *APIError carrying the HTTP status and, for 429s, the
+// server's Retry-After hint.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/stslib/sts/api"
+)
+
+// Client calls one stsserved base URL.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New builds a Client for the server at baseURL (e.g. "http://localhost:8080").
+// httpClient may be nil to use http.DefaultClient; pass one to control
+// transport-level timeouts and connection pooling.
+func New(baseURL string, httpClient *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q needs a scheme and host", baseURL)
+	}
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}, nil
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Message is the server's error body.
+	Message string
+	// RetryAfter is the backoff hint of a 429 (zero otherwise).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("client: server returned %d: %s (retry after %s)", e.StatusCode, e.Message, e.RetryAfter)
+	}
+	return fmt.Sprintf("client: server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// Put upserts one trajectory. The trajectory's ID names it in the corpus.
+func (c *Client) Put(ctx context.Context, tr api.Trajectory) (api.PutResponse, error) {
+	var resp api.PutResponse
+	if tr.ID == "" {
+		return resp, fmt.Errorf("client: trajectory needs an ID")
+	}
+	err := c.do(ctx, http.MethodPut, "/v1/trajectories/"+url.PathEscape(tr.ID), tr, &resp)
+	return resp, err
+}
+
+// Get fetches one trajectory from the corpus.
+func (c *Client) Get(ctx context.Context, id string) (api.Trajectory, error) {
+	var resp api.Trajectory
+	err := c.do(ctx, http.MethodGet, "/v1/trajectories/"+url.PathEscape(id), nil, &resp)
+	return resp, err
+}
+
+// Delete removes one trajectory from the corpus.
+func (c *Client) Delete(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/trajectories/"+url.PathEscape(id), nil, nil)
+}
+
+// PutBatch upserts many trajectories in one request; the server validates
+// the whole batch before applying any of it.
+func (c *Client) PutBatch(ctx context.Context, trs []api.Trajectory) (api.BatchResponse, error) {
+	var resp api.BatchResponse
+	err := c.do(ctx, http.MethodPost, "/v1/trajectories:batch", api.BatchRequest{Trajectories: trs}, &resp)
+	return resp, err
+}
+
+// IDs lists the corpus trajectory IDs in sorted order.
+func (c *Client) IDs(ctx context.Context) ([]string, error) {
+	var resp api.ListResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/trajectories", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// Similarity scores one corpus pair. A nil Score in the response means the
+// pair's similarity has no finite value.
+func (c *Client) Similarity(ctx context.Context, a, b string) (api.SimilarityResponse, error) {
+	var resp api.SimilarityResponse
+	q := url.Values{"a": {a}, "b": {b}}
+	err := c.do(ctx, http.MethodGet, "/v1/similarity?"+q.Encode(), nil, &resp)
+	return resp, err
+}
+
+// TopK ranks the corpus against the corpus trajectory id, excluding the
+// query itself; k <= 0 selects the server's default.
+func (c *Client) TopK(ctx context.Context, id string, k int) (api.TopKResponse, error) {
+	var resp api.TopKResponse
+	q := url.Values{"id": {id}}
+	if k > 0 {
+		q.Set("k", strconv.Itoa(k))
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/topk?"+q.Encode(), nil, &resp)
+	return resp, err
+}
+
+// Link greedily links two corpus subsets one-to-one (empty sides mean the
+// whole corpus).
+func (c *Client) Link(ctx context.Context, req api.LinkRequest) (api.LinkResponse, error) {
+	var resp api.LinkResponse
+	err := c.do(ctx, http.MethodPost, "/v1/link", req, &resp)
+	return resp, err
+}
+
+// Stats reads the server's engine introspection.
+func (c *Client) Stats(ctx context.Context) (api.StatsResponse, error) {
+	var resp api.StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &resp)
+	return resp, err
+}
+
+// do runs one request: marshal body, send, map non-2xx to *APIError,
+// decode the response into out when given.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return apiError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// apiError builds the *APIError for a non-2xx response, preferring the
+// server's structured error body.
+func apiError(resp *http.Response) error {
+	e := &APIError{StatusCode: resp.StatusCode}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		e.RetryAfter = time.Duration(secs) * time.Second
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var body api.ErrorResponse
+	if err := json.Unmarshal(raw, &body); err == nil && body.Error != "" {
+		e.Message = body.Error
+	} else {
+		e.Message = strings.TrimSpace(string(raw))
+	}
+	if e.Message == "" {
+		e.Message = http.StatusText(resp.StatusCode)
+	}
+	return e
+}

@@ -1,0 +1,169 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/stslib/sts/api"
+	"github.com/stslib/sts/client"
+	"github.com/stslib/sts/internal/core"
+	"github.com/stslib/sts/internal/engine"
+	"github.com/stslib/sts/internal/eval"
+	"github.com/stslib/sts/internal/experiments"
+	"github.com/stslib/sts/internal/model"
+	"github.com/stslib/sts/internal/server"
+)
+
+// newWorld boots an in-process server over a mall-scenario engine and
+// returns a client pointed at it plus the source dataset.
+func newWorld(t *testing.T, opts server.Options) (*client.Client, model.Dataset) {
+	t.Helper()
+	sc := experiments.Mall(6, 1)
+	grid, err := sc.Grid(sc.GridSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewSTS(grid, sc.Sigma(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(eval.NewSTSScorer("STS", m), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	srv, err := server.New(eng, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, sc.Base
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	c, ds := newWorld(t, server.Options{})
+	ctx := context.Background()
+
+	batch, err := c.PutBatch(ctx, api.FromDataset(ds))
+	if err != nil {
+		t.Fatalf("PutBatch: %v", err)
+	}
+	if batch.Ingested != len(ds) || batch.CorpusSize != len(ds) {
+		t.Fatalf("PutBatch: %+v, want %d ingested", batch, len(ds))
+	}
+
+	ids, err := c.IDs(ctx)
+	if err != nil {
+		t.Fatalf("IDs: %v", err)
+	}
+	if len(ids) != len(ds) {
+		t.Fatalf("IDs: %d, want %d", len(ids), len(ds))
+	}
+
+	sim, err := c.Similarity(ctx, ds[0].ID, ds[1].ID)
+	if err != nil {
+		t.Fatalf("Similarity: %v", err)
+	}
+	if sim.Score == nil || math.IsNaN(*sim.Score) {
+		t.Fatalf("Similarity: no finite score in %+v", sim)
+	}
+
+	top, err := c.TopK(ctx, ds[0].ID, 3)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
+	if len(top.Matches) != 3 {
+		t.Fatalf("TopK: %d matches, want 3", len(top.Matches))
+	}
+	for _, m := range top.Matches {
+		if m.ID == ds[0].ID {
+			t.Fatalf("TopK: query %q in its own results", ds[0].ID)
+		}
+	}
+
+	got, err := c.Get(ctx, ds[0].ID)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got.ID != ds[0].ID || len(got.Samples) != len(ds[0].Samples) {
+		t.Fatalf("Get: %q with %d samples, want %q with %d",
+			got.ID, len(got.Samples), ds[0].ID, len(ds[0].Samples))
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.CorpusSize != len(ds) || st.Version == "" {
+		t.Fatalf("Stats: %+v", st)
+	}
+
+	links, err := c.Link(ctx, api.LinkRequest{A: ids[:3], B: ids[3:]})
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	if len(links.Links) == 0 {
+		t.Fatal("Link: no links between corpus halves")
+	}
+
+	if err := c.Delete(ctx, ds[0].ID); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := c.Get(ctx, ds[0].ID); err == nil {
+		t.Fatal("Get after Delete: want error")
+	}
+}
+
+// TestClientAPIError checks that server-side failures surface as *APIError
+// with the status and message intact.
+func TestClientAPIError(t *testing.T) {
+	c, _ := newWorld(t, server.Options{})
+	ctx := context.Background()
+
+	_, err := c.Get(ctx, "nobody")
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("Get: err %v, want *APIError", err)
+	}
+	if apiErr.StatusCode != 404 || apiErr.Message == "" {
+		t.Fatalf("Get: %+v, want a 404 with a message", apiErr)
+	}
+
+	if _, err := c.Put(ctx, api.Trajectory{}); err == nil {
+		t.Fatal("Put without ID: want error")
+	}
+}
+
+// TestClientContext checks that a client-side deadline aborts the request.
+func TestClientContext(t *testing.T) {
+	c, ds := newWorld(t, server.Options{})
+	if _, err := c.PutBatch(context.Background(), api.FromDataset(ds)); err != nil {
+		t.Fatalf("PutBatch: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	if _, err := c.TopK(ctx, ds[0].ID, 3); err == nil {
+		t.Fatal("TopK under expired deadline: want error")
+	}
+}
+
+func TestClientBadBaseURL(t *testing.T) {
+	for _, bad := range []string{"", "not a url at all\x00", "localhost:8080", "/just/a/path"} {
+		if _, err := client.New(bad, nil); err == nil {
+			t.Errorf("New(%q): want error", bad)
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"github.com/stslib/sts/internal/experiments"
+	"github.com/stslib/sts/internal/version"
 )
 
 func main() {
@@ -51,8 +52,14 @@ func main() {
 		gate      = flag.Float64("gate", 0, "with -baseline: exit non-zero if any shared benchmark slowed by more than this percent")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		showVer   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *showVer {
+		fmt.Println("stsbench", version.String())
+		return
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

@@ -17,6 +17,7 @@ import (
 	"github.com/stslib/sts/internal/datagen"
 	"github.com/stslib/sts/internal/dataset"
 	"github.com/stslib/sts/internal/model"
+	"github.com/stslib/sts/internal/version"
 )
 
 func main() {
@@ -27,8 +28,14 @@ func main() {
 		out   = flag.String("o", "", "output file (default stdout); with -split, the prefix for <prefix>.d1.csv and <prefix>.d2.csv")
 		split = flag.Bool("split", false, "also perform the alternating split into paired matching datasets")
 		min   = flag.Int("minlen", 20, "drop trajectories shorter than this many samples")
+		ver   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *ver {
+		fmt.Println("stsgen", version.String())
+		return
+	}
 
 	var ds model.Dataset
 	switch *kind {

@@ -29,6 +29,7 @@ import (
 	"github.com/stslib/sts/internal/eval"
 	"github.com/stslib/sts/internal/geo"
 	"github.com/stslib/sts/internal/model"
+	"github.com/stslib/sts/internal/version"
 )
 
 func main() {
@@ -45,8 +46,13 @@ func main() {
 		strict  = flag.Bool("strict", false, "reject datasets with out-of-order samples instead of sorting them")
 		timeout = flag.Duration("timeout", 0, "abort scoring after this duration (0 = no limit)")
 		profile = flag.Float64("profile-bucket", 0, "STS only: bucketed-profile scoring with this bucket width in seconds (0 = exact; -1 = default width)")
+		showVer = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println("stsmatch", version.String())
+		return
+	}
 	if *d1Path == "" || *d2Path == "" {
 		fmt.Fprintln(os.Stderr, "stsmatch: -d1 and -d2 are required")
 		flag.Usage()

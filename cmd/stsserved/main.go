@@ -1,0 +1,159 @@
+// Command stsserved serves a trajectory corpus over HTTP/JSON: ingestion,
+// pairwise STS similarity, top-k co-location search, greedy linking, and
+// Prometheus-text metrics — the engine behind a long-lived process
+// boundary.
+//
+// Usage:
+//
+//	stsserved -addr :8080 -sigma 3 -grid 3                 # empty corpus
+//	stsserved -addr :8080 -dataset mall.csv                # preloaded corpus
+//	stsserved -dataset mall.csv -profile-bucket 30         # bucketed profiles
+//	stsserved -dataset mall.csv -max-inflight 16 -timeout 5s
+//
+// The spatial scales (-grid, -sigma) default from the preloaded dataset the
+// same way stsmatch derives them; with no dataset they must be given. The
+// process serves until SIGINT/SIGTERM, then drains in-flight requests for
+// up to -drain before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/stslib/sts/internal/core"
+	"github.com/stslib/sts/internal/dataset"
+	"github.com/stslib/sts/internal/engine"
+	"github.com/stslib/sts/internal/eval"
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+	"github.com/stslib/sts/internal/server"
+	"github.com/stslib/sts/internal/version"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		dataPath = flag.String("dataset", "", "CSV dataset to preload into the corpus")
+		gridSz   = flag.Float64("grid", 0, "grid cell size in meters (default: sigma, or 1/100 of the dataset extent)")
+		sigma    = flag.Float64("sigma", 0, "location noise sigma in meters (default: grid size)")
+		profile  = flag.Float64("profile-bucket", 0, "bucketed-profile scoring with this bucket width in seconds (0 = exact; -1 = default width)")
+		timeout  = flag.Duration("timeout", server.DefaultQueryTimeout, "per-request budget for scoring routes (negative = unbounded)")
+		ingestTO = flag.Duration("ingest-timeout", server.DefaultIngestTimeout, "per-request budget for ingestion routes (negative = unbounded)")
+		inflight = flag.Int("max-inflight", server.DefaultMaxInFlight, "max concurrently admitted /v1 requests; excess get 429 (negative = unbounded)")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget for in-flight requests")
+		cacheSz  = flag.Int("cache", 0, "prepared-trajectory LRU capacity (0 = engine default; negative = unbounded)")
+		workers  = flag.Int("workers", 0, "scoring worker pool size (0 = GOMAXPROCS)")
+		strict   = flag.Bool("strict", false, "reject ingested trajectories with out-of-order samples instead of sorting them")
+		showVer  = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVer {
+		fmt.Println("stsserved", version.String())
+		return
+	}
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	slog.SetDefault(log)
+
+	var ds model.Dataset
+	if *dataPath != "" {
+		var err error
+		ds, err = dataset.ReadFileWith(*dataPath, dataset.ReadOptions{RejectUnsorted: *strict})
+		check(err)
+		log.Info("dataset loaded", "path", *dataPath, "trajectories", len(ds))
+	}
+
+	scorer, err := buildScorer(ds, *gridSz, *sigma, *profile)
+	check(err)
+
+	eng, err := engine.New(scorer, engine.Options{Workers: *workers, CacheSize: *cacheSz})
+	check(err)
+	for _, tr := range ds {
+		_, err := eng.Add(tr)
+		check(err)
+	}
+
+	srv, err := server.New(eng, server.Options{
+		QueryTimeout:  *timeout,
+		IngestTimeout: *ingestTO,
+		MaxInFlight:   *inflight,
+		Strict:        *strict,
+		Logger:        log,
+	})
+	check(err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	check(srv.ListenAndServe(ctx, *addr, *drain))
+}
+
+// buildScorer assembles the STS scorer with scales derived from the
+// preloaded dataset when not given explicitly. With an empty corpus the
+// scales cannot be derived, so -grid or -sigma is required — the grid must
+// cover everything ingested later, so it is padded generously (the serving
+// corpus is mutable, unlike stsmatch's fixed datasets).
+func buildScorer(ds model.Dataset, gridSize, sigma, profileBucket float64) (eval.Scorer, error) {
+	bounds, ok := ds.Bounds()
+	if !ok {
+		// No dataset to derive scales from: require explicit scales and
+		// center a large grid on the origin.
+		if gridSize <= 0 && sigma <= 0 {
+			return nil, fmt.Errorf("with no -dataset, -grid or -sigma is required")
+		}
+		if gridSize <= 0 {
+			gridSize = sigma
+		}
+		if sigma <= 0 {
+			sigma = gridSize
+		}
+		half := 1000 * gridSize
+		bounds = geo.Rect{Min: geo.Point{X: -half, Y: -half}, Max: geo.Point{X: half, Y: half}}
+	} else {
+		extent := bounds.Width()
+		if bounds.Height() > extent {
+			extent = bounds.Height()
+		}
+		if gridSize <= 0 {
+			if sigma > 0 {
+				gridSize = sigma
+			} else {
+				gridSize = extent / 100
+			}
+		}
+		if sigma <= 0 {
+			sigma = gridSize
+		}
+		// Pad beyond the blur halo so trajectories ingested later near the
+		// dataset's edge still land on the grid.
+		bounds = bounds.Expand(extent / 2)
+	}
+	grid, err := geo.NewGrid(bounds.Expand(4*sigma+gridSize), gridSize)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewSTS(grid, sigma)
+	if err != nil {
+		return nil, err
+	}
+	if profileBucket != 0 {
+		popts := core.ProfileOptions{}
+		if profileBucket > 0 {
+			popts.BucketSeconds = profileBucket
+		}
+		return eval.NewSTSScorerProfiled("STS-P", m, popts), nil
+	}
+	return eval.NewSTSScorer("STS", m), nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stsserved: %v\n", err)
+		os.Exit(1)
+	}
+}

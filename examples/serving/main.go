@@ -1,0 +1,105 @@
+// Serving: run the HTTP serving subsystem in-process and query it with the
+// typed client.
+//
+// A mall-scenario corpus is batch-ingested over HTTP, then every
+// trajectory queries the corpus for its top-3 most similar co-located
+// trajectories under a per-query timeout. The same flow works against a
+// standalone stsserved process — point client.New at its address.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"net"
+	"time"
+
+	sts "github.com/stslib/sts"
+	"github.com/stslib/sts/api"
+	"github.com/stslib/sts/client"
+)
+
+func main() {
+	// A synthetic mall corpus: 8 noisy, sporadically sampled pedestrian
+	// trajectories.
+	ds := sts.GenerateMall(8, 1)
+
+	// Measure + engine, scaled to the data: 3 m grid cells matching the
+	// mall scenario's ~3 m location noise.
+	bounds, _ := ds.Bounds()
+	grid, err := sts.NewGrid(bounds.Expand(15), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measure, err := sts.NewMeasure(sts.MeasureOptions{Grid: grid, NoiseSigma: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := sts.NewEngine(sts.NewScorer("STS", measure), sts.EngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve the engine on a loopback port. Serve drains in-flight
+	// requests when ctx is cancelled.
+	srv, err := sts.NewServer(eng, sts.ServeOptions{
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)), // quiet for the demo
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln, 5*time.Second) }()
+
+	c, err := client.New("http://"+ln.Addr().String(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Batch-ingest the corpus over HTTP. The server validates the whole
+	// batch before applying any of it.
+	batch, err := c.PutBatch(context.Background(), api.FromDataset(ds))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested %d trajectories (corpus size %d)\n\n", batch.Ingested, batch.CorpusSize)
+
+	// Every trajectory queries the corpus for its top-3 co-location
+	// matches, each query under its own 2-second budget. An expired
+	// budget aborts the scoring mid-matrix server-side.
+	for _, tr := range ds {
+		qctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		top, err := c.TopK(qctx, tr.ID, 3)
+		cancel()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:", top.Query)
+		for _, m := range top.Matches {
+			fmt.Printf("  %s=%.3g", m.ID, m.Score)
+		}
+		fmt.Println()
+	}
+
+	// Engine introspection over HTTP: repeated queries hit the
+	// prepared-trajectory cache.
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprepared cache: %d hits / %d misses (%.0f%% hit rate)\n",
+		st.Prepared.Hits, st.Prepared.Misses, 100*st.Prepared.HitRate)
+
+	// Graceful shutdown: cancel serving and wait for the drain.
+	stop()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+}

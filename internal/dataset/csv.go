@@ -70,10 +70,12 @@ type ReadOptions struct {
 	RejectUnsorted bool
 }
 
-// normalize applies the ordering policy and the structural validation to a
+// Normalize applies the ordering policy and the structural validation to a
 // freshly decoded trajectory, wrapping violations in errors that name the
-// trajectory and the offending timestamps.
-func normalize(tr *model.Trajectory, opts ReadOptions) error {
+// trajectory and the offending timestamps. Every ingestion boundary — the
+// CSV and JSON readers here, and the HTTP server's trajectory endpoints —
+// routes through it so "strict" means the same thing everywhere.
+func Normalize(tr *model.Trajectory, opts ReadOptions) error {
 	for i := 1; i < len(tr.Samples); i++ {
 		if tr.Samples[i].T < tr.Samples[i-1].T {
 			if opts.RejectUnsorted {
@@ -141,7 +143,7 @@ func ReadWith(r io.Reader, opts ReadOptions) (model.Dataset, error) {
 		ds[i].Samples = append(ds[i].Samples, model.Sample{Loc: geo.Point{X: x, Y: y}, T: t})
 	}
 	for i := range ds {
-		if err := normalize(&ds[i], opts); err != nil {
+		if err := Normalize(&ds[i], opts); err != nil {
 			return nil, err
 		}
 	}

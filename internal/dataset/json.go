@@ -57,7 +57,7 @@ func ReadJSONWith(r io.Reader, opts ReadOptions) (model.Dataset, error) {
 		for j, s := range jt.Samples {
 			tr.Samples[j] = model.Sample{T: s[0], Loc: geo.Point{X: s[1], Y: s[2]}}
 		}
-		if err := normalize(&tr, opts); err != nil {
+		if err := Normalize(&tr, opts); err != nil {
 			return nil, err
 		}
 		ds[i] = tr

@@ -213,17 +213,48 @@ func (e *Engine) Get(id string) (model.Trajectory, bool) {
 	return model.Trajectory{}, false
 }
 
-// IDs returns the corpus trajectory IDs in slot order.
+// IDs returns the corpus trajectory IDs, sorted, under one consistent
+// snapshot — slot order would leak Add/Remove history and make listings
+// flap as freed slots are reused.
 func (e *Engine) IDs() []string {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
 	out := make([]string, 0, e.count)
 	for _, s := range e.slots {
 		if s.used {
 			out = append(out, s.tr.ID)
 		}
 	}
+	e.mu.RUnlock()
+	sort.Strings(out)
 	return out
+}
+
+// Subset resolves corpus trajectories by ID under one consistent snapshot,
+// preserving the request order; an empty ids selects the whole corpus in
+// sorted-ID order. Unknown IDs fail the whole call so partial datasets
+// never reach a linking or batch-scoring run silently.
+func (e *Engine) Subset(ids []string) (model.Dataset, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if len(ids) == 0 {
+		out := make(model.Dataset, 0, e.count)
+		for _, s := range e.slots {
+			if s.used {
+				out = append(out, s.tr)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		return out, nil
+	}
+	out := make(model.Dataset, 0, len(ids))
+	for _, id := range ids {
+		slot, ok := e.byID[id]
+		if !ok {
+			return nil, fmt.Errorf("engine: trajectory %q %w", id, ErrNotFound)
+		}
+		out = append(out, e.slots[slot].tr)
+	}
+	return out, nil
 }
 
 // Add inserts a trajectory into the corpus and returns its slot. The
@@ -256,7 +287,7 @@ func (e *Engine) Remove(id string) error {
 	defer e.mu.Unlock()
 	slot, ok := e.byID[id]
 	if !ok {
-		return fmt.Errorf("engine: trajectory %q not in corpus", id)
+		return fmt.Errorf("engine: trajectory %q %w", id, ErrNotFound)
 	}
 	e.dropSlotLocked(slot)
 	return nil
@@ -322,6 +353,11 @@ func (e *Engine) dropSlotLocked(slot int) {
 
 // ErrNoQuery is returned by TopK when the query trajectory is invalid.
 var ErrNoQuery = errors.New("engine: invalid query trajectory")
+
+// ErrNotFound reports a corpus lookup of an unknown trajectory ID; Remove
+// and Subset wrap it so callers (the HTTP layer) can map it to a 404
+// without string matching.
+var ErrNotFound = errors.New("not in corpus")
 
 // TopK scores the query against the corpus — against the pruner's
 // candidate set when a pruner is configured, the whole corpus otherwise —

@@ -1,0 +1,153 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/stslib/sts/internal/engine"
+	"github.com/stslib/sts/internal/model"
+)
+
+// TestIDsSorted checks that IDs returns a sorted listing regardless of
+// insertion order and of slot reuse after removals.
+func TestIDsSorted(t *testing.T) {
+	e, err := engine.New(testScorer(t), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"c", "a", "d", "b"} {
+		if _, err := e.Add(walk(id, 0, 0, 5, 10, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"a", "b", "c", "d"}
+	if got := e.IDs(); !equalStrings(got, want) {
+		t.Fatalf("IDs() = %v, want %v", got, want)
+	}
+	// Removing and re-adding reuses a low slot for "z"; the listing must
+	// stay sorted, not revert to slot order.
+	if err := e.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Add(walk("z", 0, 0, 5, 10, 8)); err != nil {
+		t.Fatal(err)
+	}
+	want = []string{"b", "c", "d", "z"}
+	if got := e.IDs(); !equalStrings(got, want) {
+		t.Fatalf("IDs() after slot reuse = %v, want %v", got, want)
+	}
+	if e.Len() != 4 {
+		t.Fatalf("Len() = %d, want 4", e.Len())
+	}
+}
+
+func TestSubset(t *testing.T) {
+	e, err := engine.New(testScorer(t), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"c", "a", "b"} {
+		if _, err := e.Add(walk(id, 0, 0, 5, 10, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Explicit IDs come back in request order.
+	ds, err := e.Subset([]string{"b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 || ds[0].ID != "b" || ds[1].ID != "c" {
+		t.Fatalf("Subset([b c]) = %v", dsIDs(ds))
+	}
+	// Empty selection is the whole corpus in sorted-ID order.
+	all, err := e.Subset(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dsIDs(all); !equalStrings(got, []string{"a", "b", "c"}) {
+		t.Fatalf("Subset(nil) = %v", got)
+	}
+	// Unknown IDs fail the whole call.
+	if _, err := e.Subset([]string{"a", "nope"}); err == nil {
+		t.Fatal("Subset with unknown ID did not fail")
+	}
+}
+
+// TestIntrospectionRace exercises Len/IDs/Subset concurrently with corpus
+// mutation and queries under -race.
+func TestIntrospectionRace(t *testing.T) {
+	e, err := engine.New(testScorer(t), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := e.Add(walk(fmt.Sprintf("base-%02d", i), float64(10*i), 0, 5, 10, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("mut-%d", g)
+			for i := 0; i < 25; i++ {
+				if _, err := e.Replace(walk(id, float64(g), 0, 5, 10, 8)); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := e.Remove(id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if n := e.Len(); n < 16 {
+					t.Errorf("Len() = %d, want >= 16", n)
+					return
+				}
+				got := e.IDs()
+				if !sort.StringsAreSorted(got) {
+					t.Errorf("IDs() not sorted: %v", got)
+					return
+				}
+				if _, err := e.Subset(nil); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := e.TopK(context.Background(), walk("q", 40, 0, 5, 10, 8), 3); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func dsIDs(ds model.Dataset) []string {
+	out := make([]string, len(ds))
+	for i, tr := range ds {
+		out[i] = tr.ID
+	}
+	return out
+}

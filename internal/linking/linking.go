@@ -144,17 +144,53 @@ func GreedyLinkContext(ctx context.Context, d1, d2 model.Dataset, scorer eval.Sc
 	if err != nil {
 		return nil, fmt.Errorf("linking: %w", err)
 	}
+	return greedySelect(scores, mask, opts.MinScore), nil
+}
+
+// Batcher scores rows × cols under a mask on some execution substrate.
+// *engine.Engine implements it; GreedyLinkBatch uses it so a long-lived
+// server links through the engine's prepared/profile LRU caches instead of
+// re-preparing every trajectory per request.
+type Batcher interface {
+	ScoreBatch(ctx context.Context, rows, cols model.Dataset, mask [][]bool) ([][]float64, error)
+}
+
+// GreedyLinkBatch is GreedyLinkContext with the scoring delegated to a
+// Batcher: same FTL feasibility pre-filter, same masked scoring semantics,
+// same deterministic greedy selection — but per-trajectory preparation is
+// cached across calls when the Batcher is an engine. The serving layer's
+// /v1/link endpoint runs through this entry point.
+func GreedyLinkBatch(ctx context.Context, b Batcher, d1, d2 model.Dataset, opts Options) ([]Link, error) {
+	if len(d1) == 0 || len(d2) == 0 {
+		return nil, ErrEmptyInput
+	}
+	mask, err := feasibilityMask(ctx, d1, d2, opts)
+	if err != nil {
+		return nil, fmt.Errorf("linking: %w", err)
+	}
+	scores, err := b.ScoreBatch(ctx, d1, d2, mask)
+	if err != nil {
+		return nil, fmt.Errorf("linking: %w", err)
+	}
+	return greedySelect(scores, mask, opts.MinScore), nil
+}
+
+// greedySelect turns a scored (and optionally masked) matrix into a
+// one-to-one assignment, accepting pairs best-first and skipping
+// trajectories already linked. Equal scores break ties by (I, J), so the
+// linking is deterministic.
+func greedySelect(scores [][]float64, mask [][]bool, minScore float64) []Link {
 	type cand struct {
 		i, j int
 		s    float64
 	}
 	var cands []cand
-	for i := range d1 {
-		for j := range d2 {
+	for i := range scores {
+		for j := range scores[i] {
 			if mask != nil && !mask[i][j] {
 				continue
 			}
-			if scores[i][j] < opts.MinScore {
+			if scores[i][j] < minScore {
 				continue
 			}
 			cands = append(cands, cand{i, j, scores[i][j]})
@@ -169,8 +205,12 @@ func GreedyLinkContext(ctx context.Context, d1, d2 model.Dataset, scorer eval.Sc
 		}
 		return cands[a].j < cands[b].j
 	})
-	usedI := make([]bool, len(d1))
-	usedJ := make([]bool, len(d2))
+	usedI := make([]bool, len(scores))
+	cols := 0
+	if len(scores) > 0 {
+		cols = len(scores[0])
+	}
+	usedJ := make([]bool, cols)
 	var links []Link
 	for _, c := range cands {
 		if usedI[c.i] || usedJ[c.j] {
@@ -180,7 +220,7 @@ func GreedyLinkContext(ctx context.Context, d1, d2 model.Dataset, scorer eval.Sc
 		usedJ[c.j] = true
 		links = append(links, Link{I: c.i, J: c.j, Score: c.s})
 	}
-	return links, nil
+	return links
 }
 
 // feasibilityMask builds the FTL pre-filter mask (nil when the filter is

@@ -1,0 +1,47 @@
+package server
+
+// limiter is the admission-control semaphore: at most cap requests hold a
+// slot at once, and acquisition never blocks — under overload the right
+// answer is an immediate 429 with a Retry-After hint, not a queue that
+// grows until every request times out.
+type limiter struct {
+	slots chan struct{} // nil = unbounded
+}
+
+// newLimiter builds a limiter admitting n concurrent requests; n < 0
+// disables the bound.
+func newLimiter(n int) *limiter {
+	if n < 0 {
+		return &limiter{}
+	}
+	return &limiter{slots: make(chan struct{}, n)}
+}
+
+// tryAcquire claims a slot, reporting false when the server is at
+// capacity.
+func (l *limiter) tryAcquire() bool {
+	if l.slots == nil {
+		return true
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns a slot claimed by tryAcquire.
+func (l *limiter) release() {
+	if l.slots != nil {
+		<-l.slots
+	}
+}
+
+// inFlight reports the currently held slots (0 when unbounded).
+func (l *limiter) inFlight() int {
+	if l.slots == nil {
+		return 0
+	}
+	return len(l.slots)
+}

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/stslib/sts/internal/engine"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning
+// sub-millisecond cache hits through multi-second cold matrix queries.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// routeMetrics accumulates one route's counters. The mutex spans only
+// counter bumps — nanoseconds against the milliseconds a scored request
+// costs — so a finer atomic layout would buy nothing measurable.
+type routeMetrics struct {
+	mu      sync.Mutex
+	codes   map[int]uint64 // responses by status code
+	buckets []uint64       // latency histogram, one per latencyBuckets bound
+	overflw uint64         // observations above the last bound (+Inf bucket)
+	sumNs   uint64         // total latency in nanoseconds
+	count   uint64         // total observations
+}
+
+// metrics is the server-wide registry. Routes register up front so the
+// /metrics exposition is stable from the first scrape (a route that has
+// served nothing still exports zeroed series).
+type metrics struct {
+	inflight atomic.Int64  // requests currently being served
+	rejected atomic.Uint64 // requests shed by the admission limiter
+
+	mu     sync.Mutex
+	routes map[string]*routeMetrics
+}
+
+func newMetrics() *metrics {
+	return &metrics{routes: make(map[string]*routeMetrics)}
+}
+
+func (m *metrics) register(route string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.routes[route]; !ok {
+		m.routes[route] = &routeMetrics{
+			codes:   make(map[int]uint64),
+			buckets: make([]uint64, len(latencyBuckets)),
+		}
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(route string, code int, elapsed time.Duration) {
+	m.mu.Lock()
+	rm := m.routes[route]
+	m.mu.Unlock()
+	if rm == nil {
+		return // unregistered route; nothing to record against
+	}
+	secs := elapsed.Seconds()
+	rm.mu.Lock()
+	rm.codes[code]++
+	placed := false
+	for i, le := range latencyBuckets {
+		if secs <= le {
+			rm.buckets[i]++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		rm.overflw++
+	}
+	rm.sumNs += uint64(elapsed.Nanoseconds())
+	rm.count++
+	rm.mu.Unlock()
+}
+
+// render writes the Prometheus text exposition: request counters and
+// latency histograms per route, the in-flight gauge and rejection counter,
+// and — read live from the engine — corpus size and per-kind cache
+// counters with hit ratios.
+func (m *metrics) render(w io.Writer, eng *engine.Engine) {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.routes))
+	for name := range m.routes {
+		names = append(names, name)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+
+	fmt.Fprint(w, "# HELP sts_requests_total Requests served, by route and status code.\n# TYPE sts_requests_total counter\n")
+	for _, name := range names {
+		rm := m.route(name)
+		rm.mu.Lock()
+		codes := make([]int, 0, len(rm.codes))
+		for c := range rm.codes {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "sts_requests_total{route=%q,code=%q} %d\n", name, strconv.Itoa(c), rm.codes[c])
+		}
+		rm.mu.Unlock()
+	}
+
+	fmt.Fprint(w, "# HELP sts_request_seconds Request latency, by route.\n# TYPE sts_request_seconds histogram\n")
+	for _, name := range names {
+		rm := m.route(name)
+		rm.mu.Lock()
+		cum := uint64(0)
+		for i, le := range latencyBuckets {
+			cum += rm.buckets[i]
+			fmt.Fprintf(w, "sts_request_seconds_bucket{route=%q,le=%q} %d\n", name, formatFloat(le), cum)
+		}
+		cum += rm.overflw
+		fmt.Fprintf(w, "sts_request_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "sts_request_seconds_sum{route=%q} %s\n", name, formatFloat(float64(rm.sumNs)/1e9))
+		fmt.Fprintf(w, "sts_request_seconds_count{route=%q} %d\n", name, rm.count)
+		rm.mu.Unlock()
+	}
+
+	fmt.Fprint(w, "# HELP sts_inflight_requests Requests currently being served.\n# TYPE sts_inflight_requests gauge\n")
+	fmt.Fprintf(w, "sts_inflight_requests %d\n", m.inflight.Load())
+	fmt.Fprint(w, "# HELP sts_rejected_total Requests shed by the admission limiter (429s).\n# TYPE sts_rejected_total counter\n")
+	fmt.Fprintf(w, "sts_rejected_total %d\n", m.rejected.Load())
+
+	fmt.Fprint(w, "# HELP sts_corpus_size Trajectories in the engine corpus.\n# TYPE sts_corpus_size gauge\n")
+	fmt.Fprintf(w, "sts_corpus_size %d\n", eng.Len())
+
+	kinds := []struct {
+		name  string
+		stats engine.CacheStats
+	}{{"prepared", eng.CacheStats()}}
+	if eng.Profiled() {
+		kinds = append(kinds, struct {
+			name  string
+			stats engine.CacheStats
+		}{"profile", eng.ProfileCacheStats()})
+	}
+	fmt.Fprint(w, "# HELP sts_cache_hits_total Derived-state cache hits, by cache kind.\n# TYPE sts_cache_hits_total counter\n")
+	for _, k := range kinds {
+		fmt.Fprintf(w, "sts_cache_hits_total{cache=%q} %d\n", k.name, k.stats.Hits)
+	}
+	fmt.Fprint(w, "# HELP sts_cache_misses_total Derived-state cache misses, by cache kind.\n# TYPE sts_cache_misses_total counter\n")
+	for _, k := range kinds {
+		fmt.Fprintf(w, "sts_cache_misses_total{cache=%q} %d\n", k.name, k.stats.Misses)
+	}
+	fmt.Fprint(w, "# HELP sts_cache_evictions_total Derived-state cache evictions, by cache kind.\n# TYPE sts_cache_evictions_total counter\n")
+	for _, k := range kinds {
+		fmt.Fprintf(w, "sts_cache_evictions_total{cache=%q} %d\n", k.name, k.stats.Evictions)
+	}
+	fmt.Fprint(w, "# HELP sts_cache_size Cached derived-state entries, by cache kind.\n# TYPE sts_cache_size gauge\n")
+	for _, k := range kinds {
+		fmt.Fprintf(w, "sts_cache_size{cache=%q} %d\n", k.name, k.stats.Size)
+	}
+	fmt.Fprint(w, "# HELP sts_cache_hit_ratio Cache hit ratio since process start, by cache kind.\n# TYPE sts_cache_hit_ratio gauge\n")
+	for _, k := range kinds {
+		fmt.Fprintf(w, "sts_cache_hit_ratio{cache=%q} %s\n", k.name, formatFloat(k.stats.HitRate()))
+	}
+}
+
+func (m *metrics) route(name string) *routeMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.routes[name]
+}
+
+// formatFloat renders a float the shortest way that round-trips, matching
+// Prometheus exposition conventions.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

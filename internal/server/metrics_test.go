@@ -1,0 +1,104 @@
+package server
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/stslib/sts/internal/engine"
+	"github.com/stslib/sts/internal/eval"
+	"github.com/stslib/sts/internal/model"
+)
+
+func renderToString(t *testing.T, m *metrics) string {
+	t.Helper()
+	eng, err := engine.New(eval.FuncScorer{N: "noop", F: func(a, b model.Trajectory) (float64, error) {
+		return 0, nil
+	}}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	m.render(&sb, eng)
+	return sb.String()
+}
+
+// TestHistogramCumulative checks the Prometheus exposition invariants:
+// bucket counts are cumulative, +Inf equals the observation count, and the
+// sum matches the observed latencies.
+func TestHistogramCumulative(t *testing.T) {
+	m := newMetrics()
+	m.register("topk")
+	m.observe("topk", 200, 500*time.Microsecond) // le=0.001
+	m.observe("topk", 200, 30*time.Millisecond)  // le=0.05
+	m.observe("topk", 404, 30*time.Millisecond)  // le=0.05
+	m.observe("topk", 200, time.Minute)          // +Inf overflow
+
+	out := renderToString(t, m)
+	wants := []string{
+		`sts_requests_total{route="topk",code="200"} 3`,
+		`sts_requests_total{route="topk",code="404"} 1`,
+		`sts_request_seconds_bucket{route="topk",le="0.001"} 1`,
+		`sts_request_seconds_bucket{route="topk",le="0.05"} 3`,
+		`sts_request_seconds_bucket{route="topk",le="10"} 3`,
+		`sts_request_seconds_bucket{route="topk",le="+Inf"} 4`,
+		`sts_request_seconds_count{route="topk"} 4`,
+		`sts_corpus_size 0`,
+		`sts_inflight_requests 0`,
+		`sts_rejected_total 0`,
+		`sts_cache_hit_ratio{cache="prepared"} 0`,
+	}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// The latency sum is 0.0005 + 0.03 + 0.03 + 60 seconds.
+	rm := m.route("topk")
+	wantSum := (500*time.Microsecond + 60*time.Millisecond + time.Minute).Seconds()
+	if got := float64(rm.sumNs) / 1e9; math.Abs(got-wantSum) > 1e-9 {
+		t.Errorf("latency sum %g, want %g", got, wantSum)
+	}
+}
+
+// TestRegisteredRoutesExportZeroSeries checks that a route that served
+// nothing still appears in the histogram exposition, so dashboards see a
+// stable series set from the first scrape.
+func TestRegisteredRoutesExportZeroSeries(t *testing.T) {
+	m := newMetrics()
+	m.register("similarity")
+	out := renderToString(t, m)
+	if !strings.Contains(out, `sts_request_seconds_count{route="similarity"} 0`) {
+		t.Errorf("zero series missing:\n%s", out)
+	}
+}
+
+// TestLimiter covers the admission semaphore directly.
+func TestLimiter(t *testing.T) {
+	l := newLimiter(2)
+	if !l.tryAcquire() || !l.tryAcquire() {
+		t.Fatal("limiter refused admission below capacity")
+	}
+	if l.tryAcquire() {
+		t.Fatal("limiter admitted above capacity")
+	}
+	if l.inFlight() != 2 {
+		t.Fatalf("inFlight = %d, want 2", l.inFlight())
+	}
+	l.release()
+	if !l.tryAcquire() {
+		t.Fatal("limiter refused admission after release")
+	}
+	un := newLimiter(-1)
+	for i := 0; i < 100; i++ {
+		if !un.tryAcquire() {
+			t.Fatal("unbounded limiter refused admission")
+		}
+	}
+	un.release() // must not panic or block
+	zero := newLimiter(0)
+	if zero.tryAcquire() {
+		t.Fatal("zero-capacity limiter admitted a request")
+	}
+}

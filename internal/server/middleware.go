@@ -1,0 +1,205 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/stslib/sts/api"
+)
+
+// routeOpts is the per-route middleware configuration.
+type routeOpts struct {
+	// limited routes pass through the in-flight admission semaphore.
+	limited bool
+	// timeout bounds the request (0 = none); it becomes the deadline of
+	// the context handed to the engine.
+	timeout time.Duration
+	// quiet routes log at Debug (health and metrics probes would otherwise
+	// dominate the request log).
+	quiet bool
+}
+
+// httpError carries a status code with a client-safe message. Handlers
+// return it (wrapped or not) to pick the response code; any other error is
+// a 500.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func httpErrorf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// statusCode499 is the nginx convention for "client closed request": the
+// client went away before a response was written. Never sent on the wire —
+// it only labels logs and metrics.
+const statusCode499 = 499
+
+// statusRecorder captures the response code for logs and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if !r.wrote {
+		r.code = http.StatusOK
+		r.wrote = true
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// handle mounts fn on the mux behind the middleware stack: panic
+// recovery, in-flight accounting, admission control, the per-route
+// timeout, error mapping, metrics, and the structured request log.
+func (s *Server) handle(pattern, name string, o routeOpts, fn func(w http.ResponseWriter, r *http.Request) error) {
+	s.metrics.register(name)
+	s.mux.Handle(pattern, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+
+		rec := &statusRecorder{ResponseWriter: w}
+		if o.limited && !s.limiter.tryAcquire() {
+			s.metrics.rejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.opts.RetryAfter)))
+			writeError(rec, http.StatusTooManyRequests, "server at capacity, retry later")
+			s.finish(name, o, r, rec.code, start, errors.New("admission limit reached"))
+			return
+		}
+		if o.limited {
+			defer s.limiter.release()
+		}
+
+		ctx := r.Context()
+		if o.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, o.timeout)
+			defer cancel()
+		}
+
+		var err error
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					err = fmt.Errorf("panic: %v", p)
+				}
+			}()
+			err = fn(rec, r.WithContext(ctx))
+		}()
+
+		if err != nil {
+			s.writeErrorFor(rec, r, err)
+		}
+		s.finish(name, o, r, rec.code, start, err)
+	}))
+}
+
+// writeErrorFor maps a handler error to a response: *httpError keeps its
+// status, an expired request budget is 504, a vanished client is logged as
+// 499 with nothing written, anything else is a 500 with a generic body (the
+// detail goes to the log, not the wire).
+func (s *Server) writeErrorFor(rec *statusRecorder, r *http.Request, err error) {
+	if rec.wrote {
+		return // too late to change the response; the log carries the error
+	}
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		writeError(rec, he.status, he.msg)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(rec, http.StatusGatewayTimeout, "request timed out")
+	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+		rec.code = statusCode499 // client closed request; nobody to answer
+	default:
+		writeError(rec, http.StatusInternalServerError, "internal error")
+	}
+}
+
+// finish records metrics and the request log line.
+func (s *Server) finish(route string, o routeOpts, r *http.Request, code int, start time.Time, err error) {
+	if code == 0 {
+		code = http.StatusOK // handler wrote nothing: empty 200
+	}
+	elapsed := time.Since(start)
+	s.metrics.observe(route, code, elapsed)
+	level := slog.LevelInfo
+	switch {
+	case code >= 500:
+		level = slog.LevelError
+	case code >= 400:
+		level = slog.LevelWarn
+	case o.quiet:
+		level = slog.LevelDebug
+	}
+	attrs := []any{
+		"route", route,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"code", code,
+		"elapsed", elapsed,
+	}
+	if err != nil {
+		attrs = append(attrs, "err", err)
+	}
+	s.log.Log(r.Context(), level, "request", attrs...)
+}
+
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// writeJSON marshals v before touching the ResponseWriter so an encoding
+// failure can still become a clean 500 instead of a torn body.
+func writeJSON(w http.ResponseWriter, status int, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("encode response: %w", err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(b, '\n'))
+	return nil
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	_ = writeJSON(w, status, api.ErrorResponse{Error: msg})
+}
+
+// readJSON decodes a request body into v under the server's size cap,
+// rejecting unknown fields so typos in client payloads fail loudly.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return httpErrorf(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		}
+		return httpErrorf(http.StatusBadRequest, "malformed JSON body: %v", err)
+	}
+	return nil
+}

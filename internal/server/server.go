@@ -1,0 +1,209 @@
+// Package server is the HTTP/JSON serving subsystem over the engine: a
+// long-lived process boundary for trajectory ingestion, pairwise
+// similarity, top-k co-location search, greedy linking, and engine
+// introspection. The wire contract lives in the api package; the stsserved
+// command wires a Server to flags and signals, and the client package is
+// the typed Go caller.
+//
+// Production posture, in order of the request lifecycle:
+//
+//   - a bounded in-flight semaphore sheds load with 429 + Retry-After
+//     before any work happens (observability routes are exempt, so /metrics
+//     and /v1/stats stay readable under overload);
+//   - every route runs under a per-route timeout propagated as a
+//     context.Context into the engine's cancellable executor, so an
+//     expired budget or a disconnected client aborts scoring mid-matrix
+//     instead of burning the worker pool;
+//   - structured request logging (log/slog) and per-route Prometheus-text
+//     metrics (request counts by code, latency histograms, in-flight
+//     gauge, engine cache hit ratios) are recorded for every request;
+//   - Serve drains in-flight requests on shutdown before returning.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/stslib/sts/internal/engine"
+	"github.com/stslib/sts/internal/version"
+)
+
+// Default serving knobs, overridable through Options.
+const (
+	// DefaultQueryTimeout bounds similarity/top-k/link requests.
+	DefaultQueryTimeout = 30 * time.Second
+	// DefaultIngestTimeout bounds ingestion and introspection requests.
+	DefaultIngestTimeout = 10 * time.Second
+	// DefaultMaxInFlight bounds concurrently admitted /v1 requests.
+	DefaultMaxInFlight = 64
+	// DefaultRetryAfter is the backoff hint attached to 429 responses.
+	DefaultRetryAfter = time.Second
+	// DefaultMaxBodyBytes caps request bodies (trajectory payloads).
+	DefaultMaxBodyBytes = 32 << 20
+	// DefaultTopK is the k used when a top-k query does not pass one.
+	DefaultTopK = 10
+)
+
+// Options configures a Server. The zero value serves with the defaults
+// above.
+type Options struct {
+	// QueryTimeout is the per-request budget of the scoring routes
+	// (similarity, topk, link); 0 selects DefaultQueryTimeout, negative
+	// disables the timeout.
+	QueryTimeout time.Duration
+	// IngestTimeout is the per-request budget of ingestion and
+	// introspection routes; 0 selects DefaultIngestTimeout, negative
+	// disables the timeout.
+	IngestTimeout time.Duration
+	// MaxInFlight bounds the number of /v1 requests admitted concurrently;
+	// excess requests are rejected immediately with 429 and a Retry-After
+	// hint rather than queued (queueing under overload only moves the
+	// collapse later). 0 selects DefaultMaxInFlight, negative disables the
+	// bound.
+	MaxInFlight int
+	// RetryAfter is the hint attached to 429 responses (0 selects
+	// DefaultRetryAfter).
+	RetryAfter time.Duration
+	// MaxBodyBytes caps request bodies (0 selects DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// Strict applies dataset.ReadOptions.RejectUnsorted semantics to
+	// ingested trajectories: out-of-time-order samples are rejected with
+	// 400 instead of sorted.
+	Strict bool
+	// DefaultK is the k of top-k queries that do not pass one (0 selects
+	// DefaultTopK).
+	DefaultK int
+	// Logger receives structured request logs (nil selects slog.Default).
+	Logger *slog.Logger
+	// Version is surfaced in /v1/stats (empty selects the build stamp of
+	// the running binary).
+	Version string
+}
+
+// Server serves one engine's corpus over HTTP. It implements http.Handler;
+// use Serve/ListenAndServe for the managed listener with graceful drain,
+// or mount it on any mux.
+type Server struct {
+	eng     *engine.Engine
+	opts    Options
+	log     *slog.Logger
+	metrics *metrics
+	limiter *limiter
+	mux     *http.ServeMux
+}
+
+// New builds a Server over eng.
+func New(eng *engine.Engine, opts Options) (*Server, error) {
+	if eng == nil {
+		return nil, errors.New("server: engine is required")
+	}
+	if opts.QueryTimeout == 0 {
+		opts.QueryTimeout = DefaultQueryTimeout
+	}
+	if opts.IngestTimeout == 0 {
+		opts.IngestTimeout = DefaultIngestTimeout
+	}
+	if opts.MaxInFlight == 0 {
+		opts.MaxInFlight = DefaultMaxInFlight
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = DefaultRetryAfter
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if opts.DefaultK <= 0 {
+		opts.DefaultK = DefaultTopK
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	if opts.Version == "" {
+		opts.Version = version.String()
+	}
+	s := &Server{
+		eng:     eng,
+		opts:    opts,
+		log:     opts.Logger,
+		metrics: newMetrics(),
+		limiter: newLimiter(opts.MaxInFlight),
+		mux:     http.NewServeMux(),
+	}
+	s.routes()
+	return s, nil
+}
+
+// routes binds every endpoint to the middleware stack. Route names are the
+// metrics labels; scoring routes are admission-limited and run under the
+// query timeout, ingestion/introspection routes under the ingest timeout,
+// and observability routes bypass the limiter so they stay readable under
+// overload.
+func (s *Server) routes() {
+	query := routeOpts{limited: true, timeout: s.opts.QueryTimeout}
+	ingest := routeOpts{limited: true, timeout: s.opts.IngestTimeout}
+	observe := routeOpts{quiet: true}
+
+	s.handle("GET /healthz", "healthz", observe, s.handleHealthz)
+	s.handle("GET /metrics", "metrics", observe, s.handleMetrics)
+	s.handle("GET /v1/stats", "stats", routeOpts{}, s.handleStats)
+
+	s.handle("GET /v1/trajectories", "list", ingest, s.handleList)
+	s.handle("PUT /v1/trajectories/{id}", "put", ingest, s.handlePut)
+	s.handle("GET /v1/trajectories/{id}", "get", ingest, s.handleGetTrajectory)
+	s.handle("DELETE /v1/trajectories/{id}", "delete", ingest, s.handleDelete)
+	s.handle("POST /v1/trajectories:batch", "batch", ingest, s.handleBatch)
+
+	s.handle("GET /v1/similarity", "similarity", query, s.handleSimilarity)
+	s.handle("GET /v1/topk", "topk", query, s.handleTopK)
+	s.handle("POST /v1/link", "link", query, s.handleLink)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Serve accepts connections on ln until ctx is cancelled, then gracefully
+// drains in-flight requests for up to drain (non-positive waits without
+// bound) before returning. A clean drain returns nil.
+func (s *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration) error {
+	srv := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          slog.NewLogLogger(s.log.Handler(), slog.LevelWarn),
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	s.log.Info("serving", "addr", ln.Addr().String(), "version", s.opts.Version)
+	select {
+	case err := <-errc:
+		return fmt.Errorf("server: %w", err)
+	case <-ctx.Done():
+	}
+	s.log.Info("shutting down, draining in-flight requests", "drain", drain)
+	sctx := context.Background()
+	if drain > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(sctx, drain)
+		defer cancel()
+	}
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("server: drain: %w", err)
+	}
+	s.log.Info("drained")
+	return nil
+}
+
+// ListenAndServe is Serve on a fresh TCP listener bound to addr.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return s.Serve(ctx, ln, drain)
+}

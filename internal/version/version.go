@@ -1,0 +1,53 @@
+// Package version stamps the repository's binaries from the build info the
+// Go toolchain embeds — no ldflags plumbing needed. All four commands
+// (stsmatch, stsbench, stsgen, stsserved) expose it behind -version, and
+// stsserved surfaces it in /v1/stats so a fleet's deployed revisions can
+// be audited over HTTP.
+package version
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+var once = sync.OnceValue(compute)
+
+// String returns a human-readable build stamp, e.g.
+//
+//	(devel) rev 1a2b3c4d5e6f (modified) go1.24.0
+//
+// assembled from runtime/debug.ReadBuildInfo: the main module version,
+// the VCS revision (truncated to 12 hex digits) with a dirty-tree marker,
+// and the toolchain. Binaries built outside a module or VCS checkout
+// degrade gracefully to whatever parts are known.
+func String() string { return once() }
+
+func compute() string {
+	var parts []string
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" {
+			parts = append(parts, v)
+		}
+		var rev, modified string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					modified = " (modified)"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			parts = append(parts, "rev "+rev+modified)
+		}
+	}
+	parts = append(parts, runtime.Version())
+	return strings.Join(parts, " ")
+}

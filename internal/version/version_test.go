@@ -1,0 +1,20 @@
+package version
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestStringNonEmptyAndStable(t *testing.T) {
+	v := String()
+	if v == "" {
+		t.Fatal("version.String() is empty")
+	}
+	if !strings.Contains(v, runtime.Version()) {
+		t.Fatalf("version.String() = %q, missing toolchain %q", v, runtime.Version())
+	}
+	if v2 := String(); v2 != v {
+		t.Fatalf("version.String() not stable: %q then %q", v, v2)
+	}
+}

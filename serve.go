@@ -1,0 +1,29 @@
+package sts
+
+import (
+	"github.com/stslib/sts/internal/server"
+)
+
+// Server is the HTTP/JSON serving subsystem over an Engine: a long-lived
+// process boundary for trajectory ingestion, pairwise similarity, top-k
+// co-location search, greedy linking, and engine introspection, with
+// admission control (429 + Retry-After under overload), per-route request
+// timeouts propagated into the engine's cancellable executor, structured
+// request logging, Prometheus-text /metrics, and graceful drain on
+// shutdown.
+//
+// The wire contract lives in the api package, the typed Go caller in the
+// client package, and the stsserved command wires a Server to flags and
+// signals. Server implements http.Handler, so it can also be mounted on an
+// existing mux.
+type Server = server.Server
+
+// ServeOptions configures NewServer; the zero value serves with production
+// defaults (30s query timeout, 64 in-flight requests, 32 MiB bodies).
+type ServeOptions = server.Options
+
+// NewServer builds a Server over eng. Serve it with Server.ListenAndServe
+// (managed listener, graceful drain) or mount it as an http.Handler.
+func NewServer(eng *Engine, opts ServeOptions) (*Server, error) {
+	return server.New(eng, opts)
+}
