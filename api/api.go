@@ -126,6 +126,17 @@ type LinkResponse struct {
 	Links []LinkedPair `json:"links"`
 }
 
+// PruneStats mirrors the engine's cumulative filter-and-refine counters on
+// the wire: how many candidate pairs pruned queries have considered, how
+// many were decided by the admissible upper bound alone, how many
+// refinements were abandoned early, and how many ran to completion.
+type PruneStats struct {
+	Considered  uint64 `json:"considered"`
+	BoundPruned uint64 `json:"bound_pruned"`
+	EarlyExited uint64 `json:"early_exited"`
+	Refined     uint64 `json:"refined"`
+}
+
 // CacheStats mirrors the engine's per-cache counters on the wire.
 type CacheStats struct {
 	Hits      uint64  `json:"hits"`
@@ -150,6 +161,10 @@ type StatsResponse struct {
 	Prepared CacheStats `json:"prepared_cache"`
 	// Profile is only present when Profiled is true.
 	Profile *CacheStats `json:"profile_cache,omitempty"`
+	// Prune are the filter-and-refine counters of the pruned query paths
+	// (top-k and thresholded link scoring). All-zero on engines with
+	// pruning disabled.
+	Prune PruneStats `json:"prune"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -120,6 +120,20 @@ func (c *Client) TopK(ctx context.Context, id string, k int) (api.TopKResponse, 
 	return resp, err
 }
 
+// TopKMinScore is TopK with a score floor: the server returns the best k
+// matches scoring at least minScore, pruning sub-threshold candidates
+// server-side through the engine's filter-and-refine path.
+func (c *Client) TopKMinScore(ctx context.Context, id string, k int, minScore float64) (api.TopKResponse, error) {
+	var resp api.TopKResponse
+	q := url.Values{"id": {id}}
+	if k > 0 {
+		q.Set("k", strconv.Itoa(k))
+	}
+	q.Set("min_score", strconv.FormatFloat(minScore, 'g', -1, 64))
+	err := c.do(ctx, http.MethodGet, "/v1/topk?"+q.Encode(), nil, &resp)
+	return resp, err
+}
+
 // Link greedily links two corpus subsets one-to-one (empty sides mean the
 // whole corpus).
 func (c *Client) Link(ctx context.Context, req api.LinkRequest) (api.LinkResponse, error) {

@@ -20,6 +20,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"github.com/stslib/sts/internal/baseline"
@@ -46,6 +47,7 @@ func main() {
 		strict  = flag.Bool("strict", false, "reject datasets with out-of-order samples instead of sorting them")
 		timeout = flag.Duration("timeout", 0, "abort scoring after this duration (0 = no limit)")
 		profile = flag.Float64("profile-bucket", 0, "STS only: bucketed-profile scoring with this bucket width in seconds (0 = exact; -1 = default width)")
+		minSc   = flag.Float64("min-score", math.Inf(-1), "with -top: keep only matches scoring at least this, pruning weaker candidates via filter-and-refine")
 		showVer = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -99,7 +101,7 @@ func main() {
 			check(err)
 		}
 		for _, q := range d1 {
-			matches, err := eng.TopK(ctx, q, *top)
+			matches, err := eng.TopKOpts(ctx, q, engine.TopKOptions{K: *top, MinScore: *minSc})
 			check(err)
 			fmt.Printf("%s:", q.ID)
 			for _, m := range matches {
@@ -113,6 +115,10 @@ func main() {
 		if ps := eng.ProfileCacheStats(); ps.Hits+ps.Misses > 0 {
 			fmt.Printf("# profile cache:  %d hits / %d misses (%.0f%% hit rate)\n",
 				ps.Hits, ps.Misses, 100*ps.HitRate())
+		}
+		if pr := eng.PruneStats(); pr.Considered > 0 {
+			fmt.Printf("# pruning: %d considered, %d bound-pruned, %d early-exited, %d refined\n",
+				pr.Considered, pr.BoundPruned, pr.EarlyExited, pr.Refined)
 		}
 		return
 	}

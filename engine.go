@@ -28,6 +28,15 @@ type EngineMatch = engine.Match
 // CacheStats reports the engine's prepared-trajectory cache counters.
 type CacheStats = engine.CacheStats
 
+// TopKOptions parameterizes Engine.TopKOpts: result size, an optional
+// score floor (which also feeds the filter-and-refine pruning), and a
+// forced-exhaustive switch for equivalence checking.
+type TopKOptions = engine.TopKOptions
+
+// EnginePruneStats reports the engine's cumulative filter-and-refine
+// counters (see Engine.PruneStats).
+type EnginePruneStats = engine.PruneStats
+
 // EngineOptions configures NewEngine.
 type EngineOptions struct {
 	// Workers bounds query parallelism (0 selects GOMAXPROCS).
@@ -48,6 +57,16 @@ type EngineOptions struct {
 	// per-trajectory interpolation work across pairs. Requires a
 	// measure-backed scorer (NewScorer / NewProfiledScorer).
 	Profile *ProfileOptions
+	// DisablePruning forces TopK and thresholded queries down the
+	// exhaustive path, bypassing the filter-and-refine bounds (the pruned
+	// path returns identical results; this switch exists for baselines and
+	// debugging).
+	DisablePruning bool
+	// PruneBucketSeconds sets the bound-profile bucket width used by the
+	// filter-and-refine path on exact (non-profiled) engines; 0 selects
+	// the default profile width. Profiled engines derive bounds from their
+	// scoring profiles.
+	PruneBucketSeconds float64
 }
 
 // NewEngine builds an engine around a scorer (use NewScorer to wrap a
@@ -63,10 +82,12 @@ func NewEngine(scorer Scorer, opts EngineOptions) (*Engine, error) {
 		pruner = ix
 	}
 	return engine.New(scorer, engine.Options{
-		Workers:   opts.Workers,
-		CacheSize: opts.CacheSize,
-		Pruner:    pruner,
-		Profile:   opts.Profile,
+		Workers:            opts.Workers,
+		CacheSize:          opts.CacheSize,
+		Pruner:             pruner,
+		Profile:            opts.Profile,
+		DisablePruning:     opts.DisablePruning,
+		PruneBucketSeconds: opts.PruneBucketSeconds,
 	})
 }
 

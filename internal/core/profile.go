@@ -20,6 +20,12 @@ type ProfileOptions struct {
 	// trajectory) as it grows. Zero selects DefaultProfileBucketSeconds;
 	// negative or non-finite values are rejected.
 	BucketSeconds float64
+	// Bounds additionally precomputes the filter-and-refine bound state
+	// (reach envelopes, per-bucket mass summaries — see bound.go), which
+	// UpperBound and the thresholded scorers require. Off by default: pure
+	// profiled scoring never reads it, and skipping it keeps transient
+	// profile builds cheap. The engine opts in for its cached profiles.
+	Bounds bool
 }
 
 // DefaultProfileBucketSeconds is the default profile bucket width. It sits
@@ -71,6 +77,36 @@ type Profile struct {
 	// (two allocations instead of two per bucket).
 	cells []int
 	probs []float64
+
+	// Filter-and-refine bound state (see bound.go). nx decomposes cell
+	// indices into lattice coordinates; b0/b1 is the bucket range of the
+	// active span [Start, End].
+	nx     int
+	b0, b1 int64
+	// env[b-b0] is the reach envelope of bucket b: a cell box provably
+	// containing the support of STP(·, t, Tra) for every t in the bucket.
+	// nil when unbounded (Exact mode: the support is the whole grid).
+	env       []cellBox
+	unbounded bool
+	// Observation runs grouped by bucketIndex(T): bndDist[i] is the sum of
+	// the (normalized) noise distributions of the run's observations, the
+	// per-bucket numerator of the upper bound's mass-in-envelope terms.
+	// Single-observation runs alias the Prepared cache.
+	bndBuckets []int64
+	bndFirst   []int32
+	bndCount   []int32
+	bndDist    []stprob.Dist
+	bndBox     []cellBox
+	bndMass    []float64
+	// Per scoring entry: support box, max probability and total mass of
+	// dists[i], plus suffix timestamp weights — the O(1) ingredients of the
+	// profiled bound and its early-exit variant.
+	entryBox    []cellBox
+	entryMax    []float64
+	entrySum    []float64
+	sufW        []int64 // sufW[i] = Σ_{j≥i} weights[j]; len = len(weights)+1
+	maxEntryMax float64
+	maxEntrySum float64
 }
 
 // SampleCount returns the source trajectory's number of observations.
@@ -183,6 +219,9 @@ func (m *Measure) Profile(p *Prepared, opts ProfileOptions) (*Profile, error) {
 			Probs: prof.probs[off : off+n : off+n],
 		}
 		off += n
+	}
+	if opts.Bounds {
+		m.buildBoundData(prof, p)
 	}
 	return prof, nil
 }

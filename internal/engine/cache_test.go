@@ -16,7 +16,7 @@ import (
 // without importing eval (which sits above this package).
 type measureScorer struct{ m *core.Measure }
 
-func (s measureScorer) Name() string          { return "STS" }
+func (s measureScorer) Name() string           { return "STS" }
 func (s measureScorer) Measure() *core.Measure { return s.m }
 func (s measureScorer) Score(a, b model.Trajectory) (float64, error) {
 	return s.m.Similarity(a, b)

@@ -21,9 +21,9 @@
 package engine
 
 import (
-	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -96,6 +96,17 @@ type Options struct {
 	// own ProfileOptions (if it is a ProfileScorer) apply; when both are
 	// nil, scoring stays exact. Requires a MeasureScorer.
 	Profile *core.ProfileOptions
+	// DisablePruning forces TopK and MinScore-thresholded queries down the
+	// exhaustive path even when the engine could filter-and-refine.
+	// Benchmarks and equivalence tests use it to pin the exhaustive
+	// baseline; production engines leave it false.
+	DisablePruning bool
+	// PruneBucketSeconds is the bucket width of the bound profiles an
+	// exact (non-profiled) engine derives its admissible upper bounds from
+	// (0 selects core.DefaultProfileBucketSeconds). A profiled engine's
+	// bounds always reuse its scoring profiles. Ignored when pruning is
+	// disabled.
+	PruneBucketSeconds float64
 }
 
 // Match is one result of Engine.TopK.
@@ -118,6 +129,13 @@ type Engine struct {
 	profOpts *core.ProfileOptions // non-nil switches scoring to profiles
 	profiles *lruCache[*core.Profile]
 	pruner   Pruner
+	// boundOpts is the profile width the filter-and-refine path derives its
+	// upper bounds from: the scoring profile options when profiled, a
+	// dedicated width otherwise. profiles is populated whenever pruning or
+	// profiled scoring needs it; noPrune pins every query exhaustive.
+	boundOpts core.ProfileOptions
+	noPrune   bool
+	pstats    pruneCounters
 
 	mu    sync.RWMutex
 	slots []corpusSlot
@@ -166,10 +184,23 @@ func New(scorer Scorer, opts Options) (*Engine, error) {
 			e.profOpts = ps.ProfileOptions()
 		}
 	}
+	if e.profOpts != nil && e.measure == nil {
+		return nil, errors.New("engine: Options.Profile requires a measure-backed scorer")
+	}
+	if w := opts.PruneBucketSeconds; w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return nil, fmt.Errorf("engine: Options.PruneBucketSeconds must be non-negative and finite, got %v", w)
+	}
+	e.noPrune = opts.DisablePruning
 	if e.profOpts != nil {
-		if e.measure == nil {
-			return nil, errors.New("engine: Options.Profile requires a measure-backed scorer")
-		}
+		e.boundOpts = *e.profOpts
+	} else {
+		e.boundOpts = core.ProfileOptions{BucketSeconds: opts.PruneBucketSeconds}
+	}
+	e.boundOpts.Bounds = true
+	// The profile cache backs both profiled scoring and the bound phase of
+	// filter-and-refine, so an exact engine with pruning enabled keeps one
+	// too.
+	if e.measure != nil && (e.profOpts != nil || !e.noPrune) {
 		e.profiles = newLRUCache[*core.Profile](capacity)
 	}
 	return e, nil
@@ -359,107 +390,41 @@ var ErrNoQuery = errors.New("engine: invalid query trajectory")
 // without string matching.
 var ErrNotFound = errors.New("not in corpus")
 
-// TopK scores the query against the corpus — against the pruner's
-// candidate set when a pruner is configured, the whole corpus otherwise —
-// and returns the k best matches by descending score (ties break by slot,
-// so results are deterministic). Scoring runs on the engine's worker pool
-// and honors ctx cancellation and deadlines; corpus mutations during the
-// query do not affect the snapshot being scored.
-func (e *Engine) TopK(ctx context.Context, query model.Trajectory, k int) ([]Match, error) {
-	if k <= 0 {
-		return nil, nil
-	}
-	if err := query.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrNoQuery, err)
-	}
-	type cand struct {
-		slot int
-		tr   model.Trajectory
-	}
+// candidate is one corpus entry snapshotted for a query.
+type candidate struct {
+	slot int
+	tr   model.Trajectory
+}
+
+// snapshotCandidates snapshots the query's candidate set — the pruner's
+// when one is configured, the whole corpus otherwise — under one read
+// lock, so later corpus mutations do not affect the query.
+func (e *Engine) snapshotCandidates(query model.Trajectory) []candidate {
 	e.mu.RLock()
-	var cands []cand
+	defer e.mu.RUnlock()
+	var cands []candidate
 	if e.pruner != nil {
 		for _, slot := range e.pruner.Candidates(query) {
 			if slot >= 0 && slot < len(e.slots) && e.slots[slot].used {
-				cands = append(cands, cand{slot: slot, tr: e.slots[slot].tr})
+				cands = append(cands, candidate{slot: slot, tr: e.slots[slot].tr})
 			}
 		}
 	} else {
-		cands = make([]cand, 0, e.count)
+		cands = make([]candidate, 0, e.count)
 		for slot, s := range e.slots {
 			if s.used {
-				cands = append(cands, cand{slot: slot, tr: s.tr})
+				cands = append(cands, candidate{slot: slot, tr: s.tr})
 			}
 		}
 	}
-	e.mu.RUnlock()
-	if len(cands) == 0 {
-		return nil, nil
-	}
+	return cands
+}
 
-	scores := make([]float64, len(cands))
-	var scoreOne func(i int) error
-	if e.profOpts != nil {
-		fq, err := e.profiled(query)
-		if err != nil {
-			return nil, err
-		}
-		scoreOne = func(i int) error {
-			fc, err := e.profiled(cands[i].tr)
-			if err != nil {
-				return err
-			}
-			v, err := core.SimilarityProfiled(fq, fc)
-			if err != nil {
-				return err
-			}
-			scores[i] = sanitize(v)
-			return nil
-		}
-	} else if e.measure != nil {
-		pq, err := e.prepared(query)
-		if err != nil {
-			return nil, err
-		}
-		scoreOne = func(i int) error {
-			pc, err := e.prepared(cands[i].tr)
-			if err != nil {
-				return err
-			}
-			v, err := e.measure.SimilarityPrepared(pq, pc)
-			if err != nil {
-				return err
-			}
-			scores[i] = sanitize(v)
-			return nil
-		}
-	} else {
-		scoreOne = func(i int) error {
-			v, err := e.scorer.Score(query, cands[i].tr)
-			if err != nil {
-				return err
-			}
-			scores[i] = sanitize(v)
-			return nil
-		}
-	}
-	if err := ForEach(ctx, len(cands), e.workers, scoreOne); err != nil {
-		return nil, err
-	}
-	matches := make([]Match, len(cands))
-	for i, c := range cands {
-		matches[i] = Match{ID: c.tr.ID, Slot: c.slot, Score: scores[i]}
-	}
-	sort.Slice(matches, func(a, b int) bool {
-		if matches[a].Score != matches[b].Score {
-			return matches[a].Score > matches[b].Score
-		}
-		return matches[a].Slot < matches[b].Slot
-	})
-	if len(matches) > k {
-		matches = matches[:k]
-	}
-	return matches, nil
+// canPrune reports whether the engine can run the filter-and-refine query
+// path: pruning enabled and a measure-backed scorer with a bound-profile
+// cache to derive admissible upper bounds from.
+func (e *Engine) canPrune() bool {
+	return !e.noPrune && e.measure != nil && e.profiles != nil
 }
 
 // prepared returns the cached prepared state for tr, preparing at most
@@ -477,14 +442,15 @@ func (e *Engine) prepared(tr model.Trajectory) (*core.Prepared, error) {
 // profiled returns the cached bucketed profile for tr, building at most
 // once concurrently per trajectory. The build routes through the prepared
 // cache, so a trajectory's estimator state is shared between the exact and
-// profiled paths.
+// profiled paths. Profiled engines score with these profiles; exact ones
+// use them only for the filter phase's upper bounds.
 func (e *Engine) profiled(tr model.Trajectory) (*core.Profile, error) {
 	return e.profiles.get(keyOf(tr), func() (*core.Profile, error) {
 		p, err := e.prepared(tr)
 		if err != nil {
 			return nil, err
 		}
-		prof, err := e.measure.Profile(p, *e.profOpts)
+		prof, err := e.measure.Profile(p, e.boundOpts)
 		if err != nil {
 			return nil, fmt.Errorf("engine: profile %q: %w", tr.ID, err)
 		}

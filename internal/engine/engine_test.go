@@ -105,10 +105,10 @@ func TestTopKMatchesDirectScoring(t *testing.T) {
 	}
 	query := walk("q", 100, 100, 8, 15, 12)
 	corpus := []model.Trajectory{
-		walk("same", 104, 102, 8, 17, 10),  // co-located with the query
-		walk("near", 160, 100, 8, 15, 10),  // same corridor, offset
-		walk("far", 900, 900, 8, 15, 10),   // opposite corner
-		walk("slow", 100, 140, 2, 40, 10),  // crosses the query's area late
+		walk("same", 104, 102, 8, 17, 10), // co-located with the query
+		walk("near", 160, 100, 8, 15, 10), // same corridor, offset
+		walk("far", 900, 900, 8, 15, 10),  // opposite corner
+		walk("slow", 100, 140, 2, 40, 10), // crosses the query's area late
 	}
 	for _, tr := range corpus {
 		if _, err := e.Add(tr); err != nil {

@@ -1,0 +1,241 @@
+// Thresholded (MinScore) matrix scoring: the filter-and-refine analogue of
+// ScoreBatch/ScoreMatrix. Entries whose score is provably below the floor
+// collapse to −Inf without full scoring — first by the admissible profile
+// upper bound, then by early-exited refinement — while every entry at or
+// above the floor is bit-identical to its exhaustive counterpart. Greedy
+// linking with a rejection threshold consumes these matrices unchanged.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+
+	"github.com/stslib/sts/internal/core"
+	"github.com/stslib/sts/internal/model"
+)
+
+// ScoreBatchMin is ScoreBatch with a score floor: pairs whose score falls
+// below minScore get −Inf, like masked-out pairs. On a measure-backed
+// engine with pruning enabled the floor is enforced by filter-and-refine —
+// bounded first, refined with early exit — so most sub-threshold pairs
+// never pay full scoring; surviving entries equal ScoreBatch's bit for
+// bit. A −Inf floor is ScoreBatch.
+func (e *Engine) ScoreBatchMin(ctx context.Context, rows, cols model.Dataset, mask [][]bool, minScore float64) ([][]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if math.IsNaN(minScore) {
+		minScore = math.Inf(-1)
+	}
+	if math.IsInf(minScore, -1) || !e.canPrune() {
+		out, err := e.ScoreBatch(ctx, rows, cols, mask)
+		if err != nil {
+			return nil, err
+		}
+		return floorMatrix(out, minScore), nil
+	}
+	profiled := e.profOpts != nil
+	rowNeeded, colNeeded := neededSides(len(rows), len(cols), mask)
+	frows := make([]*core.Profile, len(rows))
+	fcols := make([]*core.Profile, len(cols))
+	var prows []*core.Prepared
+	var pcols []*core.Prepared
+	if !profiled {
+		prows = make([]*core.Prepared, len(rows))
+		pcols = make([]*core.Prepared, len(cols))
+	}
+	if err := e.forEachSide(ctx, rows, cols, rowNeeded, colNeeded, func(i int) error {
+		p, err := e.profiled(rows[i])
+		if err != nil {
+			return err
+		}
+		frows[i] = p
+		if !profiled {
+			prows[i], err = e.prepared(rows[i])
+		}
+		return err
+	}, func(j int) error {
+		p, err := e.profiled(cols[j])
+		if err != nil {
+			return err
+		}
+		fcols[j] = p
+		if !profiled {
+			pcols[j], err = e.prepared(cols[j])
+		}
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	var st pruneCounters
+	defer func() {
+		e.pstats.add(st.considered.Load(), st.boundPruned.Load(), st.earlyExited.Load(), st.refined.Load())
+	}()
+	return matrix(ctx, len(rows), len(cols), e.workers, func(i, j int) (float64, error) {
+		if mask != nil && !mask[i][j] {
+			return math.Inf(-1), nil
+		}
+		if profiled {
+			return scoreMinPair(nil, nil, nil, frows[i], fcols[j], minScore, &st)
+		}
+		return scoreMinPair(e.measure, prows[i], pcols[j], frows[i], fcols[j], minScore, &st)
+	})
+}
+
+// scoreMinPair evaluates one pair under a score floor: bound first, refine
+// with early exit only if the bound passes. A nil measure selects the
+// profiled scorer (fa/fb are then scoring profiles, pa/pb unused). Returns
+// −Inf when the score is provably below minScore; any returned finite
+// score is exact (identical to the unthresholded scorer).
+func scoreMinPair(m *core.Measure, pa, pb *core.Prepared, fa, fb *core.Profile, minScore float64, st *pruneCounters) (float64, error) {
+	st.considered.Add(1)
+	var ub float64
+	var err error
+	if m == nil {
+		ub, err = core.UpperBoundProfiled(fa, fb)
+	} else {
+		ub, err = core.UpperBound(fa, fb)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if ub < minScore {
+		st.boundPruned.Add(1)
+		return math.Inf(-1), nil
+	}
+	if ub == 0 {
+		// An admissible zero bound certifies a floating-point-exact zero
+		// score, and 0 >= minScore here — keep it, exactly as the
+		// exhaustive matrix would.
+		st.boundPruned.Add(1)
+		return 0, nil
+	}
+	var v float64
+	var ok bool
+	if m == nil {
+		v, ok, err = core.SimilarityProfiledThreshold(fa, fb, minScore)
+	} else {
+		v, ok, err = m.RefineThreshold(pa, pb, fa, fb, minScore)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		st.earlyExited.Add(1)
+		return math.Inf(-1), nil
+	}
+	st.refined.Add(1)
+	if v < minScore || math.IsNaN(v) {
+		return math.Inf(-1), nil
+	}
+	return v, nil
+}
+
+// ScoreMatrixMin is ScoreMatrix with a score floor — the transient
+// filter-and-refine matrix under eval's thresholded entry points. With a
+// measure-backed scorer each distinct trajectory is prepared and profiled
+// once and every pair is bounded before it is refined; other scorers are
+// scored in full and floored afterwards.
+func ScoreMatrixMin(ctx context.Context, s Scorer, rows, cols model.Dataset, mask [][]bool, minScore float64, workers int) ([][]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if math.IsNaN(minScore) {
+		minScore = math.Inf(-1)
+	}
+	ms, measureBacked := s.(MeasureScorer)
+	if math.IsInf(minScore, -1) || !measureBacked {
+		out, err := ScoreMatrix(ctx, s, rows, cols, mask, workers)
+		if err != nil {
+			return nil, err
+		}
+		return floorMatrix(out, minScore), nil
+	}
+	m := ms.Measure()
+	boundOpts := core.ProfileOptions{}
+	var popts *core.ProfileOptions
+	if ps, ok := s.(ProfileScorer); ok {
+		popts = ps.ProfileOptions()
+	}
+	if popts != nil {
+		boundOpts = *popts
+	}
+	boundOpts.Bounds = true
+
+	rowNeeded, colNeeded := neededSides(len(rows), len(cols), mask)
+	uniq := make(model.Dataset, 0, len(rows)+len(cols))
+	slotOf := make(map[prepKey]int, len(rows)+len(cols))
+	rowSlot := make([]int, len(rows))
+	colSlot := make([]int, len(cols))
+	assign := func(tr model.Trajectory) int {
+		k := keyOf(tr)
+		if slot, ok := slotOf[k]; ok {
+			return slot
+		}
+		slot := len(uniq)
+		slotOf[k] = slot
+		uniq = append(uniq, tr)
+		return slot
+	}
+	for i, tr := range rows {
+		rowSlot[i] = -1
+		if rowNeeded[i] {
+			rowSlot[i] = assign(tr)
+		}
+	}
+	for j, tr := range cols {
+		colSlot[j] = -1
+		if colNeeded[j] {
+			colSlot[j] = assign(tr)
+		}
+	}
+
+	preps := make([]*core.Prepared, len(uniq))
+	profs := make([]*core.Profile, len(uniq))
+	if err := ForEach(ctx, len(uniq), workers, func(i int) error {
+		p, err := m.Prepare(uniq[i])
+		if err != nil {
+			return fmt.Errorf("engine: prepare %q: %w", uniq[i].ID, err)
+		}
+		preps[i] = p
+		prof, err := m.Profile(p, boundOpts)
+		if err != nil {
+			return fmt.Errorf("engine: profile %q: %w", uniq[i].ID, err)
+		}
+		profs[i] = prof
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	var st pruneCounters
+	return matrix(ctx, len(rows), len(cols), workers, func(i, j int) (float64, error) {
+		if mask != nil && !mask[i][j] {
+			return math.Inf(-1), nil
+		}
+		if popts != nil {
+			return scoreMinPair(nil, nil, nil, profs[rowSlot[i]], profs[colSlot[j]], minScore, &st)
+		}
+		return scoreMinPair(m, preps[rowSlot[i]], preps[colSlot[j]], profs[rowSlot[i]], profs[colSlot[j]], minScore, &st)
+	})
+}
+
+// floorMatrix maps entries below minScore (and NaN) to −Inf in place.
+func floorMatrix(m [][]float64, minScore float64) [][]float64 {
+	if math.IsInf(minScore, -1) {
+		return m
+	}
+	for _, row := range m {
+		for j, v := range row {
+			if v < minScore || math.IsNaN(v) {
+				row[j] = math.Inf(-1)
+			}
+		}
+	}
+	return m
+}

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"context"
+	"math"
 
 	"github.com/stslib/sts/internal/engine"
 	"github.com/stslib/sts/internal/model"
@@ -58,6 +59,40 @@ func ScoreMatrixMaskedContext(ctx context.Context, rows, cols model.Dataset, s S
 		return sanitizeMatrix(m), err
 	}
 	return engine.ScoreMatrix(ctx, s, rows, cols, mask, workers)
+}
+
+// ScoreMatrixMin is ScoreMatrixMasked with a score floor: pairs scoring
+// below minScore get −Inf, exactly like masked-out pairs. Measure-backed
+// scorers (STS) enforce the floor bound-first — each pair is checked
+// against an admissible profile upper bound and refined with early exit
+// only if the bound passes — so sub-threshold pairs are mostly rejected
+// without full scoring, while every surviving entry is bit-identical to
+// the exhaustive matrix. A −Inf floor is plain ScoreMatrixMasked.
+func ScoreMatrixMin(rows, cols model.Dataset, s Scorer, mask [][]bool, minScore float64, workers int) ([][]float64, error) {
+	return ScoreMatrixMinContext(context.Background(), rows, cols, s, mask, minScore, workers)
+}
+
+// ScoreMatrixMinContext is ScoreMatrixMin with cancellation.
+func ScoreMatrixMinContext(ctx context.Context, rows, cols model.Dataset, s Scorer, mask [][]bool, minScore float64, workers int) ([][]float64, error) {
+	if _, ok := s.(engine.MeasureScorer); ok {
+		return engine.ScoreMatrixMin(ctx, s, rows, cols, mask, minScore, workers)
+	}
+	// Generic scorers keep their matrix extensions; the floor is applied
+	// after the fact (there is no bound to prune with).
+	m, err := ScoreMatrixMaskedContext(ctx, rows, cols, s, mask, workers)
+	if err != nil {
+		return nil, err
+	}
+	if !math.IsInf(minScore, -1) {
+		for _, row := range m {
+			for j, v := range row {
+				if v < minScore || math.IsNaN(v) {
+					row[j] = math.Inf(-1)
+				}
+			}
+		}
+	}
+	return m, nil
 }
 
 // ScoreMatrix computes scores[i][j] = Score(rows[i], cols[j]) for every

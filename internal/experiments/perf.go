@@ -56,6 +56,11 @@ type PerfBench struct {
 	// measured run, for benchmarks that serve queries through a persistent
 	// engine (0 otherwise).
 	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+	// PruneRate is the fraction of candidate pairs the filter-and-refine
+	// path disposed of without full refinement — (bound-pruned +
+	// early-exited) / considered — for benchmarks that run the pruned path
+	// (0 otherwise).
+	PruneRate float64 `json:"prune_rate,omitempty"`
 	// Baseline numbers and the derived speedup (ratio of baseline ns/op to
 	// current ns/op), present only when PerfOptions.BaselinePath was given.
 	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
@@ -321,7 +326,10 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		eng, err := engine.New(scorers[0], engine.Options{Workers: workers, Pruner: ix})
+		// DisablePruning keeps this row the exhaustive serving baseline it has
+		// been since it was introduced; the filter-and-refine regime has its
+		// own pruned_topk row below.
+		eng, err := engine.New(scorers[0], engine.Options{Workers: workers, Pruner: ix, DisablePruning: true})
 		if err != nil {
 			return err
 		}
@@ -365,7 +373,7 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		eng, err := engine.New(scorers[0], engine.Options{Workers: workers, Pruner: ix, Profile: &profOpts})
+		eng, err := engine.New(scorers[0], engine.Options{Workers: workers, Pruner: ix, Profile: &profOpts, DisablePruning: true})
 		if err != nil {
 			return err
 		}
@@ -384,6 +392,75 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 			return err
 		}
 		report.Benches[len(report.Benches)-1].CacheHitRate = eng.ProfileCacheStats().HitRate()
+	}
+
+	// Filter-and-refine top-k: the same serving path as engine_topk but at
+	// k=10 over a larger corpus (the corpus >> k regime pruning targets),
+	// measured exhaustive and pruned over identical engines. The pruned
+	// engine bound-orders candidates by their admissible upper bound and
+	// refines only those that can still beat the running k-th-best score;
+	// both rows return identical result sets.
+	{
+		sc := Taxi(8*n, seed)
+		scorers, err := BuildScorers(sc, sc.GridSize, 0, []string{MethodSTS})
+		if err != nil {
+			return err
+		}
+		newEng := func(disable bool) (*engine.Engine, error) {
+			grid, err := sc.Grid(sc.GridSize, 0)
+			if err != nil {
+				return nil, err
+			}
+			ix, err := index.New(index.Options{
+				Grid:         grid,
+				TimeBucket:   120,
+				SpatialSlack: 400,
+				TimeSlack:    120,
+			})
+			if err != nil {
+				return nil, err
+			}
+			eng, err := engine.New(scorers[0], engine.Options{Workers: workers, Pruner: ix, DisablePruning: disable})
+			if err != nil {
+				return nil, err
+			}
+			for _, tr := range sc.D2 {
+				if _, err := eng.Add(tr); err != nil {
+					return nil, err
+				}
+			}
+			return eng, nil
+		}
+		exh, err := newEng(true)
+		if err != nil {
+			return err
+		}
+		qi := 0
+		if err := add("exhaustive_topk/taxi/k=10", len(sc.D2), func() error {
+			q := sc.D1[qi%len(sc.D1)]
+			qi++
+			_, err := exh.TopK(context.Background(), q, 10)
+			return err
+		}); err != nil {
+			return err
+		}
+		report.Benches[len(report.Benches)-1].CacheHitRate = exh.CacheStats().HitRate()
+
+		prn, err := newEng(false)
+		if err != nil {
+			return err
+		}
+		qj := 0
+		if err := add("pruned_topk/taxi/k=10", len(sc.D2), func() error {
+			q := sc.D1[qj%len(sc.D1)]
+			qj++
+			_, err := prn.TopK(context.Background(), q, 10)
+			return err
+		}); err != nil {
+			return err
+		}
+		report.Benches[len(report.Benches)-1].CacheHitRate = prn.CacheStats().HitRate()
+		report.Benches[len(report.Benches)-1].PruneRate = pruneRate(prn.PruneStats())
 	}
 
 	// Repeated batch rescoring through a persistent engine: after the first
@@ -407,6 +484,34 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 			return err
 		}
 		report.Benches[len(report.Benches)-1].CacheHitRate = eng.CacheStats().HitRate()
+	}
+
+	// Thresholded matrix scoring: the engine_rescore workload with a score
+	// floor, through ScoreBatchMin — each pair is bound-checked first and
+	// refinement early-exits as soon as the exact score provably cannot
+	// reach the floor, so sub-threshold pairs come back as -Inf without
+	// full scoring.
+	{
+		sc := scenarios[0]
+		scorers, err := BuildScorers(sc, sc.GridSize, 0, []string{MethodSTS})
+		if err != nil {
+			return err
+		}
+		eng, err := engine.New(scorers[0], engine.Options{Workers: workers})
+		if err != nil {
+			return err
+		}
+		// The 0.01 floor sits at ~P90 of the mall score distribution, so the
+		// strong pairs refine to completion and the bulk prunes or exits.
+		pairs := len(sc.D1) * len(sc.D2)
+		if err := add("threshold_matrix/mall/min=0.01", pairs, func() error {
+			_, err := eng.ScoreBatchMin(context.Background(), sc.D1, sc.D2, nil, 0.01)
+			return err
+		}); err != nil {
+			return err
+		}
+		report.Benches[len(report.Benches)-1].CacheHitRate = eng.CacheStats().HitRate()
+		report.Benches[len(report.Benches)-1].PruneRate = pruneRate(eng.PruneStats())
 	}
 
 	if base != nil {
@@ -446,6 +551,15 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 		fmt.Fprintf(w, "gate ok: no benchmark slowed more than %g%%\n", opts.GatePercent)
 	}
 	return nil
+}
+
+// pruneRate derives the fraction of considered pairs disposed of without
+// full refinement from an engine's cumulative filter-and-refine counters.
+func pruneRate(s engine.PruneStats) float64 {
+	if s.Considered == 0 {
+		return 0
+	}
+	return float64(s.BoundPruned+s.EarlyExited) / float64(s.Considered)
 }
 
 // loadBaseline reads and parses a previously written report.

@@ -140,7 +140,15 @@ func GreedyLinkContext(ctx context.Context, d1, d2 model.Dataset, scorer eval.Sc
 	if err != nil {
 		return nil, fmt.Errorf("linking: %w", err)
 	}
-	scores, err := eval.ScoreMatrixMaskedContext(ctx, d1, d2, scorer, mask, opts.Workers)
+	var scores [][]float64
+	if opts.MinScore > 0 {
+		// The rejection threshold doubles as a pruning floor: pairs provably
+		// below it collapse to −Inf without full scoring, and greedySelect
+		// drops them exactly as it would drop their sub-threshold scores.
+		scores, err = eval.ScoreMatrixMinContext(ctx, d1, d2, scorer, mask, opts.MinScore, opts.Workers)
+	} else {
+		scores, err = eval.ScoreMatrixMaskedContext(ctx, d1, d2, scorer, mask, opts.Workers)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("linking: %w", err)
 	}
@@ -153,6 +161,16 @@ func GreedyLinkContext(ctx context.Context, d1, d2 model.Dataset, scorer eval.Sc
 // re-preparing every trajectory per request.
 type Batcher interface {
 	ScoreBatch(ctx context.Context, rows, cols model.Dataset, mask [][]bool) ([][]float64, error)
+}
+
+// MinBatcher is an optional Batcher extension for substrates that can
+// enforce a score floor while scoring — *engine.Engine implements it with
+// the filter-and-refine matrix. GreedyLinkBatch routes a positive MinScore
+// through it so sub-threshold pairs are pruned instead of fully scored;
+// the links produced are identical either way.
+type MinBatcher interface {
+	Batcher
+	ScoreBatchMin(ctx context.Context, rows, cols model.Dataset, mask [][]bool, minScore float64) ([][]float64, error)
 }
 
 // GreedyLinkBatch is GreedyLinkContext with the scoring delegated to a
@@ -168,7 +186,12 @@ func GreedyLinkBatch(ctx context.Context, b Batcher, d1, d2 model.Dataset, opts 
 	if err != nil {
 		return nil, fmt.Errorf("linking: %w", err)
 	}
-	scores, err := b.ScoreBatch(ctx, d1, d2, mask)
+	var scores [][]float64
+	if mb, ok := b.(MinBatcher); ok && opts.MinScore > 0 {
+		scores, err = mb.ScoreBatchMin(ctx, d1, d2, mask, opts.MinScore)
+	} else {
+		scores, err = b.ScoreBatch(ctx, d1, d2, mask)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("linking: %w", err)
 	}

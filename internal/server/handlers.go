@@ -26,12 +26,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+	ps := s.eng.PruneStats()
 	resp := api.StatsResponse{
 		Version:    s.opts.Version,
 		CorpusSize: s.eng.Len(),
 		Profiled:   s.eng.Profiled(),
 		Workers:    s.eng.Workers(),
 		Prepared:   wireCacheStats(s.eng.CacheStats()),
+		Prune: api.PruneStats{
+			Considered:  ps.Considered,
+			BoundPruned: ps.BoundPruned,
+			EarlyExited: ps.EarlyExited,
+			Refined:     ps.Refined,
+		},
 	}
 	if resp.Profiled {
 		ps := wireCacheStats(s.eng.ProfileCacheStats())
@@ -152,7 +159,9 @@ func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) error 
 
 // handleTopK ranks the corpus against one of its trajectories. The query
 // itself is excluded from the results (it would trivially rank first);
-// pass ?self=true to keep it.
+// pass ?self=true to keep it. An optional ?min_score= floor drops weaker
+// matches and feeds the engine's filter-and-refine pruning from the first
+// wave on.
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) error {
 	q := r.URL.Query()
 	id := q.Get("id")
@@ -168,6 +177,14 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) error {
 		k = v
 	}
 	includeSelf := q.Get("self") == "true"
+	minScore := math.Inf(-1)
+	if raw := q.Get("min_score"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || math.IsNaN(v) {
+			return httpErrorf(http.StatusBadRequest, "bad min_score %q: want a number", raw)
+		}
+		minScore = v
+	}
 	query, ok := s.eng.Get(id)
 	if !ok {
 		return httpErrorf(http.StatusNotFound, "trajectory %q not in corpus", id)
@@ -176,7 +193,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) error {
 	if !includeSelf {
 		want = k + 1 // room to drop the query's own entry
 	}
-	matches, err := s.eng.TopK(r.Context(), query, want)
+	matches, err := s.eng.TopKOpts(r.Context(), query, engine.TopKOptions{K: want, MinScore: minScore})
 	if err != nil {
 		return mapEngineErr(err)
 	}

@@ -135,6 +135,16 @@ func (m *metrics) render(w io.Writer, eng *engine.Engine) {
 	fmt.Fprint(w, "# HELP sts_corpus_size Trajectories in the engine corpus.\n# TYPE sts_corpus_size gauge\n")
 	fmt.Fprintf(w, "sts_corpus_size %d\n", eng.Len())
 
+	ps := eng.PruneStats()
+	fmt.Fprint(w, "# HELP sts_prune_considered_total Candidate pairs entering pruned (filter-and-refine) queries.\n# TYPE sts_prune_considered_total counter\n")
+	fmt.Fprintf(w, "sts_prune_considered_total %d\n", ps.Considered)
+	fmt.Fprint(w, "# HELP sts_prune_ub_pruned_total Candidates decided by the admissible upper bound alone.\n# TYPE sts_prune_ub_pruned_total counter\n")
+	fmt.Fprintf(w, "sts_prune_ub_pruned_total %d\n", ps.BoundPruned)
+	fmt.Fprint(w, "# HELP sts_prune_early_exit_total Refinements abandoned once the threshold became unreachable.\n# TYPE sts_prune_early_exit_total counter\n")
+	fmt.Fprintf(w, "sts_prune_early_exit_total %d\n", ps.EarlyExited)
+	fmt.Fprint(w, "# HELP sts_prune_refined_total Refinements scored to completion.\n# TYPE sts_prune_refined_total counter\n")
+	fmt.Fprintf(w, "sts_prune_refined_total %d\n", ps.Refined)
+
 	kinds := []struct {
 		name  string
 		stats engine.CacheStats

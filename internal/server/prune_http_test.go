@@ -1,0 +1,112 @@
+package server_test
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/stslib/sts/api"
+	"github.com/stslib/sts/internal/server"
+)
+
+// TestTopKMinScoreRoundTrip pins the served min_score behavior against the
+// plain top-k: the thresholded response is exactly the unthresholded one
+// with sub-floor matches dropped, and serving it leaves the engine's prune
+// counters visible in /v1/stats and /metrics.
+func TestTopKMinScoreRoundTrip(t *testing.T) {
+	_, eng, ds := mallWorld(t, 8)
+	ts := newTestServer(t, eng, server.Options{})
+
+	var br api.BatchResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/trajectories:batch",
+		api.BatchRequest{Trajectories: api.FromDataset(ds)}, &br); code != http.StatusOK {
+		t.Fatalf("batch ingest: code %d", code)
+	}
+
+	q := ds[0]
+	var full api.TopKResponse
+	url := fmt.Sprintf("%s/v1/topk?id=%s&k=%d", ts.URL, q.ID, len(ds))
+	if code := doJSON(t, http.MethodGet, url, nil, &full); code != http.StatusOK {
+		t.Fatalf("topk: code %d", code)
+	}
+	if len(full.Matches) == 0 {
+		t.Fatal("plain topk returned no matches")
+	}
+
+	for _, floor := range []float64{0, 0.01, 0.1} {
+		var thr api.TopKResponse
+		url := fmt.Sprintf("%s/v1/topk?id=%s&k=%d&min_score=%g", ts.URL, q.ID, len(ds), floor)
+		if code := doJSON(t, http.MethodGet, url, nil, &thr); code != http.StatusOK {
+			t.Fatalf("topk min_score=%g: code %d", floor, code)
+		}
+		var want []api.Match
+		for _, m := range full.Matches {
+			if m.Score >= floor {
+				want = append(want, m)
+			}
+		}
+		if len(thr.Matches) != len(want) {
+			t.Fatalf("min_score=%g: %d matches, want %d", floor, len(thr.Matches), len(want))
+		}
+		for i := range want {
+			if thr.Matches[i].ID != want[i].ID {
+				t.Fatalf("min_score=%g rank %d: %s, want %s", floor, i, thr.Matches[i].ID, want[i].ID)
+			}
+			if d := math.Abs(thr.Matches[i].Score - want[i].Score); d > 1e-12 {
+				t.Fatalf("min_score=%g rank %d (%s): score %g, want %g",
+					floor, i, thr.Matches[i].ID, thr.Matches[i].Score, want[i].Score)
+			}
+		}
+	}
+
+	// A malformed floor is a client error, not a silent default.
+	for _, bad := range []string{"abc", "NaN"} {
+		url := fmt.Sprintf("%s/v1/topk?id=%s&k=3&min_score=%s", ts.URL, q.ID, bad)
+		if code := doJSON(t, http.MethodGet, url, nil, nil); code != http.StatusBadRequest {
+			t.Fatalf("min_score=%s: code %d, want 400", bad, code)
+		}
+	}
+
+	// The queries above ran the filter-and-refine path; its counters must
+	// surface in the stats response...
+	var st api.StatsResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil, &st); code != http.StatusOK {
+		t.Fatalf("stats: code %d", code)
+	}
+	if st.Prune.Considered == 0 {
+		t.Fatalf("stats report no prune traffic: %+v", st.Prune)
+	}
+	if st.Prune.BoundPruned+st.Prune.EarlyExited+st.Prune.Refined > st.Prune.Considered {
+		t.Fatalf("inconsistent prune stats: %+v", st.Prune)
+	}
+
+	// ...and in the Prometheus exposition.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, metric := range []string{
+		"sts_prune_considered_total",
+		"sts_prune_ub_pruned_total",
+		"sts_prune_early_exit_total",
+		"sts_prune_refined_total",
+	} {
+		if !strings.Contains(text, "\n"+metric+" ") && !strings.HasPrefix(text, metric+" ") {
+			t.Errorf("/metrics is missing %s", metric)
+		}
+	}
+	if !strings.Contains(text, fmt.Sprintf("sts_prune_considered_total %d", st.Prune.Considered)) {
+		// The counter may have advanced between the two reads only if more
+		// queries ran; none did, so the values must agree.
+		t.Errorf("/metrics sts_prune_considered_total does not match stats value %d", st.Prune.Considered)
+	}
+}

@@ -230,14 +230,17 @@ func (e *Estimator) betweenRadial(ws *Workspace, d Dist, prev, next model.Sample
 	nx := e.Grid.Cols()
 	cand := d.Cells
 
-	// Lattice coordinates of the support cells, and the bounding boxes that
-	// size the memo tables.
+	// Lattice coordinates of the support cells (zero-weight cells dropped,
+	// weights compacted alongside), and the bounding boxes that size the
+	// memo tables.
 	ws.spCols = ensureInts(ws.spCols, len(suppPrev.Cells))
 	ws.spRows = ensureInts(ws.spRows, len(suppPrev.Cells))
-	spMinC, spMaxC, spMinR, spMaxR := fillLattice(ws.spCols, ws.spRows, suppPrev.Cells, nx)
+	ws.spW = ensureFloats(ws.spW, len(suppPrev.Cells))
+	np, spMinC, spMaxC, spMinR, spMaxR := compactLattice(ws.spCols, ws.spRows, ws.spW, suppPrev, nx)
 	ws.snCols = ensureInts(ws.snCols, len(suppNext.Cells))
 	ws.snRows = ensureInts(ws.snRows, len(suppNext.Cells))
-	snMinC, snMaxC, snMinR, snMaxR := fillLattice(ws.snCols, ws.snRows, suppNext.Cells, nx)
+	ws.snW = ensureFloats(ws.snW, len(suppNext.Cells))
+	nn, snMinC, snMaxC, snMinR, snMaxR := compactLattice(ws.snCols, ws.snRows, ws.snW, suppNext, nx)
 
 	cMinC, cMaxC, cMinR, cMaxR := latticeBounds(cand, nx)
 	maxQ := maxSquaredOffset(cMinC, cMaxC, cMinR, cMaxR, spMinC, spMaxC, spMinR, spMaxR)
@@ -255,18 +258,19 @@ func (e *Estimator) betweenRadial(ws *Workspace, d Dist, prev, next model.Sample
 	epoch := ws.epoch
 	memoA, stampA := ws.memoA, ws.stampA
 	memoB, stampB := ws.memoB, ws.stampB
-	spCols, spRows := ws.spCols, ws.spRows
-	snCols, snRows := ws.snCols, ws.snRows
+	// Slicing every per-support array to the compacted length lets the
+	// compiler prove the hot-loop indexing in range (one bounds check per
+	// support set instead of three per iteration).
+	spCols, spRows, spW := ws.spCols[:np], ws.spRows[:np], ws.spW[:np]
+	snCols, snRows, snW := ws.snCols[:nn], ws.snRows[:nn], ws.snW[:nn]
+	probs := d.Probs
 
 	for i, c := range cand {
 		ccol := c % nx
 		crow := c / nx
 		// Σ_j f(r_j, ℓ_i) · P(r_c, t | r_j, t_i)
 		var sumA float64
-		for j, w := range suppPrev.Probs {
-			if w == 0 {
-				continue
-			}
+		for j := range spCols {
 			dc := ccol - spCols[j]
 			dr := crow - spRows[j]
 			q := dc*dc + dr*dr
@@ -276,18 +280,15 @@ func (e *Estimator) betweenRadial(ws *Workspace, d Dist, prev, next model.Sample
 				memoA[q] = v
 				stampA[q] = epoch
 			}
-			sumA += w * v
+			sumA += spW[j] * v
 		}
 		if sumA == 0 {
-			d.Probs[i] = 0
+			probs[i] = 0
 			continue
 		}
 		// Σ_k f(r_k, ℓ_{i+1}) · P(r_k, t_{i+1} | r_c, t)
 		var sumB float64
-		for k, w := range suppNext.Probs {
-			if w == 0 {
-				continue
-			}
+		for k := range snCols {
 			dc := ccol - snCols[k]
 			dr := crow - snRows[k]
 			q := dc*dc + dr*dr
@@ -297,9 +298,9 @@ func (e *Estimator) betweenRadial(ws *Workspace, d Dist, prev, next model.Sample
 				memoB[q] = v
 				stampB[q] = epoch
 			}
-			sumB += w * v
+			sumB += snW[k] * v
 		}
-		d.Probs[i] = sumA * sumB
+		probs[i] = sumA * sumB
 	}
 	return true
 }
@@ -335,16 +336,24 @@ func (e *Estimator) betweenGeneric(ws *Workspace, d Dist, prev, next model.Sampl
 	}
 }
 
-// fillLattice decomposes cells into lattice coordinates and returns their
-// bounding box.
-func fillLattice(cols, rows, cells []int, nx int) (minC, maxC, minR, maxR int) {
+// compactLattice decomposes the support's cells into lattice coordinates,
+// dropping zero-weight cells so the hot loops of betweenRadial need no
+// weight test, and compacting the weights alongside. It returns the number
+// of cells kept and their bounding box.
+func compactLattice(cols, rows []int, w []float64, supp Dist, nx int) (n, minC, maxC, minR, maxR int) {
 	minC, minR = math.MaxInt, math.MaxInt
 	maxC, maxR = math.MinInt, math.MinInt
-	for i, c := range cells {
+	for i, c := range supp.Cells {
+		p := supp.Probs[i]
+		if p == 0 {
+			continue
+		}
 		col := c % nx
 		row := c / nx
-		cols[i] = col
-		rows[i] = row
+		cols[n] = col
+		rows[n] = row
+		w[n] = p
+		n++
 		if col < minC {
 			minC = col
 		}
@@ -358,7 +367,7 @@ func fillLattice(cols, rows, cells []int, nx int) (minC, maxC, minR, maxR int) {
 			maxR = row
 		}
 	}
-	return minC, maxC, minR, maxR
+	return n, minC, maxC, minR, maxR
 }
 
 // latticeBounds returns the bounding box of cells in lattice coordinates.

@@ -51,9 +51,11 @@ type Workspace struct {
 	// dists is the distance scratch of the nearest-cells truncation.
 	dists []float64
 	// spCols/spRows and snCols/snRows are the lattice coordinates of the
-	// prev- and next-side support cells.
+	// prev- and next-side support cells, compacted to nonzero weights with
+	// spW/snW carrying the weights at matching indexes.
 	spCols, spRows []int
 	snCols, snRows []int
+	spW, snW       []float64
 	// centers is the center scratch of the generic (non-radial) path.
 	prevCenters, nextCenters []geo.Point
 	// memoA/memoB are the offset-keyed transition memo tables for the
