@@ -145,6 +145,9 @@ type CacheStats struct {
 	Size      int     `json:"size"`
 	Cap       int     `json:"cap"`
 	HitRate   float64 `json:"hit_rate"`
+	// Bytes is the estimated resident heap footprint of the cached values
+	// (profiles report float32 vs float64 probability backing through it).
+	Bytes int64 `json:"bytes"`
 }
 
 // StatsResponse is the body of GET /v1/stats.

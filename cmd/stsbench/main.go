@@ -29,6 +29,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/stslib/sts/internal/experiments"
@@ -50,6 +52,7 @@ func main() {
 		benchTime = flag.Duration("benchtime", time.Second, "minimum measured time per -bench benchmark")
 		profBkt   = flag.Float64("profile-bucket", 0, "bucket width in seconds of the -bench profile_* benches (0 = library default)")
 		gate      = flag.Float64("gate", 0, "with -baseline: exit non-zero if any shared benchmark slowed by more than this percent")
+		wAxis     = flag.String("workers-axis", "", "comma-separated worker counts of the -bench parallel-scaling rows (default 1,NumCPU/2,NumCPU)")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		showVer   = flag.Bool("version", false, "print version and exit")
@@ -80,12 +83,17 @@ func main() {
 	var err error
 	switch {
 	case *bench:
+		axis, aerr := parseWorkersAxis(*wAxis)
+		if aerr != nil {
+			fatal(aerr)
+		}
 		err = experiments.RunPerf(cfg, experiments.PerfOptions{
 			MinTime:       *benchTime,
 			Workers:       *workers,
 			BaselinePath:  *baseline,
 			ProfileBucket: *profBkt,
 			GatePercent:   *gate,
+			WorkersAxis:   axis,
 		}, *benchOut, os.Stdout)
 	case *all:
 		err = experiments.RunAll(cfg, os.Stdout)
@@ -120,4 +128,21 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "stsbench: %v\n", err)
 	os.Exit(1)
+}
+
+// parseWorkersAxis parses the -workers-axis value ("1,2,4"). Empty selects
+// the library default.
+func parseWorkersAxis(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var axis []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-workers-axis: %q is not a positive worker count", part)
+		}
+		axis = append(axis, n)
+	}
+	return axis, nil
 }

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/stslib/sts/internal/geo"
+)
+
+// TestSimilarityPreparedZeroAllocs pins the steady-state allocation contract
+// of prepared scoring: after the first call has sized the pooled workspace,
+// repeated pair evaluations perform no heap allocations. The pairing
+// deliberately alternates between a long, spread-out pair (large supports,
+// large memo offsets) and a short compact one — the shrink-then-regrow
+// pattern that used to reallocate scratch on every regrow before the
+// capacities were rounded to powers of two.
+func TestSimilarityPreparedZeroAllocs(t *testing.T) {
+	g := testGrid(t)
+	m := mustSTS(t, g, 3)
+	big1 := walk("A", geo.Point{Y: 60}, 1.4, 0.2, 12, 0, 14)
+	big2 := walk("B", geo.Point{Y: 63}, 1.4, 0.1, 12, 5, 12)
+	small1 := walk("c", geo.Point{X: 100, Y: 100}, 0.4, 0, 8, 0, 3)
+	small2 := walk("d", geo.Point{X: 101, Y: 100}, 0.4, 0, 8, 2, 3)
+	pb1, err := m.Prepare(big1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb2, err := m.Prepare(big2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps1, err := m.Prepare(small1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps2, err := m.Prepare(small2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func() {
+		if _, err := m.SimilarityPrepared(pb1, pb2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.SimilarityPrepared(ps1, ps2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.SimilarityPrepared(pb1, pb2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	score() // warm the pooled workspace to its steady-state capacities
+	if allocs := testing.AllocsPerRun(50, score); allocs != 0 {
+		t.Errorf("steady-state prepared scoring allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -26,6 +26,16 @@ type ProfileOptions struct {
 	// profiled scoring never reads it, and skipping it keeps transient
 	// profile builds cheap. The engine opts in for its cached profiles.
 	Bounds bool
+	// Compact stores the profile's probabilities in float32 instead of
+	// float64, halving the dominant memory cost of a cached profile (the
+	// probability backing array; cells and bound metadata are unaffected).
+	// Scoring still accumulates in float64 — the only loss against the
+	// float64 mode is the one-time rounding of each stored probability, so
+	// compact scores deviate from float64-profiled scores by well under
+	// 1e-6 relative (DESIGN.md §12 documents the budget; the convergence
+	// suites gate it). Profiles of different storage modes cannot be scored
+	// against each other.
+	Compact bool
 }
 
 // DefaultProfileBucketSeconds is the default profile bucket width. It sits
@@ -72,11 +82,16 @@ type Profile struct {
 	n       int     // the trajectory's sample count, Eq. 10's per-side weight
 	buckets []int64 // sorted ascending
 	weights []int32 // own-observation count per bucket
+	// Exactly one storage mode is populated: dists/probs for the float64
+	// default, dists32/probs32 when built with ProfileOptions.Compact.
 	dists   []stprob.Dist
+	dists32 []stprob.Dist32
+	compact bool
 	// cells/probs back every entry's Dist, keeping the profile compact
 	// (two allocations instead of two per bucket).
-	cells []int
-	probs []float64
+	cells   []int
+	probs   []float64
+	probs32 []float32
 
 	// Filter-and-refine bound state (see bound.go). nx decomposes cell
 	// indices into lattice coordinates; b0/b1 is the bucket range of the
@@ -117,15 +132,54 @@ func (p *Profile) NumBuckets() int { return len(p.buckets) }
 
 // EntryAt returns the i-th bucket entry: the bucket index, the number of
 // the trajectory's own observations in it, and the location distribution
-// at its representative time. The Dist aliases the profile's backing
-// arrays and must not be mutated.
+// at its representative time. For a float64 profile the Dist aliases the
+// profile's backing arrays and must not be mutated; for a compact profile
+// the probabilities are widened into fresh storage.
 func (p *Profile) EntryAt(i int) (bucket int64, weight int, d stprob.Dist) {
+	if p.compact {
+		return p.buckets[i], int(p.weights[i]), p.dists32[i].Dist()
+	}
 	return p.buckets[i], int(p.weights[i]), p.dists[i]
 }
 
 // MemoryCells returns the total number of (cell, prob) pairs the profile
 // stores — its dominant memory cost.
 func (p *Profile) MemoryCells() int { return len(p.cells) }
+
+// Compact reports whether the profile stores float32 probabilities.
+func (p *Profile) Compact() bool { return p.compact }
+
+// MemoryBytes estimates the profile's resident heap footprint: the shared
+// cell/probability backing arrays (the dominant term — float32 storage
+// halves the probability half), the per-entry metadata, and the
+// filter-and-refine bound state when present. Cache observability sums it
+// per cached profile, so the compact mode's footprint claim is measurable
+// from /v1/stats rather than asserted.
+func (p *Profile) MemoryBytes() int {
+	const (
+		intSize  = 8
+		f64Size  = 8
+		f32Size  = 4
+		distSize = 48 // slice header pair (cells, probs)
+		boxSize  = 16
+	)
+	b := len(p.cells)*intSize + len(p.probs)*f64Size + len(p.probs32)*f32Size
+	b += len(p.buckets)*8 + len(p.weights)*4
+	b += (len(p.dists) + len(p.dists32)) * distSize
+	b += len(p.env) * boxSize
+	b += len(p.bndBuckets)*8 + len(p.bndFirst)*4 + len(p.bndCount)*4 + len(p.bndMass)*f64Size
+	b += len(p.bndBox) * boxSize
+	for i, d := range p.bndDist {
+		b += distSize
+		// Multi-observation runs own their summed storage; single runs alias
+		// the Prepared cache and cost only their headers.
+		if i < len(p.bndCount) && p.bndCount[i] > 1 {
+			b += len(d.Cells) * (intSize + f64Size)
+		}
+	}
+	b += len(p.entryBox)*boxSize + len(p.entryMax)*f64Size + len(p.entrySum)*f64Size + len(p.sufW)*8
+	return b
+}
 
 // bucketIndex quantizes a timestamp onto the bucket axis shared by all
 // profiles of one width (floor, so negative timestamps bucket correctly).
@@ -159,7 +213,7 @@ func (m *Measure) Profile(p *Prepared, opts ProfileOptions) (*Profile, error) {
 		return nil, fmt.Errorf("core: profile of %q would span %d buckets (max %d); widen ProfileOptions.BucketSeconds",
 			p.Tr.ID, nb, maxProfileBuckets)
 	}
-	prof := &Profile{ID: p.Tr.ID, BucketSeconds: w, n: p.Tr.Len()}
+	prof := &Profile{ID: p.Tr.ID, BucketSeconds: w, n: p.Tr.Len(), compact: opts.Compact}
 	ws := scratchPool.Get().(*pairScratch)
 	defer scratchPool.Put(ws)
 	si := 0 // cursor over the trajectory's samples
@@ -191,12 +245,24 @@ func (m *Measure) Profile(p *Prepared, opts ProfileOptions) (*Profile, error) {
 		}
 		// Copy the distribution, trimming explicit zero-probability cells:
 		// they contribute nothing to any dot product but would be paid for
-		// in memory and merge work on every pair evaluation.
+		// in memory and merge work on every pair evaluation. In compact mode
+		// the zero test runs on the *stored* float32 value, so deep-tail
+		// probabilities that round to zero are trimmed too and every stored
+		// probability stays strictly positive.
 		off := len(prof.cells)
-		for k, c := range d.Cells {
-			if pv := d.Probs[k]; pv > 0 {
-				prof.cells = append(prof.cells, c)
-				prof.probs = append(prof.probs, pv)
+		if opts.Compact {
+			for k, c := range d.Cells {
+				if pv := float32(d.Probs[k]); pv > 0 {
+					prof.cells = append(prof.cells, c)
+					prof.probs32 = append(prof.probs32, pv)
+				}
+			}
+		} else {
+			for k, c := range d.Cells {
+				if pv := d.Probs[k]; pv > 0 {
+					prof.cells = append(prof.cells, c)
+					prof.probs = append(prof.probs, pv)
+				}
 			}
 		}
 		if len(prof.cells) == off {
@@ -204,10 +270,17 @@ func (m *Measure) Profile(p *Prepared, opts ProfileOptions) (*Profile, error) {
 		}
 		prof.buckets = append(prof.buckets, b)
 		prof.weights = append(prof.weights, weight)
-		prof.dists = append(prof.dists, stprob.Dist{
-			Cells: prof.cells[off:len(prof.cells):len(prof.cells)],
-			Probs: prof.probs[off:len(prof.probs):len(prof.probs)],
-		})
+		if opts.Compact {
+			prof.dists32 = append(prof.dists32, stprob.Dist32{
+				Cells: prof.cells[off:len(prof.cells):len(prof.cells)],
+				Probs: prof.probs32[off:len(prof.probs32):len(prof.probs32)],
+			})
+		} else {
+			prof.dists = append(prof.dists, stprob.Dist{
+				Cells: prof.cells[off:len(prof.cells):len(prof.cells)],
+				Probs: prof.probs[off:len(prof.probs):len(prof.probs)],
+			})
+		}
 	}
 	// Appends may have grown the backing arrays past earlier views; rebuild
 	// the views over the final arrays so all entries share one allocation.
@@ -217,6 +290,14 @@ func (m *Measure) Profile(p *Prepared, opts ProfileOptions) (*Profile, error) {
 		prof.dists[i] = stprob.Dist{
 			Cells: prof.cells[off : off+n : off+n],
 			Probs: prof.probs[off : off+n : off+n],
+		}
+		off += n
+	}
+	for i := range prof.dists32 {
+		n := len(prof.dists32[i].Cells)
+		prof.dists32[i] = stprob.Dist32{
+			Cells: prof.cells[off : off+n : off+n],
+			Probs: prof.probs32[off : off+n : off+n],
 		}
 		off += n
 	}
@@ -246,25 +327,18 @@ func SimilarityProfiled(a, b *Profile) (float64, error) {
 	if a.BucketSeconds != b.BucketSeconds {
 		return 0, fmt.Errorf("core: profile bucket widths differ (%v vs %v)", a.BucketSeconds, b.BucketSeconds)
 	}
+	if a.compact != b.compact {
+		return 0, errors.New("core: profile storage modes differ (compact vs float64)")
+	}
 	n := a.n + b.n
 	if n == 0 {
 		return 0, errors.New("core: both trajectories are empty")
 	}
 	var total float64
-	i, j := 0, 0
-	for i < len(a.buckets) && j < len(b.buckets) {
-		switch {
-		case a.buckets[i] < b.buckets[j]:
-			i++
-		case a.buckets[i] > b.buckets[j]:
-			j++
-		default:
-			if w := a.weights[i] + b.weights[j]; w > 0 {
-				total += float64(w) * a.dists[i].Dot(b.dists[j])
-			}
-			i++
-			j++
-		}
+	if a.compact {
+		total = mergeDots32(a.buckets, b.buckets, a.weights, b.weights, a.dists32, b.dists32)
+	} else {
+		total = mergeDots(a.buckets, b.buckets, a.weights, b.weights, a.dists, b.dists)
 	}
 	return total / float64(n), nil
 }

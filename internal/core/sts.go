@@ -271,6 +271,21 @@ type Prepared struct {
 	obs []stprob.Dist
 }
 
+// MemoryBytes estimates the prepared state's resident heap footprint: the
+// trajectory's samples plus the cached per-observation noise distributions
+// (its dominant term). Cache observability sums it per cached entry.
+func (p *Prepared) MemoryBytes() int {
+	const (
+		sampleSize = 24 // geo.Point + T
+		distSize   = 48 // slice header pair (cells, probs)
+	)
+	b := len(p.Tr.Samples)*sampleSize + len(p.obs)*distSize
+	for _, d := range p.obs {
+		b += len(d.Cells) * (8 + 8)
+	}
+	return b
+}
+
 // Prepare validates tr and builds its cached estimator state.
 func (m *Measure) Prepare(tr model.Trajectory) (*Prepared, error) {
 	if err := tr.Validate(); err != nil {

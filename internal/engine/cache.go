@@ -28,6 +28,25 @@ func keyOf(tr model.Trajectory) prepKey {
 	return k
 }
 
+// hashKey is FNV-1a over the key's ID mixed with its sample count — the
+// shard selector. The backing-array pointer is deliberately left out: it
+// only disambiguates same-ID same-length replacements, and hashing it would
+// make shard placement depend on allocation addresses.
+func hashKey(k prepKey) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k.id); i++ {
+		h ^= uint64(k.id[i])
+		h *= prime64
+	}
+	h ^= uint64(k.n)
+	h *= prime64
+	return h
+}
+
 // CacheStats reports one derived-state cache's counters. Hits+Misses is
 // the total number of lookups; Evictions counts entries dropped by the LRU
 // bound. The engine keeps one cache per kind of derived state (prepared
@@ -41,6 +60,12 @@ type CacheStats struct {
 	// bound (0 = unbounded).
 	Size int
 	Cap  int
+	// Bytes is the estimated resident heap footprint of the completed
+	// cached values (0 when the cache has no size estimator). It makes the
+	// compact profile mode's memory claim observable: a float32-backed
+	// profile cache reports roughly half the probability storage of a
+	// float64-backed one over the same corpus.
+	Bytes int64
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -61,77 +86,137 @@ type cacheEntry[V any] struct {
 	done  bool
 	v     V
 	err   error
+	bytes int64 // size estimate counted into the shard's total
 }
 
-// lruCache is a size-bounded LRU of per-trajectory derived state with
-// single-flight semantics and hit/miss/eviction counters. The engine
-// instantiates it for *core.Prepared and *core.Profile. All methods are
-// safe for concurrent use.
-type lruCache[V any] struct {
+// cacheShard is one independently locked slice of the cache: an LRU with
+// single-flight semantics and its own counters. Keys are partitioned across
+// shards by hash, so concurrent lookups of different trajectories contend
+// on different mutexes instead of convoying behind one (the profile cache
+// sits on every worker's hot path).
+type cacheShard[V any] struct {
 	mu      sync.Mutex
 	cap     int        // 0 = unbounded
 	order   *list.List // front = most recently used; values are *cacheEntry[V]
 	entries map[prepKey]*list.Element
+	size    func(V) int // nil = no byte accounting
 
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	bytes     int64
 }
 
-func newLRUCache[V any](capacity int) *lruCache[V] {
-	return &lruCache[V]{cap: capacity, order: list.New(), entries: make(map[prepKey]*list.Element)}
+// cacheShards is the shard count of a sharded cache (a power of two).
+const cacheShards = 8
+
+// minShardedCap is the smallest bounded capacity worth splitting: below it
+// per-shard capacities would round to a handful of entries and the
+// partition — not the LRU policy — would decide what survives. Small caches
+// keep one shard and exact global LRU order.
+const minShardedCap = 64
+
+// lruCache is a size-bounded, sharded LRU of per-trajectory derived state
+// with single-flight semantics and hit/miss/eviction counters. The engine
+// instantiates it for *core.Prepared and *core.Profile. All methods are
+// safe for concurrent use. The capacity bound is exact (shards split it
+// without remainder loss); eviction order is LRU per shard, which
+// approximates global LRU for the sharded sizes.
+type lruCache[V any] struct {
+	shards []*cacheShard[V]
+	mask   uint64
+	cap    int
+}
+
+// newLRUCache builds a cache bounded to capacity entries (0 = unbounded).
+// size, when non-nil, estimates one value's resident bytes for the stats'
+// footprint gauge.
+func newLRUCache[V any](capacity int, size func(V) int) *lruCache[V] {
+	n := cacheShards
+	if capacity > 0 && capacity < minShardedCap {
+		n = 1
+	}
+	c := &lruCache[V]{shards: make([]*cacheShard[V], n), mask: uint64(n - 1), cap: capacity}
+	for i := range c.shards {
+		scap := 0
+		if capacity > 0 {
+			scap = capacity / n
+			if i < capacity%n {
+				scap++
+			}
+		}
+		c.shards[i] = &cacheShard[V]{
+			cap:     scap,
+			order:   list.New(),
+			entries: make(map[prepKey]*list.Element),
+			size:    size,
+		}
+	}
+	return c
+}
+
+func (c *lruCache[V]) shard(key prepKey) *cacheShard[V] {
+	if len(c.shards) == 1 {
+		return c.shards[0]
+	}
+	return c.shards[hashKey(key)&c.mask]
 }
 
 // get returns the derived state for key, building it with build() on a
 // miss. Errors are not cached: the failed entry is removed so a later call
 // retries, but every waiter of the in-flight attempt sees the error.
 func (c *lruCache[V]) get(key prepKey, build func() (V, error)) (V, error) {
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.hits++
-		c.order.MoveToFront(el)
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.hits++
+		s.order.MoveToFront(el)
 		e := el.Value.(*cacheEntry[V])
-		c.mu.Unlock()
+		s.mu.Unlock()
 		<-e.ready
 		return e.v, e.err
 	}
-	c.misses++
+	s.misses++
 	e := &cacheEntry[V]{key: key, ready: make(chan struct{})}
-	c.entries[key] = c.order.PushFront(e)
-	c.evictLocked()
-	c.mu.Unlock()
+	s.entries[key] = s.order.PushFront(e)
+	s.evictLocked()
+	s.mu.Unlock()
 
 	v, err := build()
 
-	c.mu.Lock()
+	s.mu.Lock()
 	e.v, e.err = v, err
 	e.done = true
 	if err != nil {
-		if el, ok := c.entries[key]; ok && el.Value.(*cacheEntry[V]) == e {
-			c.order.Remove(el)
-			delete(c.entries, key)
+		if el, ok := s.entries[key]; ok && el.Value.(*cacheEntry[V]) == e {
+			s.order.Remove(el)
+			delete(s.entries, key)
 		}
+	} else if s.size != nil {
+		e.bytes = int64(s.size(v))
+		s.bytes += e.bytes
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 	close(e.ready)
 	return v, err
 }
 
-// evictLocked drops least-recently-used *completed* entries until the cache
+// evictLocked drops least-recently-used *completed* entries until the shard
 // fits its bound. In-flight entries are skipped — evicting them would
-// strand waiters — so the cache can transiently exceed cap while many
+// strand waiters — so the shard can transiently exceed cap while many
 // builds race.
-func (c *lruCache[V]) evictLocked() {
-	if c.cap <= 0 {
+func (s *cacheShard[V]) evictLocked() {
+	if s.cap <= 0 {
 		return
 	}
-	for el := c.order.Back(); el != nil && len(c.entries) > c.cap; {
+	for el := s.order.Back(); el != nil && len(s.entries) > s.cap; {
 		prev := el.Prev()
 		e := el.Value.(*cacheEntry[V])
 		if e.done {
-			c.order.Remove(el)
-			delete(c.entries, e.key)
-			c.evictions++
+			s.order.Remove(el)
+			delete(s.entries, e.key)
+			s.evictions++
+			s.bytes -= e.bytes
 		}
 		el = prev
 	}
@@ -141,22 +226,28 @@ func (c *lruCache[V]) evictLocked() {
 // Replace call it so stale derived state does not linger at full cache
 // capacity.
 func (c *lruCache[V]) forget(key prepKey) {
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok && el.Value.(*cacheEntry[V]).done {
-		c.order.Remove(el)
-		delete(c.entries, key)
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		if e := el.Value.(*cacheEntry[V]); e.done {
+			s.order.Remove(el)
+			delete(s.entries, key)
+			s.bytes -= e.bytes
+		}
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 }
 
 func (c *lruCache[V]) stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Size:      len(c.entries),
-		Cap:       c.cap,
+	out := CacheStats{Cap: c.cap}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		out.Hits += s.hits
+		out.Misses += s.misses
+		out.Evictions += s.evictions
+		out.Size += len(s.entries)
+		out.Bytes += s.bytes
+		s.mu.Unlock()
 	}
+	return out
 }

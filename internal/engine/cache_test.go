@@ -95,7 +95,7 @@ func TestCacheSizeOneEquivalence(t *testing.T) {
 }
 
 func TestCacheSingleFlight(t *testing.T) {
-	c := newLRUCache[*core.Prepared](0)
+	c := newLRUCache[*core.Prepared](0, nil)
 	key := keyOf(cacheWalk("a", 0, 4))
 	var calls int32
 	var mu sync.Mutex
@@ -136,7 +136,7 @@ func TestCacheSingleFlight(t *testing.T) {
 }
 
 func TestCacheErrorNotCachedAndRetried(t *testing.T) {
-	c := newLRUCache[*core.Prepared](4)
+	c := newLRUCache[*core.Prepared](4, nil)
 	key := keyOf(cacheWalk("a", 0, 4))
 	boom := errors.New("boom")
 	calls := 0
@@ -166,7 +166,7 @@ func TestCacheErrorNotCachedAndRetried(t *testing.T) {
 }
 
 func TestCacheForget(t *testing.T) {
-	c := newLRUCache[*core.Prepared](4)
+	c := newLRUCache[*core.Prepared](4, nil)
 	a, b := keyOf(cacheWalk("a", 0, 4)), keyOf(cacheWalk("b", 50, 4))
 	ok := func() (*core.Prepared, error) { return &core.Prepared{}, nil }
 	if _, err := c.get(a, ok); err != nil {
@@ -189,7 +189,7 @@ func TestCacheForget(t *testing.T) {
 }
 
 func TestCacheLRUOrderingEvictsColdest(t *testing.T) {
-	c := newLRUCache[*core.Prepared](2)
+	c := newLRUCache[*core.Prepared](2, nil)
 	a, b, d := keyOf(cacheWalk("a", 0, 4)), keyOf(cacheWalk("b", 50, 4)), keyOf(cacheWalk("d", 100, 4))
 	ok := func() (*core.Prepared, error) { return &core.Prepared{}, nil }
 	mustGet := func(k prepKey) {

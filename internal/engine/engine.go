@@ -171,7 +171,7 @@ func New(scorer Scorer, opts Options) (*Engine, error) {
 	e := &Engine{
 		scorer:  scorer,
 		workers: workers,
-		cache:   newLRUCache[*core.Prepared](capacity),
+		cache:   newLRUCache(capacity, (*core.Prepared).MemoryBytes),
 		pruner:  opts.Pruner,
 		byID:    make(map[string]int),
 	}
@@ -201,7 +201,7 @@ func New(scorer Scorer, opts Options) (*Engine, error) {
 	// filter-and-refine, so an exact engine with pruning enabled keeps one
 	// too.
 	if e.measure != nil && (e.profOpts != nil || !e.noPrune) {
-		e.profiles = newLRUCache[*core.Profile](capacity)
+		e.profiles = newLRUCache(capacity, (*core.Profile).MemoryBytes)
 	}
 	return e, nil
 }

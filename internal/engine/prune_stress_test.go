@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/stslib/sts/internal/core"
 	"github.com/stslib/sts/internal/engine"
 	"github.com/stslib/sts/internal/index"
 	"github.com/stslib/sts/internal/model"
@@ -112,9 +113,24 @@ func TestConcurrentPrunedTopKAndIngest(t *testing.T) {
 
 // TestPrunedTopKStableCorpusEquivalence is the determinism cross-check the
 // stress test cannot do under churn: against a fixed corpus, concurrent
-// pruned queries must all return the exhaustive answer.
+// pruned queries must all return the exhaustive answer — through the exact
+// engine and through profiled engines in both profile storage modes.
 func TestPrunedTopKStableCorpusEquivalence(t *testing.T) {
-	e, err := engine.New(testScorer(t), engine.Options{})
+	cases := []struct {
+		name string
+		opts engine.Options
+	}{
+		{"exact", engine.Options{}},
+		{"profiled", engine.Options{Profile: &core.ProfileOptions{}}},
+		{"profiled-compact", engine.Options{Profile: &core.ProfileOptions{Compact: true}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { prunedEquivalence(t, c.opts) })
+	}
+}
+
+func prunedEquivalence(t *testing.T, opts engine.Options) {
+	e, err := engine.New(testScorer(t), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

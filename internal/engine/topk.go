@@ -48,12 +48,21 @@ type PruneStats struct {
 	Refined uint64
 }
 
+// paddedCounter is an atomic counter padded out to its own cache line:
+// the four prune counters would otherwise share one line and every worker's
+// increment would invalidate it for every other worker (false sharing — the
+// counters are logically independent but physically coupled).
+type paddedCounter struct {
+	atomic.Uint64
+	_ [56]byte
+}
+
 // pruneCounters is the engine-internal atomic form of PruneStats.
 type pruneCounters struct {
-	considered  atomic.Uint64
-	boundPruned atomic.Uint64
-	earlyExited atomic.Uint64
-	refined     atomic.Uint64
+	considered  paddedCounter
+	boundPruned paddedCounter
+	earlyExited paddedCounter
+	refined     paddedCounter
 }
 
 func (c *pruneCounters) add(considered, boundPruned, earlyExited, refined uint64) {

@@ -38,6 +38,32 @@ type PerfOptions struct {
 	// baseline slowed down by more than this percent (ns/op ratio). Zero
 	// disables the gate.
 	GatePercent float64
+	// WorkersAxis lists the extra worker counts the parallel-scaling rows
+	// run at (matrix scoring, engine top-k, pruned top-k). Scaled rows are
+	// named "<bench>/workers=<n>" so the canonical single-worker names stay
+	// comparable across reports, and each carries its parallel efficiency
+	// against the canonical row. Empty selects DefaultWorkersAxis.
+	WorkersAxis []int
+}
+
+// DefaultWorkersAxis is the worker-count axis of the parallel-scaling rows:
+// 1, half the CPUs, and all CPUs, deduplicated. On a single-CPU machine the
+// hardware axis collapses to {1}, so an oversubscription rung is added —
+// it cannot show hardware speedup, but it still exercises the scheduling
+// and contention paths (pool churn, cache single-flight, shared counters)
+// the multi-worker posture is about.
+func DefaultWorkersAxis() []int {
+	ncpu := runtime.NumCPU()
+	axis := []int{1}
+	for _, n := range []int{ncpu / 2, ncpu} {
+		if n > axis[len(axis)-1] {
+			axis = append(axis, n)
+		}
+	}
+	if len(axis) == 1 {
+		axis = append(axis, 4)
+	}
+	return axis
 }
 
 // PerfBench is one benchmark row of the report.
@@ -61,6 +87,13 @@ type PerfBench struct {
 	// early-exited) / considered — for benchmarks that run the pruned path
 	// (0 otherwise).
 	PruneRate float64 `json:"prune_rate,omitempty"`
+	// Workers is the worker count this row ran at.
+	Workers int `json:"workers,omitempty"`
+	// ParallelEfficiency is, for the scaled "/workers=<n>" rows, the
+	// speedup over the same benchmark's canonical row divided by the ideal
+	// speedup (n / canonical workers) — 1.0 is perfect scaling. Zero on
+	// canonical rows.
+	ParallelEfficiency float64 `json:"parallel_efficiency,omitempty"`
 	// Baseline numbers and the derived speedup (ratio of baseline ns/op to
 	// current ns/op), present only when PerfOptions.BaselinePath was given.
 	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
@@ -72,13 +105,16 @@ type PerfBench struct {
 // PerfReport is the machine-readable artifact (BENCH_<n>.json) committed by
 // each perf-sensitive PR so later PRs have a trajectory to compare against.
 type PerfReport struct {
-	Schema     int         `json:"schema"`
-	GoVersion  string      `json:"go_version"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	Workers    int         `json:"workers"`
-	N          int         `json:"n"`
-	Seed       int64       `json:"seed"`
-	Benches    []PerfBench `json:"benches"`
+	Schema     int    `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"`
+	// WorkersAxis lists the worker counts the parallel-scaling rows ran at
+	// (schema ≥ 2).
+	WorkersAxis []int       `json:"workers_axis,omitempty"`
+	N           int         `json:"n"`
+	Seed        int64       `json:"seed"`
+	Benches     []PerfBench `json:"benches"`
 }
 
 // measureLoop runs op repeatedly, testing-style: iteration counts grow until
@@ -133,6 +169,10 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 	if workers <= 0 {
 		workers = 1
 	}
+	axis := opts.WorkersAxis
+	if len(axis) == 0 {
+		axis = DefaultWorkersAxis()
+	}
 	n := cfg.N
 	if n <= 0 {
 		n = 8
@@ -152,12 +192,13 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 		base = b
 	}
 	report := PerfReport{
-		Schema:     1,
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workers:    workers,
-		N:          n,
-		Seed:       seed,
+		Schema:      2,
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Workers:     workers,
+		WorkersAxis: axis,
+		N:           n,
+		Seed:        seed,
 	}
 	scenarios := []Scenario{Mall(n, seed), Taxi(3*n, seed)}
 
@@ -169,6 +210,7 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 			return fmt.Errorf("experiments: bench %s: %w", name, err)
 		}
 		b.Name = name
+		b.Workers = workers
 		if pairs > 0 {
 			b.PairsPerSec = float64(pairs) * 1e9 / b.NsPerOp
 		}
@@ -178,6 +220,33 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 		}
 		fmt.Fprintln(w)
 		report.Benches = append(report.Benches, b)
+		return nil
+	}
+
+	// addScaled appends one "/workers=<n>" row per axis rung beyond the
+	// canonical worker count, computing each rung's parallel efficiency
+	// against the canonical row just added (which must be last in Benches).
+	// mk builds the op for one worker count — a fresh engine per rung where
+	// the worker pool is bound at construction.
+	addScaled := func(name string, pairs int, mk func(nw int) (func() error, error)) error {
+		base := report.Benches[len(report.Benches)-1]
+		for _, nw := range axis {
+			if nw == workers {
+				continue
+			}
+			op, err := mk(nw)
+			if err != nil {
+				return err
+			}
+			if err := add(fmt.Sprintf("%s/workers=%d", name, nw), pairs, op); err != nil {
+				return err
+			}
+			row := &report.Benches[len(report.Benches)-1]
+			row.Workers = nw
+			if base.NsPerOp > 0 && row.NsPerOp > 0 {
+				row.ParallelEfficiency = (base.NsPerOp / row.NsPerOp) / (float64(nw) / float64(workers))
+			}
+		}
 		return nil
 	}
 
@@ -201,6 +270,17 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 				return err
 			}); err != nil {
 				return err
+			}
+			if scale == 1 {
+				err := addScaled(name, pairs, func(nw int) (func() error, error) {
+					return func() error {
+						_, err := ms.ScoreMatrix(sc.D1, sc.D2, nw)
+						return err
+					}, nil
+				})
+				if err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -309,19 +389,6 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 	// the steady-state serving path the engine layer exists for.
 	{
 		sc := scenarios[1]
-		grid, err := sc.Grid(sc.GridSize, 0)
-		if err != nil {
-			return err
-		}
-		ix, err := index.New(index.Options{
-			Grid:         grid,
-			TimeBucket:   120,
-			SpatialSlack: 400,
-			TimeSlack:    120,
-		})
-		if err != nil {
-			return err
-		}
 		scorers, err := BuildScorers(sc, sc.GridSize, 0, []string{MethodSTS})
 		if err != nil {
 			return err
@@ -329,14 +396,34 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 		// DisablePruning keeps this row the exhaustive serving baseline it has
 		// been since it was introduced; the filter-and-refine regime has its
 		// own pruned_topk row below.
-		eng, err := engine.New(scorers[0], engine.Options{Workers: workers, Pruner: ix, DisablePruning: true})
+		mkEng := func(nw int) (*engine.Engine, error) {
+			grid, err := sc.Grid(sc.GridSize, 0)
+			if err != nil {
+				return nil, err
+			}
+			ix, err := index.New(index.Options{
+				Grid:         grid,
+				TimeBucket:   120,
+				SpatialSlack: 400,
+				TimeSlack:    120,
+			})
+			if err != nil {
+				return nil, err
+			}
+			eng, err := engine.New(scorers[0], engine.Options{Workers: nw, Pruner: ix, DisablePruning: true})
+			if err != nil {
+				return nil, err
+			}
+			for _, tr := range sc.D2 {
+				if _, err := eng.Add(tr); err != nil {
+					return nil, err
+				}
+			}
+			return eng, nil
+		}
+		eng, err := mkEng(workers)
 		if err != nil {
 			return err
-		}
-		for _, tr := range sc.D2 {
-			if _, err := eng.Add(tr); err != nil {
-				return err
-			}
 		}
 		qi := 0
 		if err := add("engine_topk/taxi", len(sc.D2), func() error {
@@ -348,6 +435,22 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 			return err
 		}
 		report.Benches[len(report.Benches)-1].CacheHitRate = eng.CacheStats().HitRate()
+		err = addScaled("engine_topk/taxi", len(sc.D2), func(nw int) (func() error, error) {
+			e, err := mkEng(nw)
+			if err != nil {
+				return nil, err
+			}
+			qj := 0
+			return func() error {
+				q := sc.D1[qj%len(sc.D1)]
+				qj++
+				_, err := e.TopK(context.Background(), q, 5)
+				return err
+			}, nil
+		})
+		if err != nil {
+			return err
+		}
 	}
 
 	// Top-k served by a persistent *profiled* engine: same corpus, index and
@@ -406,7 +509,7 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		newEng := func(disable bool) (*engine.Engine, error) {
+		newEng := func(disable bool, nw int) (*engine.Engine, error) {
 			grid, err := sc.Grid(sc.GridSize, 0)
 			if err != nil {
 				return nil, err
@@ -420,7 +523,7 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 			if err != nil {
 				return nil, err
 			}
-			eng, err := engine.New(scorers[0], engine.Options{Workers: workers, Pruner: ix, DisablePruning: disable})
+			eng, err := engine.New(scorers[0], engine.Options{Workers: nw, Pruner: ix, DisablePruning: disable})
 			if err != nil {
 				return nil, err
 			}
@@ -431,7 +534,7 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 			}
 			return eng, nil
 		}
-		exh, err := newEng(true)
+		exh, err := newEng(true, workers)
 		if err != nil {
 			return err
 		}
@@ -446,7 +549,7 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 		}
 		report.Benches[len(report.Benches)-1].CacheHitRate = exh.CacheStats().HitRate()
 
-		prn, err := newEng(false)
+		prn, err := newEng(false, workers)
 		if err != nil {
 			return err
 		}
@@ -461,6 +564,22 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 		}
 		report.Benches[len(report.Benches)-1].CacheHitRate = prn.CacheStats().HitRate()
 		report.Benches[len(report.Benches)-1].PruneRate = pruneRate(prn.PruneStats())
+		err = addScaled("pruned_topk/taxi/k=10", len(sc.D2), func(nw int) (func() error, error) {
+			e, err := newEng(false, nw)
+			if err != nil {
+				return nil, err
+			}
+			qk := 0
+			return func() error {
+				q := sc.D1[qk%len(sc.D1)]
+				qk++
+				_, err := e.TopK(context.Background(), q, 10)
+				return err
+			}, nil
+		})
+		if err != nil {
+			return err
+		}
 	}
 
 	// Repeated batch rescoring through a persistent engine: after the first

@@ -25,6 +25,15 @@ func (p Point) Dist(q Point) float64 {
 	return math.Sqrt(dx*dx + dy*dy)
 }
 
+// Dist2 returns the squared Euclidean distance between p and q. Radius
+// membership tests and nearest-neighbor selections compare distances
+// against each other or against a squared radius, where the monotone
+// square root buys nothing — dropping it keeps those scans sqrt-free.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
 // Add returns p translated by q.
 func (p Point) Add(q Point) Point {
 	return Point{p.X + q.X, p.Y + q.Y}

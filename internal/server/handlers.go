@@ -280,5 +280,6 @@ func wireCacheStats(cs engine.CacheStats) api.CacheStats {
 		Size:      cs.Size,
 		Cap:       cs.Cap,
 		HitRate:   cs.HitRate(),
+		Bytes:     cs.Bytes,
 	}
 }

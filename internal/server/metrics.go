@@ -175,6 +175,10 @@ func (m *metrics) render(w io.Writer, eng *engine.Engine) {
 	for _, k := range kinds {
 		fmt.Fprintf(w, "sts_cache_hit_ratio{cache=%q} %s\n", k.name, formatFloat(k.stats.HitRate()))
 	}
+	fmt.Fprint(w, "# HELP sts_cache_resident_bytes Estimated heap bytes held by cached derived state, by cache kind.\n# TYPE sts_cache_resident_bytes gauge\n")
+	for _, k := range kinds {
+		fmt.Fprintf(w, "sts_cache_resident_bytes{cache=%q} %d\n", k.name, k.stats.Bytes)
+	}
 }
 
 func (m *metrics) route(name string) *routeMetrics {

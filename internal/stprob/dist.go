@@ -38,28 +38,6 @@ func (d Dist) Sum() float64 {
 	return s
 }
 
-// Dot returns Σ_r d[r]·e[r], the co-location probability of two normalized
-// location distributions at one timestamp (Eq. 9). Both distributions must
-// have their cells sorted ascending, which every constructor in this
-// package guarantees.
-func (d Dist) Dot(e Dist) float64 {
-	var s float64
-	i, j := 0, 0
-	for i < len(d.Cells) && j < len(e.Cells) {
-		switch {
-		case d.Cells[i] < e.Cells[j]:
-			i++
-		case d.Cells[i] > e.Cells[j]:
-			j++
-		default:
-			s += d.Probs[i] * e.Probs[j]
-			i++
-			j++
-		}
-	}
-	return s
-}
-
 // normalize scales the probabilities to sum to 1 in place. A zero-mass
 // input becomes the zero distribution.
 func (d *Dist) normalize() {

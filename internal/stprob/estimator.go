@@ -256,8 +256,7 @@ func (e *Estimator) betweenRadial(ws *Workspace, d Dist, prev, next model.Sample
 	dt1 := t - prev.T
 	dt2 := next.T - t
 	epoch := ws.epoch
-	memoA, stampA := ws.memoA, ws.stampA
-	memoB, stampB := ws.memoB, ws.stampB
+	memoA, memoB := ws.memoA, ws.memoB
 	// Slicing every per-support array to the compacted length lets the
 	// compiler prove the hot-loop indexing in range (one bounds check per
 	// support set instead of three per iteration).
@@ -269,40 +268,84 @@ func (e *Estimator) betweenRadial(ws *Workspace, d Dist, prev, next model.Sample
 		ccol := c % nx
 		crow := c / nx
 		// Σ_j f(r_j, ℓ_i) · P(r_c, t | r_j, t_i)
-		var sumA float64
-		for j := range spCols {
-			dc := ccol - spCols[j]
-			dr := crow - spRows[j]
-			q := dc*dc + dr*dr
-			v := memoA[q]
-			if stampA[q] != epoch {
-				v = e.radialTransition(cs*math.Sqrt(float64(q)), dt1)
-				memoA[q] = v
-				stampA[q] = epoch
-			}
-			sumA += spW[j] * v
-		}
+		sumA := e.accumRadial(memoA, epoch, spCols, spRows, spW, ccol, crow, cs, dt1)
 		if sumA == 0 {
 			probs[i] = 0
 			continue
 		}
 		// Σ_k f(r_k, ℓ_{i+1}) · P(r_k, t_{i+1} | r_c, t)
-		var sumB float64
-		for k := range snCols {
-			dc := ccol - snCols[k]
-			dr := crow - snRows[k]
-			q := dc*dc + dr*dr
-			v := memoB[q]
-			if stampB[q] != epoch {
-				v = e.radialTransition(cs*math.Sqrt(float64(q)), dt2)
-				memoB[q] = v
-				stampB[q] = epoch
-			}
-			sumB += snW[k] * v
-		}
+		sumB := e.accumRadial(memoB, epoch, snCols, snRows, snW, ccol, crow, cs, dt2)
 		probs[i] = sumA * sumB
 	}
 	return true
+}
+
+// accumRadial computes Σ_j w[j] · Radial(cs·√((ccol−cols[j])² + (crow−rows[j])²), dt)
+// over one compacted support set, memoizing per squared lattice offset —
+// the innermost gather-multiply-accumulate of every in-between evaluation.
+//
+// The loop is unrolled four wide with independent partial sums: a single
+// accumulator serializes on floating-point add latency, while four chains
+// keep the multiply-add units busy (memo lookups in steady state are pure
+// loads of value-and-stamp entries sharing a cache line). rows and w are
+// pinned to len(cols) up front so the unrolled body carries no bounds
+// checks on the support arrays; the memo indexing is data-dependent
+// (q ≤ maxQ sized the table) and keeps its check.
+func (e *Estimator) accumRadial(memo []memoEntry, epoch uint32, cols, rows []int, w []float64, ccol, crow int, cs, dt float64) float64 {
+	n := len(cols)
+	if len(rows) < n || len(w) < n {
+		return 0 // unreachable: callers compact all three to one length
+	}
+	rows = rows[:n]
+	w = w[:n]
+	var s0, s1, s2, s3 float64
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		dc0, dr0 := ccol-cols[j], crow-rows[j]
+		dc1, dr1 := ccol-cols[j+1], crow-rows[j+1]
+		dc2, dr2 := ccol-cols[j+2], crow-rows[j+2]
+		dc3, dr3 := ccol-cols[j+3], crow-rows[j+3]
+		q0 := dc0*dc0 + dr0*dr0
+		q1 := dc1*dc1 + dr1*dr1
+		q2 := dc2*dc2 + dr2*dr2
+		q3 := dc3*dc3 + dr3*dr3
+		m0 := memo[q0]
+		if m0.stamp != epoch {
+			m0 = memoEntry{v: e.radialTransition(cs*math.Sqrt(float64(q0)), dt), stamp: epoch}
+			memo[q0] = m0
+		}
+		m1 := memo[q1]
+		if m1.stamp != epoch {
+			m1 = memoEntry{v: e.radialTransition(cs*math.Sqrt(float64(q1)), dt), stamp: epoch}
+			memo[q1] = m1
+		}
+		m2 := memo[q2]
+		if m2.stamp != epoch {
+			m2 = memoEntry{v: e.radialTransition(cs*math.Sqrt(float64(q2)), dt), stamp: epoch}
+			memo[q2] = m2
+		}
+		m3 := memo[q3]
+		if m3.stamp != epoch {
+			m3 = memoEntry{v: e.radialTransition(cs*math.Sqrt(float64(q3)), dt), stamp: epoch}
+			memo[q3] = m3
+		}
+		s0 += w[j] * m0.v
+		s1 += w[j+1] * m1.v
+		s2 += w[j+2] * m2.v
+		s3 += w[j+3] * m3.v
+	}
+	for ; j < n; j++ {
+		dc := ccol - cols[j]
+		dr := crow - rows[j]
+		q := dc*dc + dr*dr
+		m := memo[q]
+		if m.stamp != epoch {
+			m = memoEntry{v: e.radialTransition(cs*math.Sqrt(float64(q)), dt), stamp: epoch}
+			memo[q] = m
+		}
+		s0 += w[j] * m.v
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // betweenGeneric is the unmemoized evaluation for transition models that
@@ -521,8 +564,13 @@ func (e *Estimator) candidateCellsWS(ws *Workspace, prev, next model.Sample, t f
 	cand := e.Grid.CellsWithin(ws.cells[:0], aLoc, aR)
 	ws.cells = cand
 	out := cand[:0]
+	// Filter by squared distance: CellsWithin enumerates cells the same way,
+	// and skipping the sqrt per cell keeps this scan off the hot-loop
+	// profile (the membership predicate d² ≤ r² is sqrt-free and exact for
+	// the non-negative radii in play).
+	bRR := bR * bR
 	for _, c := range cand {
-		if e.Grid.Center(c).Dist(bLoc) <= bR {
+		if e.Grid.Center(c).Dist2(bLoc) <= bRR {
 			out = append(out, c)
 		}
 	}
@@ -543,14 +591,27 @@ func (e *Estimator) candidateCellsWS(ws *Workspace, prev, next model.Sample, t f
 
 // nearestCellsWS keeps the k cells of cand whose centers are nearest to p,
 // in ascending index order, truncating cand in place. Selection is a
-// deterministic O(n) partial partition on (distance, cell) rather than a
-// full sort; distance ties break toward the lower cell index so repeated
-// runs keep identical supports.
+// deterministic O(n) partial partition on (squared distance, cell) rather
+// than a full sort — squaring preserves the distance order and skips a
+// sqrt per candidate; distance ties break toward the lower cell index so
+// repeated runs keep identical supports.
 func nearestCellsWS(ws *Workspace, g *geo.Grid, cand []int, p geo.Point, k int) []int {
 	ws.dists = ensureFloats(ws.dists, len(cand))
 	dists := ws.dists
+	// Center(c).Dist2(p), with the center expressed directly in lattice
+	// coordinates: c's center is origin + (col+0.5, row+0.5)·cellSize, so the
+	// deltas are affine in (col, row) and the per-cell work is one divmod and
+	// two multiply-adds — no method calls inside the scan.
+	cs := g.CellSize()
+	nx := g.Cols()
+	ox := g.Bounds().Min.X + 0.5*cs - p.X
+	oy := g.Bounds().Min.Y + 0.5*cs - p.Y
 	for i, c := range cand {
-		dists[i] = g.Center(c).Dist(p)
+		row := c / nx
+		col := c - row*nx
+		dx := ox + float64(col)*cs
+		dy := oy + float64(row)*cs
+		dists[i] = dx*dx + dy*dy
 	}
 	quickselectByDist(cand, dists, k)
 	out := cand[:k]

@@ -61,15 +61,34 @@ type Workspace struct {
 	// memoA/memoB are the offset-keyed transition memo tables for the
 	// prev→candidate and candidate→next time intervals, epoch-stamped so
 	// clearing between calls is O(1).
-	memoA, memoB   []float64
-	stampA, stampB []uint32
-	epoch          uint32
+	memoA, memoB []memoEntry
+	epoch        uint32
+}
+
+// memoEntry is one slot of an offset-keyed transition memo table. Value and
+// stamp live side by side so the hot-loop lookup (which always reads both)
+// touches one cache line instead of gathering from two parallel arrays.
+type memoEntry struct {
+	v     float64
+	stamp uint32
+}
+
+// nextPow2 rounds n up to the next power of two, so scratch capacities form
+// a small set of stable sizes: a workload alternating between a shrinking
+// and a regrowing support would otherwise reallocate on every regrow
+// (cap(s) < n each time the larger size comes back).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // ensureInts grows an int scratch slice to length n.
 func ensureInts(s []int, n int) []int {
 	if cap(s) < n {
-		return make([]int, n)
+		return make([]int, n, nextPow2(n))
 	}
 	return s[:n]
 }
@@ -77,7 +96,7 @@ func ensureInts(s []int, n int) []int {
 // ensureFloats grows a float scratch slice to length n.
 func ensureFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
-		return make([]float64, n)
+		return make([]float64, n, nextPow2(n))
 	}
 	return s[:n]
 }
@@ -88,16 +107,15 @@ func ensureFloats(s []float64, n int) []float64 {
 func (ws *Workspace) beginMemo(maxQ int) {
 	n := maxQ + 1
 	if len(ws.memoA) < n {
-		ws.memoA = make([]float64, n)
-		ws.stampA = make([]uint32, n)
-		ws.memoB = make([]float64, n)
-		ws.stampB = make([]uint32, n)
+		n = nextPow2(n)
+		ws.memoA = make([]memoEntry, n)
+		ws.memoB = make([]memoEntry, n)
 		ws.epoch = 0
 	}
 	ws.epoch++
 	if ws.epoch == 0 { // uint32 wraparound: stamps are stale, wipe them
-		clear(ws.stampA)
-		clear(ws.stampB)
+		clear(ws.memoA)
+		clear(ws.memoB)
 		ws.epoch = 1
 	}
 }

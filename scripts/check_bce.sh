@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# check_bce.sh — gate the bounds-check count of the hot scoring kernels.
+#
+# The inner-loop kernels (sparse dot products, profile bucket merge, radial
+# accumulation) are shaped so the compiler's prove pass eliminates the
+# bounds checks their loop guards already imply. Zero checks is not
+# achievable — the radial accumulator's memo gathers are data-dependent,
+# and Go's prove pass cannot track conditionally-advanced merge cursors —
+# so this script compares the per-file `-d=ssa/check_bce` counts against
+# the committed baseline (scripts/bce_baseline.txt) and fails when any
+# gated file GAINS checks. Fewer checks than baseline is reported as a
+# reminder to tighten the baseline.
+#
+# Usage: scripts/check_bce.sh            # gate against the baseline
+#        scripts/check_bce.sh -update    # rewrite the baseline
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GATED='internal/stprob/dot\.go|internal/stprob/estimator\.go|internal/core/merge\.go'
+BASELINE=scripts/bce_baseline.txt
+
+counts=$(go build -gcflags=-d=ssa/check_bce ./internal/stprob/ ./internal/core/ 2>&1 |
+	grep -oE "($GATED)" | sort | uniq -c | awk '{print $2, $1}' | sort)
+
+if [[ "${1:-}" == "-update" ]]; then
+	printf '%s\n' "$counts" > "$BASELINE"
+	echo "updated $BASELINE:"
+	cat "$BASELINE"
+	exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+	echo "check_bce: missing $BASELINE (run scripts/check_bce.sh -update)" >&2
+	exit 1
+fi
+
+status=0
+while read -r file count; do
+	base=$(awk -v f="$file" '$1 == f {print $2}' "$BASELINE")
+	base=${base:-0}
+	if (( count > base )); then
+		echo "check_bce: $file has $count bounds checks, baseline $base — new checks in a shaped kernel" >&2
+		go build -gcflags=-d=ssa/check_bce ./internal/stprob/ ./internal/core/ 2>&1 |
+			grep -E "$file" >&2 || true
+		status=1
+	elif (( count < base )); then
+		echo "check_bce: $file improved to $count checks (baseline $base); consider scripts/check_bce.sh -update"
+	fi
+done <<< "$counts"
+
+if (( status == 0 )); then
+	echo "check_bce: ok ($(printf '%s\n' "$counts" | awk '{printf "%s=%s ", $1, $2}'))"
+fi
+exit $status
