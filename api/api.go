@@ -150,6 +150,31 @@ type CacheStats struct {
 	Bytes int64 `json:"bytes"`
 }
 
+// StoreStats mirrors the columnar corpus store's footprint and persistence
+// counters on the wire.
+type StoreStats struct {
+	// LiveBytes is the sum of live encoded-record sizes; ArenaBytes the
+	// resident arena footprint including dead-record slack awaiting GC.
+	LiveBytes  int64 `json:"live_bytes"`
+	ArenaBytes int64 `json:"arena_bytes"`
+	// CoordStep is the fixed-point coordinate quantization step applied to
+	// newly encoded records (0 = lossless).
+	CoordStep float64 `json:"coord_step"`
+	// Persistent reports whether the store runs on a data directory (WAL +
+	// snapshots). The remaining fields are zero when it does not.
+	Persistent bool `json:"persistent"`
+	// WALBytes is the current WAL segment's size, WALSeq its sequence
+	// number.
+	WALBytes int64  `json:"wal_bytes"`
+	WALSeq   uint64 `json:"wal_seq"`
+	// Snapshots and SnapshotErrors count snapshot attempts since open.
+	Snapshots      uint64 `json:"snapshots"`
+	SnapshotErrors uint64 `json:"snapshot_errors"`
+	// RecoverySeconds is the duration of the boot-time recovery (snapshot
+	// load + WAL replay).
+	RecoverySeconds float64 `json:"recovery_seconds"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	// Version is the server build version (module version + VCS revision).
@@ -168,6 +193,9 @@ type StatsResponse struct {
 	// (top-k and thresholded link scoring). All-zero on engines with
 	// pruning disabled.
 	Prune PruneStats `json:"prune"`
+	// Store are the columnar corpus store's footprint and persistence
+	// counters; CorpusSize is sourced from the same store.
+	Store StoreStats `json:"store"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -7,11 +7,19 @@
 //	stsgen -kind mall -n 100 -seed 7 -o mall.csv
 //	stsgen -kind taxi -n 200 -o taxi.csv
 //	stsgen -kind mall -n 50 -split -o mall    # writes mall.d1.csv, mall.d2.csv
+//	stsgen -kind synth -n 100000 -o big.csv   # streamed, O(1) memory
+//
+// The synth kind is a capacity workload: independent random-walk
+// trajectories generated per index and streamed straight to the output, so
+// corpus size is bounded by disk, not memory. It backs the persistence and
+// crash-recovery drills; mall and taxi remain the paper-shaped workloads.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/stslib/sts/internal/datagen"
@@ -22,18 +30,29 @@ import (
 
 func main() {
 	var (
-		kind  = flag.String("kind", "mall", "workload: mall or taxi")
-		n     = flag.Int("n", 100, "number of objects")
-		seed  = flag.Int64("seed", 1, "random seed")
-		out   = flag.String("o", "", "output file (default stdout); with -split, the prefix for <prefix>.d1.csv and <prefix>.d2.csv")
-		split = flag.Bool("split", false, "also perform the alternating split into paired matching datasets")
-		min   = flag.Int("minlen", 20, "drop trajectories shorter than this many samples")
-		ver   = flag.Bool("version", false, "print version and exit")
+		kind    = flag.String("kind", "mall", "workload: mall, taxi, or synth (streamed)")
+		n       = flag.Int("n", 100, "number of objects")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("o", "", "output file (default stdout); with -split, the prefix for <prefix>.d1.csv and <prefix>.d2.csv")
+		split   = flag.Bool("split", false, "also perform the alternating split into paired matching datasets (mall and taxi only)")
+		min     = flag.Int("minlen", 20, "drop trajectories shorter than this many samples")
+		samples = flag.Int("samples", 0, "samples per trajectory for -kind synth (0 = default 30)")
+		ver     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 
 	if *ver {
 		fmt.Println("stsgen", version.String())
+		return
+	}
+
+	if *kind == "synth" {
+		if *split {
+			fatal(fmt.Errorf("-split is not supported with -kind synth"))
+		}
+		if err := writeSynth(*out, *n, *seed, *samples); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -48,7 +67,7 @@ func main() {
 		cfg.Seed = *seed
 		ds, _ = datagen.GenerateTaxi(cfg)
 	default:
-		fatal(fmt.Errorf("unknown kind %q (want mall or taxi)", *kind))
+		fatal(fmt.Errorf("unknown kind %q (want mall, taxi, or synth)", *kind))
 	}
 	ds = ds.FilterMinLen(*min)
 
@@ -76,6 +95,47 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d trajectories to %s\n", len(ds), *out)
+}
+
+// writeSynth streams n synthetic trajectories to path (stdout when empty),
+// one at a time — nothing but the current trajectory is ever resident.
+func writeSynth(path string, n int, seed int64, samples int) error {
+	cfg := datagen.DefaultSynthConfig(n)
+	cfg.Seed = seed
+	if samples > 0 {
+		cfg.Samples = samples
+	}
+	var sink io.Writer = os.Stdout
+	var f *os.File
+	if path != "" {
+		var err error
+		if f, err = os.Create(path); err != nil {
+			return err
+		}
+	}
+	if f != nil {
+		sink = f
+	}
+	bw := bufio.NewWriterSize(sink, 1<<20)
+	w := dataset.NewWriter(bw)
+	for i := 0; i < n; i++ {
+		if err := w.Write(datagen.SynthTrajectory(cfg, i)); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trajectories to %s\n", n, path)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -9,9 +9,16 @@
 //	stsserved -addr :8080 -dataset mall.csv                # preloaded corpus
 //	stsserved -dataset mall.csv -profile-bucket 30         # bucketed profiles
 //	stsserved -dataset mall.csv -max-inflight 16 -timeout 5s
+//	stsserved -data-dir /var/lib/sts -sigma 3              # durable corpus
 //
-// The spatial scales (-grid, -sigma) default from the preloaded dataset the
-// same way stsmatch derives them; with no dataset they must be given. The
+// The spatial scales (-grid, -sigma) default from the preloaded corpus the
+// same way stsmatch derives them; with no corpus they must be given. With
+// -data-dir the corpus is durable: every mutation is written ahead to a
+// CRC-framed log and periodically compacted into snapshots, and a restart
+// recovers the corpus (including after kill -9 — torn WAL tails are
+// truncated to the last durable record). A recovered corpus takes
+// precedence over -dataset; preloading streams the CSV one trajectory at a
+// time, so peak ingestion memory is one trajectory, not the dataset. The
 // process serves until SIGINT/SIGTERM, then drains in-flight requests for
 // up to -drain before exiting.
 package main
@@ -33,24 +40,29 @@ import (
 	"github.com/stslib/sts/internal/geo"
 	"github.com/stslib/sts/internal/model"
 	"github.com/stslib/sts/internal/server"
+	"github.com/stslib/sts/internal/store"
 	"github.com/stslib/sts/internal/version"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		dataPath = flag.String("dataset", "", "CSV dataset to preload into the corpus")
-		gridSz   = flag.Float64("grid", 0, "grid cell size in meters (default: sigma, or 1/100 of the dataset extent)")
-		sigma    = flag.Float64("sigma", 0, "location noise sigma in meters (default: grid size)")
-		profile  = flag.Float64("profile-bucket", 0, "bucketed-profile scoring with this bucket width in seconds (0 = exact; -1 = default width)")
-		timeout  = flag.Duration("timeout", server.DefaultQueryTimeout, "per-request budget for scoring routes (negative = unbounded)")
-		ingestTO = flag.Duration("ingest-timeout", server.DefaultIngestTimeout, "per-request budget for ingestion routes (negative = unbounded)")
-		inflight = flag.Int("max-inflight", server.DefaultMaxInFlight, "max concurrently admitted /v1 requests; excess get 429 (negative = unbounded)")
-		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget for in-flight requests")
-		cacheSz  = flag.Int("cache", 0, "prepared-trajectory LRU capacity (0 = engine default; negative = unbounded)")
-		workers  = flag.Int("workers", 0, "scoring worker pool size (0 = GOMAXPROCS)")
-		strict   = flag.Bool("strict", false, "reject ingested trajectories with out-of-order samples instead of sorting them")
-		showVer  = flag.Bool("version", false, "print version and exit")
+		addr      = flag.String("addr", ":8080", "listen address")
+		dataPath  = flag.String("dataset", "", "CSV dataset to preload into the corpus (skipped when -data-dir recovers a non-empty corpus)")
+		dataDir   = flag.String("data-dir", "", "durable data directory (WAL + snapshots); empty serves an in-memory corpus")
+		snapEvery = flag.Int64("snapshot-every", 0, "snapshot the corpus once the WAL grows this many bytes (0 = 64MiB default, negative = disable automatic snapshots)")
+		fsyncIv   = flag.Duration("fsync-interval", 0, "batch WAL fsyncs at most this often (0 = 50ms default, negative = never fsync, 1ns = fsync every record)")
+		coordStep = flag.Float64("coord-step", 0, "fixed-point coordinate quantization step in meters for stored records (0 = lossless, negative = derive from sigma: sigma*1e-9)")
+		gridSz    = flag.Float64("grid", 0, "grid cell size in meters (default: sigma, or 1/100 of the corpus extent)")
+		sigma     = flag.Float64("sigma", 0, "location noise sigma in meters (default: grid size)")
+		profile   = flag.Float64("profile-bucket", 0, "bucketed-profile scoring with this bucket width in seconds (0 = exact; -1 = default width)")
+		timeout   = flag.Duration("timeout", server.DefaultQueryTimeout, "per-request budget for scoring routes (negative = unbounded)")
+		ingestTO  = flag.Duration("ingest-timeout", server.DefaultIngestTimeout, "per-request budget for ingestion routes (negative = unbounded)")
+		inflight  = flag.Int("max-inflight", server.DefaultMaxInFlight, "max concurrently admitted /v1 requests; excess get 429 (negative = unbounded)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget for in-flight requests")
+		cacheSz   = flag.Int("cache", 0, "prepared-trajectory LRU capacity (0 = engine default; negative = unbounded)")
+		workers   = flag.Int("workers", 0, "scoring worker pool size (0 = GOMAXPROCS)")
+		strict    = flag.Bool("strict", false, "reject ingested trajectories with out-of-order samples instead of sorting them")
+		showVer   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *showVer {
@@ -61,23 +73,98 @@ func main() {
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	slog.SetDefault(log)
 
-	var ds model.Dataset
-	if *dataPath != "" {
+	readOpts := dataset.ReadOptions{RejectUnsorted: *strict}
+	stOpts := store.Options{
+		FsyncInterval: *fsyncIv,
+		SnapshotEvery: *snapEvery,
+		Logger:        log,
+	}
+	if *coordStep > 0 {
+		stOpts.CoordStep = *coordStep
+	}
+
+	var st *store.Store
+	if *dataDir != "" {
 		var err error
-		ds, err = dataset.ReadFileWith(*dataPath, dataset.ReadOptions{RejectUnsorted: *strict})
+		st, err = store.Open(*dataDir, stOpts)
 		check(err)
-		log.Info("dataset loaded", "path", *dataPath, "trajectories", len(ds))
+		if info, ok := st.Recovery(); ok {
+			log.Info("store recovered",
+				"dir", *dataDir,
+				"records", st.Len(),
+				"recovery_seconds", info.Duration.Seconds(),
+				"snapshot_seq", info.SnapshotSeq,
+				"snapshot_records", info.SnapshotRecords,
+				"wal_segments", info.WALSegments,
+				"wal_records", info.WALRecords,
+				"truncated_bytes", info.TruncatedBytes)
+		}
+	} else {
+		st = store.New(stOpts)
 	}
 
-	scorer, err := buildScorer(ds, *gridSz, *sigma, *profile)
+	// Spatial scales come from whatever corpus exists at boot: the recovered
+	// store when non-empty, otherwise a streaming bounds pass over -dataset
+	// (nothing is retained), otherwise the explicit flags.
+	var (
+		bounds     geo.Rect
+		haveBounds bool
+	)
+	if st.Len() > 0 {
+		bounds, haveBounds = st.Bounds()
+		if *dataPath != "" {
+			log.Info("recovered corpus is non-empty; skipping -dataset preload", "path", *dataPath, "records", st.Len())
+			*dataPath = ""
+		}
+	} else if *dataPath != "" {
+		n := 0
+		check(dataset.StreamFile(*dataPath, readOpts, func(tr model.Trajectory) error {
+			b := tr.Bounds()
+			if !haveBounds {
+				bounds, haveBounds = b, true
+			} else {
+				bounds = bounds.Union(b)
+			}
+			n++
+			return nil
+		}))
+		log.Info("dataset scanned for scales", "path", *dataPath, "trajectories", n)
+	}
+
+	scorer, sigmaUsed, err := buildScorer(bounds, haveBounds, *gridSz, *sigma, *profile)
+	check(err)
+	if *coordStep < 0 {
+		step := store.StepForSigma(sigmaUsed)
+		st.SetCoordStep(step)
+		log.Info("coordinate quantization derived from sigma", "sigma", sigmaUsed, "coord_step", step)
+	}
+
+	eng, err := engine.New(scorer, engine.Options{Workers: *workers, CacheSize: *cacheSz, Corpus: st})
 	check(err)
 
-	eng, err := engine.New(scorer, engine.Options{Workers: *workers, CacheSize: *cacheSz})
-	check(err)
-	for _, tr := range ds {
-		_, err := eng.Add(tr)
-		check(err)
+	if *dataPath != "" {
+		// Streaming ingestion: each trajectory is encoded into the columnar
+		// store as soon as its rows end, so peak memory is O(1 trajectory)
+		// instead of a boxed copy of the whole dataset.
+		n := 0
+		check(dataset.StreamFile(*dataPath, readOpts, func(tr model.Trajectory) error {
+			if _, err := eng.Add(tr); err != nil {
+				return err
+			}
+			n++
+			return nil
+		}))
+		log.Info("dataset ingested", "path", *dataPath, "trajectories", n)
 	}
+
+	ss := st.Stats()
+	log.Info("store ready",
+		"records", ss.Records,
+		"live_bytes", ss.LiveBytes,
+		"resident_bytes", ss.ArenaBytes,
+		"coord_step", ss.CoordStep,
+		"persistent", ss.Persistent,
+		"wal_bytes", ss.WALBytes)
 
 	srv, err := server.New(eng, server.Options{
 		QueryTimeout:  *timeout,
@@ -91,20 +178,22 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	check(srv.ListenAndServe(ctx, *addr, *drain))
+	check(eng.Close())
 }
 
-// buildScorer assembles the STS scorer with scales derived from the
-// preloaded dataset when not given explicitly. With an empty corpus the
-// scales cannot be derived, so -grid or -sigma is required — the grid must
-// cover everything ingested later, so it is padded generously (the serving
-// corpus is mutable, unlike stsmatch's fixed datasets).
-func buildScorer(ds model.Dataset, gridSize, sigma, profileBucket float64) (eval.Scorer, error) {
-	bounds, ok := ds.Bounds()
-	if !ok {
-		// No dataset to derive scales from: require explicit scales and
+// buildScorer assembles the STS scorer with scales derived from the boot
+// corpus bounds when not given explicitly. With no corpus the scales cannot
+// be derived, so -grid or -sigma is required — the grid must cover
+// everything ingested later, so it is padded generously (the serving corpus
+// is mutable, unlike stsmatch's fixed datasets). It returns the resolved
+// sigma alongside the scorer so the store's quantization step can be
+// derived from it.
+func buildScorer(bounds geo.Rect, haveBounds bool, gridSize, sigma, profileBucket float64) (eval.Scorer, float64, error) {
+	if !haveBounds {
+		// No corpus to derive scales from: require explicit scales and
 		// center a large grid on the origin.
 		if gridSize <= 0 && sigma <= 0 {
-			return nil, fmt.Errorf("with no -dataset, -grid or -sigma is required")
+			return nil, 0, fmt.Errorf("with no preloaded corpus, -grid or -sigma is required")
 		}
 		if gridSize <= 0 {
 			gridSize = sigma
@@ -130,25 +219,25 @@ func buildScorer(ds model.Dataset, gridSize, sigma, profileBucket float64) (eval
 			sigma = gridSize
 		}
 		// Pad beyond the blur halo so trajectories ingested later near the
-		// dataset's edge still land on the grid.
+		// corpus's edge still land on the grid.
 		bounds = bounds.Expand(extent / 2)
 	}
 	grid, err := geo.NewGrid(bounds.Expand(4*sigma+gridSize), gridSize)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	m, err := core.NewSTS(grid, sigma)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if profileBucket != 0 {
 		popts := core.ProfileOptions{}
 		if profileBucket > 0 {
 			popts.BucketSeconds = profileBucket
 		}
-		return eval.NewSTSScorerProfiled("STS-P", m, popts), nil
+		return eval.NewSTSScorerProfiled("STS-P", m, popts), sigma, nil
 	}
-	return eval.NewSTSScorer("STS", m), nil
+	return eval.NewSTSScorer("STS", m), sigma, nil
 }
 
 func check(err error) {

@@ -2,11 +2,13 @@ package sts
 
 import (
 	"context"
+	"time"
 
 	"github.com/stslib/sts/internal/engine"
 	"github.com/stslib/sts/internal/eval"
 	"github.com/stslib/sts/internal/index"
 	"github.com/stslib/sts/internal/linking"
+	"github.com/stslib/sts/internal/store"
 )
 
 // Engine is the long-lived execution layer for serving similarity
@@ -36,6 +38,38 @@ type TopKOptions = engine.TopKOptions
 // EnginePruneStats reports the engine's cumulative filter-and-refine
 // counters (see Engine.PruneStats).
 type EnginePruneStats = engine.PruneStats
+
+// StoreStats reports the columnar corpus store's footprint and persistence
+// counters (see Engine.StoreStats).
+type StoreStats = store.Stats
+
+// RecoveryInfo reports what a persistent engine's boot-time recovery did:
+// snapshot load, WAL replay, and torn-tail truncation (see
+// Engine.Recovery).
+type RecoveryInfo = store.RecoveryInfo
+
+// StoreOptions configures the engine's columnar corpus store.
+type StoreOptions struct {
+	// Dir, when non-empty, makes the corpus durable: mutations are written
+	// ahead to a CRC-framed log in this directory and periodically
+	// compacted into snapshots, and NewEngine recovers the directory's
+	// content into the corpus (truncating torn WAL tails after a crash).
+	// Empty keeps the corpus in memory.
+	Dir string
+	// CoordStep quantizes stored coordinates to fixed-point multiples of
+	// this step in meters (0 = lossless). Records are self-describing, so
+	// the step may change across restarts. Keep it far below the measure's
+	// noise sigma; sigma*1e-9 bounds the score deviation at ≤1e-9.
+	CoordStep float64
+	// FsyncInterval batches WAL fsyncs: positive syncs at most that often,
+	// 0 selects the 50ms default, negative never syncs explicitly. Ignored
+	// without Dir.
+	FsyncInterval time.Duration
+	// SnapshotEvery triggers an automatic snapshot once the WAL has grown
+	// this many bytes (0 selects the 64MiB default, negative disables).
+	// Ignored without Dir.
+	SnapshotEvery int64
+}
 
 // EngineOptions configures NewEngine.
 type EngineOptions struct {
@@ -67,6 +101,11 @@ type EngineOptions struct {
 	// the default profile width. Profiled engines derive bounds from their
 	// scoring profiles.
 	PruneBucketSeconds float64
+	// Store configures the columnar corpus store backing the engine; nil
+	// selects an in-memory lossless store. Set Store.Dir for durability
+	// (WAL + snapshot recovery). Call Engine.Close when done with a
+	// persistent engine.
+	Store *StoreOptions
 }
 
 // NewEngine builds an engine around a scorer (use NewScorer to wrap a
@@ -81,6 +120,23 @@ func NewEngine(scorer Scorer, opts EngineOptions) (*Engine, error) {
 		}
 		pruner = ix
 	}
+	var corpus store.Corpus
+	if opts.Store != nil {
+		stOpts := store.Options{
+			CoordStep:     opts.Store.CoordStep,
+			FsyncInterval: opts.Store.FsyncInterval,
+			SnapshotEvery: opts.Store.SnapshotEvery,
+		}
+		if opts.Store.Dir != "" {
+			st, err := store.Open(opts.Store.Dir, stOpts)
+			if err != nil {
+				return nil, err
+			}
+			corpus = st
+		} else {
+			corpus = store.New(stOpts)
+		}
+	}
 	return engine.New(scorer, engine.Options{
 		Workers:            opts.Workers,
 		CacheSize:          opts.CacheSize,
@@ -88,6 +144,7 @@ func NewEngine(scorer Scorer, opts EngineOptions) (*Engine, error) {
 		Profile:            opts.Profile,
 		DisablePruning:     opts.DisablePruning,
 		PruneBucketSeconds: opts.PruneBucketSeconds,
+		Corpus:             corpus,
 	})
 }
 

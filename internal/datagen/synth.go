@@ -1,0 +1,89 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+// SynthConfig parameterizes the streaming synthetic workload: a large
+// corpus of correlated-random-walk trajectories for capacity, persistence,
+// and recovery testing (not a stand-in for the paper's datasets — mall and
+// taxi are). Unlike GenerateMall/GenerateTaxi, trajectories are generated
+// independently per index, so a million-trajectory corpus streams to disk
+// without ever being resident.
+type SynthConfig struct {
+	// N is the number of trajectories.
+	N int
+	// AreaSize is the side length of the square area in meters.
+	AreaSize float64
+	// MeanSpeed is the walk speed in m/s.
+	MeanSpeed float64
+	// ReportPeriod is the sampling period in seconds.
+	ReportPeriod float64
+	// Samples is the number of samples per trajectory.
+	Samples int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultSynthConfig sizes the workload for recovery drills: short
+// trajectories (30 samples) over a city-scale area.
+func DefaultSynthConfig(n int) SynthConfig {
+	return SynthConfig{
+		N:            n,
+		AreaSize:     10000,
+		MeanSpeed:    5,
+		ReportPeriod: 15,
+		Samples:      30,
+		Seed:         1,
+	}
+}
+
+// SynthTrajectory generates the i-th trajectory of the workload. Each
+// index seeds its own generator, so the result depends only on (cfg, i) —
+// callers can generate any subset, in any order, in parallel, in O(1)
+// memory.
+func SynthTrajectory(cfg SynthConfig, i int) model.Trajectory {
+	// splitmix64 over (Seed, i) decorrelates the per-index streams; adjacent
+	// rand.NewSource seeds produce visibly correlated first draws.
+	z := uint64(cfg.Seed)*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	rng := rand.New(rand.NewSource(int64(z)))
+
+	tr := model.Trajectory{ID: pathID("synth", i), Samples: make([]model.Sample, cfg.Samples)}
+	loc := geo.Point{X: rng.Float64() * cfg.AreaSize, Y: rng.Float64() * cfg.AreaSize}
+	heading := rng.Float64() * 2 * math.Pi
+	t := rng.Float64() * 3600
+	for k := range tr.Samples {
+		tr.Samples[k] = model.Sample{Loc: loc, T: t}
+		// Correlated walk: the heading drifts, so trajectories wander
+		// instead of jittering in place.
+		heading += (rng.Float64() - 0.5) * math.Pi / 2
+		step := cfg.MeanSpeed * cfg.ReportPeriod * (0.5 + rng.Float64())
+		loc.X += step * math.Cos(heading)
+		loc.Y += step * math.Sin(heading)
+		// Reflect at the area boundary.
+		loc.X = reflect(loc.X, cfg.AreaSize)
+		loc.Y = reflect(loc.Y, cfg.AreaSize)
+		t += cfg.ReportPeriod * (0.8 + 0.4*rng.Float64())
+	}
+	return tr
+}
+
+// reflect folds v back into [0, size].
+func reflect(v, size float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	if v > size {
+		return 2*size - v
+	}
+	return v
+}

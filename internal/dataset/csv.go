@@ -60,6 +60,54 @@ func WriteFile(path string, ds model.Dataset) error {
 	return f.Close()
 }
 
+// Writer encodes trajectories to CSV one at a time, so producers of large
+// corpora (stsgen's synthetic mode, snapshot exports) never hold the whole
+// dataset in memory. The header is written lazily before the first
+// trajectory; call Flush once at the end.
+type Writer struct {
+	cw     *csv.Writer
+	row    []string
+	headed bool
+}
+
+// NewWriter returns a Writer encoding to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{cw: csv.NewWriter(w), row: make([]string, 4)}
+}
+
+// Write appends one trajectory's samples.
+func (w *Writer) Write(tr model.Trajectory) error {
+	if !w.headed {
+		if err := w.cw.Write([]string{"id", "t", "x", "y"}); err != nil {
+			return fmt.Errorf("dataset: write header: %w", err)
+		}
+		w.headed = true
+	}
+	for _, s := range tr.Samples {
+		w.row[0] = tr.ID
+		w.row[1] = strconv.FormatFloat(s.T, 'g', -1, 64)
+		w.row[2] = strconv.FormatFloat(s.Loc.X, 'g', -1, 64)
+		w.row[3] = strconv.FormatFloat(s.Loc.Y, 'g', -1, 64)
+		if err := w.cw.Write(w.row); err != nil {
+			return fmt.Errorf("dataset: write row: %w", err)
+		}
+	}
+	return nil
+}
+
+// Flush writes any buffered rows through (and the header, for an empty
+// stream) and reports the first error of the whole write sequence.
+func (w *Writer) Flush() error {
+	if !w.headed {
+		if err := w.cw.Write([]string{"id", "t", "x", "y"}); err != nil {
+			return fmt.Errorf("dataset: write header: %w", err)
+		}
+		w.headed = true
+	}
+	w.cw.Flush()
+	return w.cw.Error()
+}
+
 // ReadOptions configures the time-ordering policy of the readers.
 type ReadOptions struct {
 	// RejectUnsorted returns an error for trajectories whose samples are
@@ -148,6 +196,88 @@ func ReadWith(r io.Reader, opts ReadOptions) (model.Dataset, error) {
 		}
 	}
 	return ds, nil
+}
+
+// Stream decodes trajectories from r one at a time, calling fn as soon as
+// each trajectory's rows end, so ingestion peaks at one trajectory of
+// boxed samples instead of the whole dataset (the cold-boot path of a
+// store-backed server). Unlike ReadWith, rows of the same id must be
+// contiguous: an id that re-appears after other ids is an error (grouping
+// it would require buffering everything). Each trajectory is normalized
+// (ordering policy + validation) before fn sees it; an error from fn
+// aborts the stream.
+func Stream(r io.Reader, opts ReadOptions, fn func(model.Trajectory) error) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("dataset: read header: %w", err)
+	}
+	if header[0] != "id" || header[1] != "t" || header[2] != "x" || header[3] != "y" {
+		return fmt.Errorf("dataset: unexpected header %v, want [id t x y]", header)
+	}
+	seen := make(map[string]bool)
+	var cur model.Trajectory
+	emit := func() error {
+		if cur.ID == "" {
+			return nil
+		}
+		if err := Normalize(&cur, opts); err != nil {
+			return err
+		}
+		if err := fn(cur); err != nil {
+			return err
+		}
+		cur = model.Trajectory{}
+		return nil
+	}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		t, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return fmt.Errorf("dataset: line %d: bad t %q: %w", line, rec[1], err)
+		}
+		x, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return fmt.Errorf("dataset: line %d: bad x %q: %w", line, rec[2], err)
+		}
+		y, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return fmt.Errorf("dataset: line %d: bad y %q: %w", line, rec[3], err)
+		}
+		if rec[0] != cur.ID {
+			if seen[rec[0]] {
+				return fmt.Errorf("dataset: line %d: rows of trajectory %q are not contiguous (streaming ingestion requires grouped rows; use Read for scattered ids)", line, rec[0])
+			}
+			if err := emit(); err != nil {
+				return err
+			}
+			cur.ID = string([]byte(rec[0])) // rec is reused; force a copy
+			seen[cur.ID] = true
+		}
+		cur.Samples = append(cur.Samples, model.Sample{Loc: geo.Point{X: x, Y: y}, T: t})
+	}
+	return emit()
+}
+
+// StreamFile is Stream over the named file.
+func StreamFile(path string, opts ReadOptions, fn func(model.Trajectory) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Stream(f, opts, fn)
 }
 
 // ReadFile reads a dataset from the named file.

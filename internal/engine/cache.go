@@ -5,18 +5,23 @@ import (
 	"sync"
 
 	"github.com/stslib/sts/internal/model"
+	"github.com/stslib/sts/internal/store"
 )
 
 // prepKey identifies one trajectory's derived state (prepared estimator or
-// bucketed profile). Trajectory IDs alone are not unique across datasets
-// (matching experiments reuse an object's ID for both halves of a split),
-// so the key also pins the sample count and the identity of the backing
-// sample array. Trajectories handed to the engine must not be mutated in
-// place afterwards — the standard contract for sharing slices across
-// goroutines anyway.
+// bucketed profile). Corpus trajectories are keyed by {id, n, gen}: the
+// store's record generation is unique per (re)encoded record and never
+// zero, so replacements can never collide with their predecessors.
+// External trajectories (queries, batch datasets) carry gen 0 and pin the
+// identity of the backing sample array instead — trajectory IDs alone are
+// not unique across datasets (matching experiments reuse an object's ID
+// for both halves of a split). Trajectories handed to the engine must not
+// be mutated in place afterwards — the standard contract for sharing
+// slices across goroutines anyway.
 type prepKey struct {
 	id    string
 	n     int
+	gen   uint64
 	first *model.Sample
 }
 
@@ -28,10 +33,15 @@ func keyOf(tr model.Trajectory) prepKey {
 	return k
 }
 
-// hashKey is FNV-1a over the key's ID mixed with its sample count — the
-// shard selector. The backing-array pointer is deliberately left out: it
-// only disambiguates same-ID same-length replacements, and hashing it would
-// make shard placement depend on allocation addresses.
+func refKey(ref store.Ref) prepKey {
+	return prepKey{id: ref.ID, n: ref.N, gen: ref.Gen}
+}
+
+// hashKey is FNV-1a over the key's ID mixed with its sample count and
+// record generation — the shard selector. The backing-array pointer is
+// deliberately left out: it only disambiguates same-ID same-length
+// replacements of external trajectories, and hashing it would make shard
+// placement depend on allocation addresses.
 func hashKey(k prepKey) uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -43,6 +53,8 @@ func hashKey(k prepKey) uint64 {
 		h *= prime64
 	}
 	h ^= uint64(k.n)
+	h *= prime64
+	h ^= k.gen
 	h *= prime64
 	return h
 }

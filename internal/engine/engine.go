@@ -25,11 +25,11 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
 	"sync"
 
 	"github.com/stslib/sts/internal/core"
 	"github.com/stslib/sts/internal/model"
+	"github.com/stslib/sts/internal/store"
 )
 
 // Scorer assigns a similarity score to a pair of trajectories; higher is
@@ -107,6 +107,13 @@ type Options struct {
 	// bounds always reuse its scoring profiles. Ignored when pruning is
 	// disabled.
 	PruneBucketSeconds float64
+	// Corpus is the columnar trajectory store backing the engine (nil
+	// selects a fresh lossless in-memory store.New). The engine takes
+	// ownership: a recovered store's content is loaded into the corpus at
+	// construction, all mutations write through it (reaching its WAL when
+	// persistent), and Engine.Close closes it. Callers must not mutate a
+	// Corpus behind the engine's back.
+	Corpus store.Corpus
 }
 
 // Match is one result of Engine.TopK.
@@ -137,17 +144,22 @@ type Engine struct {
 	noPrune   bool
 	pstats    pruneCounters
 
-	mu    sync.RWMutex
-	slots []corpusSlot
-	byID  map[string]int
-	free  []int
-	count int
+	// corpus is the columnar record store — the single source of truth for
+	// trajectory content. slots/byID only map store records to the dense
+	// slot numbers the pruner's postings are keyed by; they never hold
+	// samples. All engine mutations hold e.mu, so corpus and slots always
+	// agree.
+	corpus store.Corpus
+	mu     sync.RWMutex
+	slots  []corpusSlot
+	byID   map[string]int
+	free   []int
 }
 
-// corpusSlot holds one corpus entry; freed slots are reused by Add so
-// pruner postings stay small.
+// corpusSlot holds one corpus entry's record handle; freed slots are
+// reused by Add so pruner postings stay small.
 type corpusSlot struct {
-	tr   model.Trajectory
+	ref  store.Ref
 	used bool
 }
 
@@ -168,11 +180,16 @@ func New(scorer Scorer, opts Options) (*Engine, error) {
 	case capacity < 0:
 		capacity = 0 // unbounded
 	}
+	corpus := opts.Corpus
+	if corpus == nil {
+		corpus = store.New(store.Options{})
+	}
 	e := &Engine{
 		scorer:  scorer,
 		workers: workers,
 		cache:   newLRUCache(capacity, (*core.Prepared).MemoryBytes),
 		pruner:  opts.Pruner,
+		corpus:  corpus,
 		byID:    make(map[string]int),
 	}
 	if ms, ok := scorer.(MeasureScorer); ok {
@@ -203,8 +220,39 @@ func New(scorer Scorer, opts Options) (*Engine, error) {
 	if e.measure != nil && (e.profOpts != nil || !e.noPrune) {
 		e.profiles = newLRUCache(capacity, (*core.Profile).MemoryBytes)
 	}
+	// A recovered (or pre-populated) corpus becomes the initial slot set.
+	// ForEach yields refs in sorted-ID order, so slot assignment — and with
+	// it Match.Slot and tie-breaking — is deterministic across restarts.
+	if err := corpus.ForEach(func(ref store.Ref) error {
+		slot := e.takeSlotLocked(ref)
+		if e.pruner != nil {
+			tr, err := ref.Decode()
+			if err != nil {
+				return err
+			}
+			e.pruner.Insert(slot, tr)
+		}
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("engine: load corpus: %w", err)
+	}
 	return e, nil
 }
+
+// Corpus returns the engine's backing store.
+func (e *Engine) Corpus() store.Corpus { return e.corpus }
+
+// StoreStats returns the backing store's footprint and persistence
+// counters.
+func (e *Engine) StoreStats() store.Stats { return e.corpus.Stats() }
+
+// Recovery returns the backing store's Open-time recovery report
+// (ok=false when the corpus is in-memory).
+func (e *Engine) Recovery() (store.RecoveryInfo, bool) { return e.corpus.Recovery() }
+
+// Close closes the backing store (flushing its WAL when persistent);
+// further corpus mutations fail.
+func (e *Engine) Close() error { return e.corpus.Close() }
 
 // Profiled reports whether the engine scores through bucketed profiles.
 func (e *Engine) Profiled() bool { return e.profOpts != nil }
@@ -227,70 +275,50 @@ func (e *Engine) ProfileCacheStats() CacheStats {
 	return e.profiles.stats()
 }
 
-// Len returns the number of trajectories in the corpus.
+// Len returns the number of trajectories in the corpus, sourced from the
+// backing store.
 func (e *Engine) Len() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.count
+	return e.corpus.Len()
 }
 
-// Get returns the corpus trajectory with the given ID.
+// Get decodes the corpus trajectory with the given ID from the backing
+// store. Repeated lookups of the same record are served from the store's
+// decode cache (same backing array); callers must not mutate the result.
 func (e *Engine) Get(id string) (model.Trajectory, bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if slot, ok := e.byID[id]; ok {
-		return e.slots[slot].tr, true
-	}
-	return model.Trajectory{}, false
+	return e.corpus.Get(id)
 }
 
-// IDs returns the corpus trajectory IDs, sorted, under one consistent
-// snapshot — slot order would leak Add/Remove history and make listings
-// flap as freed slots are reused.
+// IDs returns the corpus trajectory IDs, sorted, from the backing store.
 func (e *Engine) IDs() []string {
-	e.mu.RLock()
-	out := make([]string, 0, e.count)
-	for _, s := range e.slots {
-		if s.used {
-			out = append(out, s.tr.ID)
-		}
-	}
-	e.mu.RUnlock()
-	sort.Strings(out)
-	return out
+	return e.corpus.IDs()
 }
 
-// Subset resolves corpus trajectories by ID under one consistent snapshot,
-// preserving the request order; an empty ids selects the whole corpus in
-// sorted-ID order. Unknown IDs fail the whole call so partial datasets
-// never reach a linking or batch-scoring run silently.
+// Subset resolves corpus trajectories by ID under one consistent snapshot
+// (engine mutations are excluded for the duration), preserving the request
+// order; an empty ids selects the whole corpus in sorted-ID order. Unknown
+// IDs fail the whole call so partial datasets never reach a linking or
+// batch-scoring run silently.
 func (e *Engine) Subset(ids []string) (model.Dataset, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if len(ids) == 0 {
-		out := make(model.Dataset, 0, e.count)
-		for _, s := range e.slots {
-			if s.used {
-				out = append(out, s.tr)
-			}
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-		return out, nil
+		ids = e.corpus.IDs()
 	}
 	out := make(model.Dataset, 0, len(ids))
 	for _, id := range ids {
-		slot, ok := e.byID[id]
+		tr, ok := e.corpus.Get(id)
 		if !ok {
 			return nil, fmt.Errorf("engine: trajectory %q %w", id, ErrNotFound)
 		}
-		out = append(out, e.slots[slot].tr)
+		out = append(out, tr)
 	}
 	return out, nil
 }
 
 // Add inserts a trajectory into the corpus and returns its slot. The
-// trajectory must validate, carry a non-empty ID not already present, and
-// must not be mutated afterwards. The pruner's postings are updated
+// trajectory must validate and carry a non-empty ID not already present.
+// The record is encoded into the store (and its WAL when persistent)
+// before any engine state changes; the pruner's postings are updated
 // incrementally — no corpus rebuild.
 func (e *Engine) Add(tr model.Trajectory) (int, error) {
 	if tr.ID == "" {
@@ -304,15 +332,19 @@ func (e *Engine) Add(tr model.Trajectory) (int, error) {
 	if _, ok := e.byID[tr.ID]; ok {
 		return 0, fmt.Errorf("engine: trajectory %q already in corpus (use Replace)", tr.ID)
 	}
-	slot := e.takeSlotLocked(tr)
+	ref, err := e.corpus.Add(tr)
+	if err != nil {
+		return 0, fmt.Errorf("engine: %w", err)
+	}
+	slot := e.takeSlotLocked(ref)
 	if e.pruner != nil {
 		e.pruner.Insert(slot, tr)
 	}
 	return slot, nil
 }
 
-// Remove deletes the trajectory with the given ID from the corpus, its
-// pruner postings, and the prepared cache.
+// Remove deletes the trajectory with the given ID from the corpus (and its
+// WAL when persistent), its pruner postings, and the prepared cache.
 func (e *Engine) Remove(id string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -320,7 +352,19 @@ func (e *Engine) Remove(id string) error {
 	if !ok {
 		return fmt.Errorf("engine: trajectory %q %w", id, ErrNotFound)
 	}
-	e.dropSlotLocked(slot)
+	// The pruner's postings are keyed by sample content, so removal needs
+	// the trajectory decoded; skip the decode entirely without a pruner.
+	var old model.Trajectory
+	if e.pruner != nil {
+		var err error
+		if old, err = e.slots[slot].ref.Decode(); err != nil {
+			return fmt.Errorf("engine: %w", err)
+		}
+	}
+	if err := e.corpus.Remove(id); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	e.dropSlotLocked(slot, old)
 	return nil
 }
 
@@ -337,49 +381,64 @@ func (e *Engine) Replace(tr model.Trajectory) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if slot, ok := e.byID[tr.ID]; ok {
-		old := e.slots[slot].tr
+		oldRef := e.slots[slot].ref
+		var old model.Trajectory
+		if e.pruner != nil {
+			var err error
+			if old, err = oldRef.Decode(); err != nil {
+				return 0, fmt.Errorf("engine: %w", err)
+			}
+		}
+		ref, err := e.corpus.Replace(tr)
+		if err != nil {
+			return 0, fmt.Errorf("engine: %w", err)
+		}
 		if e.pruner != nil {
 			e.pruner.Remove(slot, old)
 			e.pruner.Insert(slot, tr)
 		}
-		e.forgetDerived(keyOf(old))
-		e.slots[slot].tr = tr
+		e.forgetDerived(refKey(oldRef))
+		e.slots[slot].ref = ref
 		return slot, nil
 	}
-	slot := e.takeSlotLocked(tr)
+	ref, err := e.corpus.Replace(tr)
+	if err != nil {
+		return 0, fmt.Errorf("engine: %w", err)
+	}
+	slot := e.takeSlotLocked(ref)
 	if e.pruner != nil {
 		e.pruner.Insert(slot, tr)
 	}
 	return slot, nil
 }
 
-// takeSlotLocked stores tr in a free (or new) slot. Caller holds e.mu.
-func (e *Engine) takeSlotLocked(tr model.Trajectory) int {
+// takeSlotLocked records ref in a free (or new) slot. Caller holds e.mu.
+func (e *Engine) takeSlotLocked(ref store.Ref) int {
 	var slot int
 	if n := len(e.free); n > 0 {
 		slot = e.free[n-1]
 		e.free = e.free[:n-1]
-		e.slots[slot] = corpusSlot{tr: tr, used: true}
+		e.slots[slot] = corpusSlot{ref: ref, used: true}
 	} else {
 		slot = len(e.slots)
-		e.slots = append(e.slots, corpusSlot{tr: tr, used: true})
+		e.slots = append(e.slots, corpusSlot{ref: ref, used: true})
 	}
-	e.byID[tr.ID] = slot
-	e.count++
+	e.byID[ref.ID] = slot
 	return slot
 }
 
-// dropSlotLocked frees a slot and its derived state. Caller holds e.mu.
-func (e *Engine) dropSlotLocked(slot int) {
-	tr := e.slots[slot].tr
+// dropSlotLocked frees a slot and its derived state; old is the decoded
+// trajectory for the pruner (ignored without one). Caller holds e.mu and
+// has already removed the record from the corpus.
+func (e *Engine) dropSlotLocked(slot int, old model.Trajectory) {
+	ref := e.slots[slot].ref
 	if e.pruner != nil {
-		e.pruner.Remove(slot, tr)
+		e.pruner.Remove(slot, old)
 	}
-	e.forgetDerived(keyOf(tr))
-	delete(e.byID, tr.ID)
+	e.forgetDerived(refKey(ref))
+	delete(e.byID, ref.ID)
 	e.slots[slot] = corpusSlot{}
 	e.free = append(e.free, slot)
-	e.count--
 }
 
 // ErrNoQuery is returned by TopK when the query trajectory is invalid.
@@ -390,10 +449,12 @@ var ErrNoQuery = errors.New("engine: invalid query trajectory")
 // without string matching.
 var ErrNotFound = errors.New("not in corpus")
 
-// candidate is one corpus entry snapshotted for a query.
+// candidate is one corpus entry snapshotted for a query. The Ref embeds
+// the immutable record bytes, so the query decodes the trajectory as of
+// the snapshot even if the corpus mutates underneath.
 type candidate struct {
 	slot int
-	tr   model.Trajectory
+	ref  store.Ref
 }
 
 // snapshotCandidates snapshots the query's candidate set — the pruner's
@@ -406,14 +467,14 @@ func (e *Engine) snapshotCandidates(query model.Trajectory) []candidate {
 	if e.pruner != nil {
 		for _, slot := range e.pruner.Candidates(query) {
 			if slot >= 0 && slot < len(e.slots) && e.slots[slot].used {
-				cands = append(cands, candidate{slot: slot, tr: e.slots[slot].tr})
+				cands = append(cands, candidate{slot: slot, ref: e.slots[slot].ref})
 			}
 		}
 	} else {
-		cands = make([]candidate, 0, e.count)
+		cands = make([]candidate, 0, len(e.byID))
 		for slot, s := range e.slots {
 			if s.used {
-				cands = append(cands, candidate{slot: slot, tr: s.tr})
+				cands = append(cands, candidate{slot: slot, ref: s.ref})
 			}
 		}
 	}
@@ -453,6 +514,39 @@ func (e *Engine) profiled(tr model.Trajectory) (*core.Profile, error) {
 		prof, err := e.measure.Profile(p, e.boundOpts)
 		if err != nil {
 			return nil, fmt.Errorf("engine: profile %q: %w", tr.ID, err)
+		}
+		return prof, nil
+	})
+}
+
+// preparedRef is prepared for a corpus record: the columnar record is
+// decoded only on a cache miss, immediately before preparation, so cached
+// corpus entries never hold boxed samples.
+func (e *Engine) preparedRef(ref store.Ref) (*core.Prepared, error) {
+	return e.cache.get(refKey(ref), func() (*core.Prepared, error) {
+		tr, err := ref.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		p, err := e.measure.Prepare(tr)
+		if err != nil {
+			return nil, fmt.Errorf("engine: prepare %q: %w", tr.ID, err)
+		}
+		return p, nil
+	})
+}
+
+// profiledRef is profiled for a corpus record (decode-on-miss, see
+// preparedRef).
+func (e *Engine) profiledRef(ref store.Ref) (*core.Profile, error) {
+	return e.profiles.get(refKey(ref), func() (*core.Profile, error) {
+		p, err := e.preparedRef(ref)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := e.measure.Profile(p, e.boundOpts)
+		if err != nil {
+			return nil, fmt.Errorf("engine: profile %q: %w", ref.ID, err)
 		}
 		return prof, nil
 	})

@@ -138,7 +138,7 @@ func (e *Engine) topKExhaustive(ctx context.Context, query model.Trajectory, can
 			return nil, err
 		}
 		scoreOne = func(i int) error {
-			fc, err := e.profiled(cands[i].tr)
+			fc, err := e.profiledRef(cands[i].ref)
 			if err != nil {
 				return err
 			}
@@ -155,7 +155,7 @@ func (e *Engine) topKExhaustive(ctx context.Context, query model.Trajectory, can
 			return nil, err
 		}
 		scoreOne = func(i int) error {
-			pc, err := e.prepared(cands[i].tr)
+			pc, err := e.preparedRef(cands[i].ref)
 			if err != nil {
 				return err
 			}
@@ -168,7 +168,11 @@ func (e *Engine) topKExhaustive(ctx context.Context, query model.Trajectory, can
 		}
 	} else {
 		scoreOne = func(i int) error {
-			v, err := e.scorer.Score(query, cands[i].tr)
+			tr, err := cands[i].ref.Decode()
+			if err != nil {
+				return fmt.Errorf("engine: %w", err)
+			}
+			v, err := e.scorer.Score(query, tr)
 			if err != nil {
 				return err
 			}
@@ -182,7 +186,7 @@ func (e *Engine) topKExhaustive(ctx context.Context, query model.Trajectory, can
 	matches := make([]Match, 0, len(cands))
 	for i, c := range cands {
 		if scores[i] >= minScore {
-			matches = append(matches, Match{ID: c.tr.ID, Slot: c.slot, Score: scores[i]})
+			matches = append(matches, Match{ID: c.ref.ID, Slot: c.slot, Score: scores[i]})
 		}
 	}
 	sort.Slice(matches, func(a, b int) bool {
@@ -234,7 +238,7 @@ func (e *Engine) topKPruned(ctx context.Context, query model.Trajectory, cands [
 	ubs := make([]float64, len(cands))
 	profs := make([]*core.Profile, len(cands))
 	if err := ForEach(ctx, len(cands), e.workers, func(i int) error {
-		fc, err := e.profiled(cands[i].tr)
+		fc, err := e.profiledRef(cands[i].ref)
 		if err != nil {
 			return err
 		}
@@ -310,7 +314,7 @@ func (e *Engine) topKPruned(ctx context.Context, query model.Trajectory, cands [
 				if profiled {
 					v, ok, err = core.SimilarityProfiledThreshold(fq, profs[ci], theta)
 				} else {
-					pc, perr := e.prepared(cands[ci].tr)
+					pc, perr := e.preparedRef(cands[ci].ref)
 					if perr != nil {
 						return perr
 					}
@@ -345,7 +349,7 @@ func (e *Engine) topKPruned(ctx context.Context, query model.Trajectory, cands [
 				bp++
 			}
 			if scores[ci] >= minScore {
-				h.offer(Match{ID: cands[ci].tr.ID, Slot: cands[ci].slot, Score: scores[ci]})
+				h.offer(Match{ID: cands[ci].ref.ID, Slot: cands[ci].slot, Score: scores[ci]})
 			}
 		}
 		pos = end

@@ -11,11 +11,14 @@ import (
 	"time"
 
 	"github.com/stslib/sts/internal/core"
+	"github.com/stslib/sts/internal/datagen"
 	"github.com/stslib/sts/internal/engine"
 	"github.com/stslib/sts/internal/eval"
 	"github.com/stslib/sts/internal/index"
 	"github.com/stslib/sts/internal/kde"
 	"github.com/stslib/sts/internal/linking"
+	"github.com/stslib/sts/internal/model"
+	"github.com/stslib/sts/internal/store"
 )
 
 // PerfOptions configures the benchmark-regression harness behind
@@ -89,6 +92,13 @@ type PerfBench struct {
 	PruneRate float64 `json:"prune_rate,omitempty"`
 	// Workers is the worker count this row ran at.
 	Workers int `json:"workers,omitempty"`
+	// BytesPerTrajectory is the live encoded footprint per corpus record,
+	// for the columnar-store benches (0 otherwise).
+	BytesPerTrajectory float64 `json:"bytes_per_trajectory,omitempty"`
+	// RecoverSeconds is the boot-time recovery duration (snapshot load +
+	// WAL replay) of the final measured run, for corpus_recover (0
+	// otherwise).
+	RecoverSeconds float64 `json:"recover_seconds,omitempty"`
 	// ParallelEfficiency is, for the scaled "/workers=<n>" rows, the
 	// speedup over the same benchmark's canonical row divided by the ideal
 	// speedup (n / canonical workers) — 1.0 is perfect scaling. Zero on
@@ -631,6 +641,88 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 		}
 		report.Benches[len(report.Benches)-1].CacheHitRate = eng.CacheStats().HitRate()
 		report.Benches[len(report.Benches)-1].PruneRate = pruneRate(eng.PruneStats())
+	}
+
+	// Columnar corpus ingest and recovery: the durability path end to end.
+	// corpus_ingest encodes a synthetic workload into a fresh durable store
+	// (arena encode + WAL append per trajectory) and reports the live
+	// encoded footprint per record; corpus_recover reopens a directory that
+	// holds the same corpus and reports how long the snapshot load + WAL
+	// replay took. Fsync batching is disabled so the rows measure the
+	// store, not the disk's flush latency.
+	{
+		const nTraj = 2000
+		cfg := datagen.DefaultSynthConfig(nTraj)
+		trs := make([]model.Trajectory, nTraj)
+		for i := range trs {
+			trs[i] = datagen.SynthTrajectory(cfg, i)
+		}
+		stOpts := store.Options{
+			CoordStep:     store.StepForSigma(50),
+			FsyncInterval: -1,
+			SnapshotEvery: -1,
+		}
+		root, err := os.MkdirTemp("", "stsbench-store-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(root)
+
+		var liveBytes int64
+		sub := 0
+		if err := add(fmt.Sprintf("corpus_ingest/synth/n=%d", nTraj), 0, func() error {
+			dir := fmt.Sprintf("%s/ingest-%d", root, sub)
+			sub++
+			st, err := store.Open(dir, stOpts)
+			if err != nil {
+				return err
+			}
+			for _, tr := range trs {
+				if _, err := st.Add(tr); err != nil {
+					return err
+				}
+			}
+			liveBytes = st.Stats().LiveBytes
+			if err := st.Close(); err != nil {
+				return err
+			}
+			return os.RemoveAll(dir)
+		}); err != nil {
+			return err
+		}
+		report.Benches[len(report.Benches)-1].BytesPerTrajectory = float64(liveBytes) / nTraj
+
+		recDir := root + "/recover"
+		st, err := store.Open(recDir, stOpts)
+		if err != nil {
+			return err
+		}
+		for _, tr := range trs {
+			if _, err := st.Add(tr); err != nil {
+				return err
+			}
+		}
+		if err := st.Close(); err != nil {
+			return err
+		}
+		var rec store.RecoveryInfo
+		if err := add(fmt.Sprintf("corpus_recover/synth/n=%d", nTraj), 0, func() error {
+			st, err := store.Open(recDir, stOpts)
+			if err != nil {
+				return err
+			}
+			if st.Len() != nTraj {
+				st.Close()
+				return fmt.Errorf("recovered %d records, want %d", st.Len(), nTraj)
+			}
+			rec, _ = st.Recovery()
+			return st.Close()
+		}); err != nil {
+			return err
+		}
+		row := &report.Benches[len(report.Benches)-1]
+		row.RecoverSeconds = rec.Duration.Seconds()
+		row.BytesPerTrajectory = float64(liveBytes) / nTraj
 	}
 
 	if base != nil {

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/stslib/sts/internal/engine"
+	"github.com/stslib/sts/internal/store"
+)
+
+// quantEps is the maximum score deviation a quantized columnar corpus is
+// allowed relative to scoring the raw []Sample trajectories. The store's
+// quantization step is sigma*1e-9 (StepForSigma), which perturbs each
+// coordinate by at most half a step — far below the measure's noise scale —
+// so the score budget is 1e-9.
+const quantEps = 1e-9
+
+// storeWorld builds two engines over the same scenario corpus and scorer:
+// one whose corpus round-trips through a lossless columnar store, one whose
+// corpus is quantized at StepForSigma(sigma). The raw oracle is the scorer
+// applied directly to the in-memory trajectories, bypassing the store.
+func storeWorld(t *testing.T, sc Scenario, coordStep float64) *engine.Engine {
+	t.Helper()
+	scorers, err := BuildScorers(sc, sc.GridSize, 0, []string{MethodSTS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(scorers[0], engine.Options{
+		Workers: 2,
+		Corpus:  store.New(store.Options{CoordStep: coordStep}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range sc.D2 {
+		if _, err := eng.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng
+}
+
+// columnarGolden pins the tentpole property of the columnar store: scores
+// computed over store-resident (encode/decode round-tripped) trajectories
+// match scores over the raw trajectories — exactly for the lossless
+// encoding, within quantEps for the quantized one.
+func columnarGolden(t *testing.T, sc Scenario) {
+	scorers, err := BuildScorers(sc, sc.GridSize, 0, []string{MethodSTS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := scorers[0]
+
+	sigma := sc.Sigma(0)
+	lossless := storeWorld(t, sc, 0)
+	quantized := storeWorld(t, sc, store.StepForSigma(sigma))
+
+	ctx := context.Background()
+	queries := sc.D1
+	if len(queries) > 6 {
+		queries = queries[:6]
+	}
+	byID := make(map[string]int, len(sc.D2))
+	for i, tr := range sc.D2 {
+		byID[tr.ID] = i
+	}
+	for _, q := range queries {
+		opts := engine.TopKOptions{K: len(sc.D2), Exhaustive: true}
+		lm, err := lossless.TopKOpts(ctx, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qm, err := quantized.TopKOpts(ctx, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lm) == 0 || len(qm) == 0 {
+			t.Fatalf("%s: empty result set (lossless %d, quantized %d)", q.ID, len(lm), len(qm))
+		}
+		for _, m := range lm {
+			want, err := raw.Score(q, sc.D2[byID[m.ID]])
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Lossless order-preserving bit encoding must round-trip every
+			// float64 exactly, so the scores are bit-identical.
+			if want != m.Score && !(math.IsNaN(want) && math.IsNaN(m.Score)) {
+				t.Fatalf("%s vs %s: lossless columnar score %.17g, raw %.17g",
+					q.ID, m.ID, m.Score, want)
+			}
+		}
+		for _, m := range qm {
+			want, err := raw.Score(q, sc.D2[byID[m.ID]])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := math.Abs(want - m.Score); !(d <= quantEps) {
+				t.Fatalf("%s vs %s: quantized columnar score %.17g, raw %.17g (|Δ|=%g > %g)",
+					q.ID, m.ID, m.Score, want, d, quantEps)
+			}
+		}
+	}
+}
+
+func TestColumnarScoresGoldenMall(t *testing.T) {
+	columnarGolden(t, Mall(8, 1))
+}
+
+func TestColumnarScoresGoldenTaxi(t *testing.T) {
+	columnarGolden(t, Taxi(24, 1))
+}

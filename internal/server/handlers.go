@@ -11,6 +11,7 @@ import (
 	"github.com/stslib/sts/internal/engine"
 	"github.com/stslib/sts/internal/linking"
 	"github.com/stslib/sts/internal/model"
+	"github.com/stslib/sts/internal/store"
 )
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
@@ -44,6 +45,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 		ps := wireCacheStats(s.eng.ProfileCacheStats())
 		resp.Profile = &ps
 	}
+	resp.Store = wireStoreStats(s.eng.StoreStats())
 	return writeJSON(w, http.StatusOK, resp)
 }
 
@@ -281,5 +283,19 @@ func wireCacheStats(cs engine.CacheStats) api.CacheStats {
 		Cap:       cs.Cap,
 		HitRate:   cs.HitRate(),
 		Bytes:     cs.Bytes,
+	}
+}
+
+func wireStoreStats(st store.Stats) api.StoreStats {
+	return api.StoreStats{
+		LiveBytes:       st.LiveBytes,
+		ArenaBytes:      st.ArenaBytes,
+		CoordStep:       st.CoordStep,
+		Persistent:      st.Persistent,
+		WALBytes:        st.WALBytes,
+		WALSeq:          st.WALSeq,
+		Snapshots:       st.Snapshots,
+		SnapshotErrors:  st.SnapshotErrors,
+		RecoverySeconds: st.RecoverySeconds,
 	}
 }

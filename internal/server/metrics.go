@@ -135,6 +135,20 @@ func (m *metrics) render(w io.Writer, eng *engine.Engine) {
 	fmt.Fprint(w, "# HELP sts_corpus_size Trajectories in the engine corpus.\n# TYPE sts_corpus_size gauge\n")
 	fmt.Fprintf(w, "sts_corpus_size %d\n", eng.Len())
 
+	ss := eng.StoreStats()
+	fmt.Fprint(w, "# HELP sts_store_resident_bytes Arena bytes resident in the columnar corpus store (live records plus dead slack awaiting GC).\n# TYPE sts_store_resident_bytes gauge\n")
+	fmt.Fprintf(w, "sts_store_resident_bytes %d\n", ss.ArenaBytes)
+	fmt.Fprint(w, "# HELP sts_store_live_bytes Live encoded-record bytes in the columnar corpus store.\n# TYPE sts_store_live_bytes gauge\n")
+	fmt.Fprintf(w, "sts_store_live_bytes %d\n", ss.LiveBytes)
+	fmt.Fprint(w, "# HELP sts_wal_bytes Current write-ahead-log segment size (0 without persistence).\n# TYPE sts_wal_bytes gauge\n")
+	fmt.Fprintf(w, "sts_wal_bytes %d\n", ss.WALBytes)
+	fmt.Fprint(w, "# HELP sts_snapshot_total Store snapshots taken since open.\n# TYPE sts_snapshot_total counter\n")
+	fmt.Fprintf(w, "sts_snapshot_total %d\n", ss.Snapshots)
+	fmt.Fprint(w, "# HELP sts_snapshot_errors_total Store snapshot attempts that failed.\n# TYPE sts_snapshot_errors_total counter\n")
+	fmt.Fprintf(w, "sts_snapshot_errors_total %d\n", ss.SnapshotErrors)
+	fmt.Fprint(w, "# HELP sts_recovery_seconds Duration of the boot-time recovery (snapshot load + WAL replay).\n# TYPE sts_recovery_seconds gauge\n")
+	fmt.Fprintf(w, "sts_recovery_seconds %s\n", formatFloat(ss.RecoverySeconds))
+
 	ps := eng.PruneStats()
 	fmt.Fprint(w, "# HELP sts_prune_considered_total Candidate pairs entering pruned (filter-and-refine) queries.\n# TYPE sts_prune_considered_total counter\n")
 	fmt.Fprintf(w, "sts_prune_considered_total %d\n", ps.Considered)

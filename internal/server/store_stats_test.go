@@ -1,0 +1,68 @@
+package server_test
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"github.com/stslib/sts/api"
+	"github.com/stslib/sts/internal/server"
+)
+
+// TestStatsCorpusSizeUnderConcurrentIngest pins the single-source-of-truth
+// property of the store-backed corpus: /v1/stats reports the store's count,
+// so while writers race, every observed corpus_size is a value the corpus
+// actually passed through (monotonically non-decreasing under pure ingest),
+// and once the writers are done it equals both Engine.Len and the number of
+// trajectories ingested.
+func TestStatsCorpusSizeUnderConcurrentIngest(t *testing.T) {
+	_, eng, ds := mallWorld(t, 12)
+	ts := newTestServer(t, eng, server.Options{MaxInFlight: -1})
+
+	var wg sync.WaitGroup
+	const writers = 4
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(ds); i += writers {
+				url := fmt.Sprintf("%s/v1/trajectories/%s", ts.URL, ds[i].ID)
+				if code := doJSON(t, http.MethodPut, url, api.FromTrajectory(ds[i]), nil); code != http.StatusOK {
+					t.Errorf("put %s: code %d", ds[i].ID, code)
+					return
+				}
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	last := 0
+	for {
+		var sr api.StatsResponse
+		if code := doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil, &sr); code != http.StatusOK {
+			t.Fatalf("stats: code %d", code)
+		}
+		if sr.CorpusSize < last || sr.CorpusSize > len(ds) {
+			t.Fatalf("stats corpus_size went %d -> %d (corpus holds at most %d)", last, sr.CorpusSize, len(ds))
+		}
+		last = sr.CorpusSize
+		select {
+		case <-done:
+			var final api.StatsResponse
+			if code := doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil, &final); code != http.StatusOK {
+				t.Fatalf("final stats: code %d", code)
+			}
+			if final.CorpusSize != eng.Len() || final.CorpusSize != len(ds) {
+				t.Fatalf("final stats corpus_size=%d, engine Len=%d, ingested=%d — must all agree",
+					final.CorpusSize, eng.Len(), len(ds))
+			}
+			if final.Store.LiveBytes <= 0 {
+				t.Fatalf("final stats store.live_bytes=%d, want > 0 after ingest", final.Store.LiveBytes)
+			}
+			return
+		default:
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Columnar trajectory codec: one self-describing record per trajectory.
+//
+// A record is
+//
+//	flags   1 byte
+//	n       uvarint sample count
+//	step    8 bytes little-endian float64, only with flagQuantized
+//	times   n zigzag varints, delta-encoded
+//	xs      n zigzag varints, delta-encoded
+//	ys      n zigzag varints, delta-encoded
+//
+// Timestamps that are all integer-valued (the common case for sampled
+// feeds) are stored as plain int64 seconds (flagIntTime), where consecutive
+// deltas varint-encode to a byte or two. Any other timestamps fall back to
+// the order-preserving float64 bit transform, which is lossless for every
+// float64 (including NaN and the infinities) and keeps deltas of nearby
+// values small.
+//
+// Coordinates are either quantized to fixed-point multiples of a per-record
+// step (flagQuantized; the step is embedded so records stay decodable after
+// the store's step changes across restarts) or stored losslessly through
+// the same bit transform. Quantization is all-or-nothing per record: a
+// single coordinate that cannot quantize (non-finite, or a count outside
+// the int64 delta range) reverts the whole record to lossless coordinates.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+// Record flags.
+const (
+	// flagQuantized marks coordinates stored as fixed-point step multiples.
+	flagQuantized = 1 << 0
+	// flagIntTime marks timestamps stored as plain int64 seconds.
+	flagIntTime = 1 << 1
+
+	flagsKnown = flagQuantized | flagIntTime
+)
+
+// maxQuant bounds the magnitude of a fixed-point coordinate count (and of
+// an integer timestamp) so delta arithmetic stays inside int64.
+const maxQuant = 1 << 62
+
+// ErrCorrupt reports a record that does not decode. Every decode error
+// wraps it.
+var ErrCorrupt = errors.New("store: corrupt record")
+
+// orderBits maps a float64 to an int64 such that the mapping is invertible
+// for every bit pattern and monotone over the ordered floats when the
+// result is compared as a uint64, so deltas of nearby values are small.
+func orderBits(f float64) int64 {
+	u := math.Float64bits(f)
+	if u>>63 != 0 {
+		u = ^u
+	} else {
+		u ^= 1 << 63
+	}
+	return int64(u)
+}
+
+// unorderBits inverts orderBits.
+func unorderBits(v int64) float64 {
+	u := uint64(v)
+	if u>>63 != 0 {
+		u ^= 1 << 63
+	} else {
+		u = ^u
+	}
+	return math.Float64frombits(u)
+}
+
+// quantOK reports whether c quantizes to a representable fixed-point count
+// of step.
+func quantOK(c, step float64) bool {
+	q := math.Round(c / step)
+	return !math.IsNaN(q) && math.Abs(q) < maxQuant
+}
+
+// intTimeOK reports whether t is an integer-valued float64 small enough to
+// store as an int64 second count.
+func intTimeOK(t float64) bool {
+	return t == math.Trunc(t) && math.Abs(t) < maxQuant
+}
+
+// appendRecord encodes samples into dst and returns the extended buffer.
+// step > 0 requests fixed-point coordinate quantization (granted per record
+// only when every coordinate quantizes); step <= 0 keeps coordinates
+// lossless.
+func appendRecord(dst []byte, samples []model.Sample, step float64) []byte {
+	var flags byte
+	if step > 0 && !math.IsInf(step, 0) {
+		flags |= flagQuantized
+		for _, s := range samples {
+			if !quantOK(s.Loc.X, step) || !quantOK(s.Loc.Y, step) {
+				flags &^= flagQuantized
+				break
+			}
+		}
+	}
+	flags |= flagIntTime
+	for _, s := range samples {
+		if !intTimeOK(s.T) {
+			flags &^= flagIntTime
+			break
+		}
+	}
+
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(len(samples)))
+	if flags&flagQuantized != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(step))
+	}
+
+	prev := int64(0)
+	for _, s := range samples {
+		var v int64
+		if flags&flagIntTime != 0 {
+			v = int64(s.T)
+		} else {
+			v = orderBits(s.T)
+		}
+		dst = binary.AppendVarint(dst, v-prev) // deltas may wrap; decode wraps back
+		prev = v
+	}
+	dst = appendCoords(dst, samples, step, flags, false)
+	dst = appendCoords(dst, samples, step, flags, true)
+	return dst
+}
+
+// appendCoords encodes one coordinate column (X, or Y when y is set).
+func appendCoords(dst []byte, samples []model.Sample, step float64, flags byte, y bool) []byte {
+	prev := int64(0)
+	for _, s := range samples {
+		c := s.Loc.X
+		if y {
+			c = s.Loc.Y
+		}
+		var v int64
+		if flags&flagQuantized != 0 {
+			v = int64(math.Round(c / step))
+		} else {
+			v = orderBits(c)
+		}
+		dst = binary.AppendVarint(dst, v-prev)
+		prev = v
+	}
+	return dst
+}
+
+// recordCount returns the sample count of an encoded record without
+// decoding it.
+func recordCount(blob []byte) (int, error) {
+	if len(blob) == 0 {
+		return 0, fmt.Errorf("%w: empty", ErrCorrupt)
+	}
+	n, k := binary.Uvarint(blob[1:])
+	if k <= 0 {
+		return 0, fmt.Errorf("%w: bad sample count", ErrCorrupt)
+	}
+	return int(n), nil
+}
+
+// decodeInto decodes a record into dst (reused when its capacity suffices)
+// and returns the decoded samples. It never panics on corrupt input.
+func decodeInto(blob []byte, dst []model.Sample) ([]model.Sample, error) {
+	if len(blob) == 0 {
+		return nil, fmt.Errorf("%w: empty", ErrCorrupt)
+	}
+	flags := blob[0]
+	if flags&^byte(flagsKnown) != 0 {
+		return nil, fmt.Errorf("%w: unknown flags %#x", ErrCorrupt, flags)
+	}
+	b := blob[1:]
+	n64, k := binary.Uvarint(b)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: bad sample count", ErrCorrupt)
+	}
+	b = b[k:]
+	// Every sample takes at least one byte per column, so the count is
+	// bounded by the remaining record size — this caps allocation on
+	// corrupt counts.
+	if n64 > uint64(len(b)) {
+		return nil, fmt.Errorf("%w: sample count %d exceeds record size", ErrCorrupt, n64)
+	}
+	n := int(n64)
+
+	step := 0.0
+	if flags&flagQuantized != 0 {
+		if len(b) < 8 {
+			return nil, fmt.Errorf("%w: truncated quantization step", ErrCorrupt)
+		}
+		step = math.Float64frombits(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+		if !(step > 0) || math.IsInf(step, 0) {
+			return nil, fmt.Errorf("%w: invalid quantization step %v", ErrCorrupt, step)
+		}
+	}
+
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]model.Sample, n)
+	}
+
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		d, k := binary.Varint(b)
+		if k <= 0 {
+			return nil, fmt.Errorf("%w: truncated timestamps", ErrCorrupt)
+		}
+		b = b[k:]
+		prev += d
+		if flags&flagIntTime != 0 {
+			dst[i].T = float64(prev)
+		} else {
+			dst[i].T = unorderBits(prev)
+		}
+	}
+	var err error
+	if b, err = decodeCoords(b, dst, step, flags, false); err != nil {
+		return nil, err
+	}
+	if b, err = decodeCoords(b, dst, step, flags, true); err != nil {
+		return nil, err
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b))
+	}
+	return dst, nil
+}
+
+// decodeCoords decodes one coordinate column into dst.
+func decodeCoords(b []byte, dst []model.Sample, step float64, flags byte, y bool) ([]byte, error) {
+	prev := int64(0)
+	for i := range dst {
+		d, k := binary.Varint(b)
+		if k <= 0 {
+			return nil, fmt.Errorf("%w: truncated coordinates", ErrCorrupt)
+		}
+		b = b[k:]
+		prev += d
+		var c float64
+		if flags&flagQuantized != 0 {
+			c = float64(prev) * step
+		} else {
+			c = unorderBits(prev)
+		}
+		if y {
+			dst[i].Loc.Y = c
+		} else {
+			dst[i].Loc.X = c
+		}
+	}
+	return b, nil
+}
+
+// recordBounds returns the spatial bounding rectangle of an encoded record
+// by decoding its coordinate columns into scratch registers (no sample
+// slice is materialized).
+func recordBounds(blob []byte, scratch []model.Sample) (geo.Rect, []model.Sample, error) {
+	samples, err := decodeInto(blob, scratch)
+	if err != nil {
+		return geo.Rect{}, scratch, err
+	}
+	r := geo.Rect{Min: samples[0].Loc, Max: samples[0].Loc}
+	for _, s := range samples[1:] {
+		if s.Loc.X < r.Min.X {
+			r.Min.X = s.Loc.X
+		}
+		if s.Loc.X > r.Max.X {
+			r.Max.X = s.Loc.X
+		}
+		if s.Loc.Y < r.Min.Y {
+			r.Min.Y = s.Loc.Y
+		}
+		if s.Loc.Y > r.Max.Y {
+			r.Max.Y = s.Loc.Y
+		}
+	}
+	return r, samples, nil
+}

@@ -1,0 +1,217 @@
+package store
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+)
+
+func samplesOf(vals ...[3]float64) []model.Sample {
+	out := make([]model.Sample, len(vals))
+	for i, v := range vals {
+		out[i] = model.Sample{T: v[0], Loc: geo.Point{X: v[1], Y: v[2]}}
+	}
+	return out
+}
+
+func TestOrderBitsRoundTripAndOrder(t *testing.T) {
+	vals := []float64{math.Inf(-1), -math.MaxFloat64, -1.5, -math.SmallestNonzeroFloat64,
+		math.Copysign(0, -1), 0, math.SmallestNonzeroFloat64, 1.0, 1.0000000000000002,
+		12345.678, math.MaxFloat64, math.Inf(1)}
+	for i, f := range vals {
+		if got := unorderBits(orderBits(f)); math.Float64bits(got) != math.Float64bits(f) {
+			t.Fatalf("round trip of %v: got %v", f, got)
+		}
+		if i > 0 && uint64(orderBits(vals[i-1])) >= uint64(orderBits(f)) {
+			t.Fatalf("order not preserved between %v and %v", vals[i-1], f)
+		}
+	}
+	// NaN round-trips bit-exactly too (ordering is unspecified).
+	nan := math.Float64bits(math.NaN())
+	if got := math.Float64bits(unorderBits(orderBits(math.NaN()))); got != nan {
+		t.Fatalf("NaN bits changed: %#x != %#x", got, nan)
+	}
+}
+
+func TestRecordRoundTripLossless(t *testing.T) {
+	cases := [][]model.Sample{
+		samplesOf([3]float64{0, 0, 0}),
+		samplesOf([3]float64{1, 10.5, -3.25}, [3]float64{2, 11.5, -3}, [3]float64{4, 12, 0}),
+		// Non-integer timestamps force the float-bit time encoding.
+		samplesOf([3]float64{0.5, 1e-300, -1e300}, [3]float64{1.25, math.MaxFloat64, math.SmallestNonzeroFloat64}),
+		// Non-monotonic gaps and duplicate timestamps must survive the
+		// codec — ordering policy belongs to validation, not storage.
+		samplesOf([3]float64{10, 1, 1}, [3]float64{3, 2, 2}, [3]float64{3, 3, 3}),
+		// Extreme magnitudes around the integer-time cutoff.
+		samplesOf([3]float64{float64(int64(1) << 61), 5, 5}, [3]float64{1e300, 6, 6}),
+	}
+	for ci, samples := range cases {
+		blob := appendRecord(nil, samples, 0)
+		got, err := decodeInto(blob, nil)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", ci, err)
+		}
+		if len(got) != len(samples) {
+			t.Fatalf("case %d: got %d samples, want %d", ci, len(got), len(samples))
+		}
+		for i := range got {
+			if math.Float64bits(got[i].T) != math.Float64bits(samples[i].T) ||
+				math.Float64bits(got[i].Loc.X) != math.Float64bits(samples[i].Loc.X) ||
+				math.Float64bits(got[i].Loc.Y) != math.Float64bits(samples[i].Loc.Y) {
+				t.Fatalf("case %d sample %d: got %+v, want %+v", ci, i, got[i], samples[i])
+			}
+		}
+		if n, err := recordCount(blob); err != nil || n != len(samples) {
+			t.Fatalf("case %d: recordCount = %d, %v", ci, n, err)
+		}
+	}
+}
+
+func TestRecordRoundTripQuantized(t *testing.T) {
+	const step = 0.001
+	samples := samplesOf(
+		[3]float64{0, 100.2345678, -200.7654321},
+		[3]float64{30, 101.5, -199.855555},
+		[3]float64{60, 103.25, -190},
+	)
+	blob := appendRecord(nil, samples, step)
+	if blob[0]&flagQuantized == 0 {
+		t.Fatal("record did not quantize")
+	}
+	got, err := decodeInto(blob, nil)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i := range got {
+		if got[i].T != samples[i].T {
+			t.Fatalf("sample %d: time %v != %v", i, got[i].T, samples[i].T)
+		}
+		if dx := math.Abs(got[i].Loc.X - samples[i].Loc.X); dx > step/2*(1+1e-9) {
+			t.Fatalf("sample %d: X off by %v > step/2", i, dx)
+		}
+		if dy := math.Abs(got[i].Loc.Y - samples[i].Loc.Y); dy > step/2*(1+1e-9) {
+			t.Fatalf("sample %d: Y off by %v > step/2", i, dy)
+		}
+	}
+}
+
+func TestRecordQuantizationFallsBackLossless(t *testing.T) {
+	// A coordinate too large for the fixed-point range reverts the whole
+	// record to lossless storage.
+	samples := samplesOf([3]float64{0, 1e300, 2}, [3]float64{1, 3, 4})
+	blob := appendRecord(nil, samples, 0.001)
+	if blob[0]&flagQuantized != 0 {
+		t.Fatal("extreme coordinate still quantized")
+	}
+	got, err := decodeInto(blob, nil)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i := range got {
+		if got[i] != samples[i] {
+			t.Fatalf("sample %d: %+v != %+v", i, got[i], samples[i])
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptRecords(t *testing.T) {
+	good := appendRecord(nil, samplesOf([3]float64{1, 2, 3}, [3]float64{4, 5, 6}), 0)
+	cases := map[string][]byte{
+		"empty":         {},
+		"unknown flags": {0xFF, 1, 0},
+		"short":         good[:len(good)-1],
+		"trailing":      append(append([]byte{}, good...), 0x00),
+		"huge count":    {0, 0xFF, 0xFF, 0xFF, 0xFF, 0x07},
+	}
+	for name, blob := range cases {
+		if _, err := decodeInto(blob, nil); err == nil {
+			t.Errorf("%s: corrupt record decoded without error", name)
+		}
+	}
+}
+
+// FuzzColumnarRoundTrip fuzzes the codec from two directions: arbitrary
+// sample triples (including non-monotonic gaps, duplicate timestamps, and
+// extreme coordinates) must round-trip — exactly in lossless mode, within
+// step/2 when quantized — and arbitrary bytes fed to the decoder must fail
+// cleanly instead of panicking.
+func FuzzColumnarRoundTrip(f *testing.F) {
+	f.Add([]byte{}, 0.0)
+	f.Add(mustBytes(1, 2, 3, 1, 2.5, 3.5), 0.0)
+	f.Add(mustBytes(10, 1, 1, 3, 2, 2, 3, 3, 3), 0.001) // gap + duplicate t
+	f.Add(mustBytes(0, 1e308, -1e308, 1e12, 1e-300, -0.0), 0.5)
+	f.Fuzz(func(t *testing.T, data []byte, step float64) {
+		// Direction 1: decoder must never panic on raw bytes.
+		if samples, err := decodeInto(data, nil); err == nil {
+			// Whatever decoded must re-encode and decode to the same values.
+			blob := appendRecord(nil, samples, 0)
+			again, err := decodeInto(blob, nil)
+			if err != nil {
+				t.Fatalf("re-encode of decoded record failed: %v", err)
+			}
+			for i := range samples {
+				if math.Float64bits(again[i].T) != math.Float64bits(samples[i].T) {
+					t.Fatalf("re-encode changed sample %d time", i)
+				}
+			}
+		}
+
+		// Direction 2: interpret the bytes as float64 triples and round-trip.
+		samples := trianglesFromBytes(data)
+		if len(samples) == 0 {
+			return
+		}
+		blob := appendRecord(nil, samples, step)
+		got, err := decodeInto(blob, nil)
+		if err != nil {
+			t.Fatalf("decode of encoded record failed: %v", err)
+		}
+		if len(got) != len(samples) {
+			t.Fatalf("got %d samples, want %d", len(got), len(samples))
+		}
+		quantized := blob[0]&flagQuantized != 0
+		for i := range got {
+			if math.Float64bits(got[i].T) != math.Float64bits(samples[i].T) {
+				t.Fatalf("sample %d: time %v != %v", i, got[i].T, samples[i].T)
+			}
+			if !quantized {
+				if math.Float64bits(got[i].Loc.X) != math.Float64bits(samples[i].Loc.X) ||
+					math.Float64bits(got[i].Loc.Y) != math.Float64bits(samples[i].Loc.Y) {
+					t.Fatalf("sample %d: lossless coords changed: %+v != %+v", i, got[i], samples[i])
+				}
+				continue
+			}
+			tol := step/2 + math.Abs(samples[i].Loc.X)*1e-15
+			if d := math.Abs(got[i].Loc.X - samples[i].Loc.X); !(d <= tol) {
+				t.Fatalf("sample %d: X off by %v with step %v", i, d, step)
+			}
+			tol = step/2 + math.Abs(samples[i].Loc.Y)*1e-15
+			if d := math.Abs(got[i].Loc.Y - samples[i].Loc.Y); !(d <= tol) {
+				t.Fatalf("sample %d: Y off by %v with step %v", i, d, step)
+			}
+		}
+	})
+}
+
+func mustBytes(vals ...float64) []byte {
+	out := make([]byte, 0, 8*len(vals))
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	return out
+}
+
+func trianglesFromBytes(data []byte) []model.Sample {
+	var out []model.Sample
+	for len(data) >= 24 && len(out) < 1024 {
+		t := math.Float64frombits(binary.LittleEndian.Uint64(data))
+		x := math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+		y := math.Float64frombits(binary.LittleEndian.Uint64(data[16:]))
+		out = append(out, model.Sample{T: t, Loc: geo.Point{X: x, Y: y}})
+		data = data[24:]
+	}
+	return out
+}

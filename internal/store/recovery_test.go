@@ -1,0 +1,331 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/stslib/sts/internal/model"
+)
+
+// openTest opens a persistent store on dir with per-record fsync and
+// automatic snapshots disabled, so tests control durability points exactly.
+func openTest(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{FsyncInterval: ExactFsync, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRecoveryWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	want := make(map[string]model.Trajectory)
+
+	s := openTest(t, dir)
+	for i := 0; i < 30; i++ {
+		tr := genTrajectory(fmt.Sprintf("t%03d", i), int64(i), 15)
+		if _, err := s.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+		want[tr.ID] = tr
+	}
+	// Interleave every mutation kind.
+	if err := s.Remove("t005"); err != nil {
+		t.Fatal(err)
+	}
+	delete(want, "t005")
+	rep := genTrajectory("t010", 999, 7)
+	if _, err := s.Replace(rep); err != nil {
+		t.Fatal(err)
+	}
+	want["t010"] = rep
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openTest(t, dir)
+	defer re.Close()
+	sameContent(t, re, want)
+	info, ok := re.Recovery()
+	if !ok || info.WALRecords != 32 || info.SnapshotRecords != 0 {
+		t.Fatalf("recovery info %+v, ok=%v", info, ok)
+	}
+	if info.TruncatedBytes != 0 {
+		t.Fatalf("clean shutdown truncated %d bytes", info.TruncatedBytes)
+	}
+}
+
+func TestRecoverySnapshotPlusWALEqualsMemory(t *testing.T) {
+	dir := t.TempDir()
+	want := make(map[string]model.Trajectory)
+
+	s := openTest(t, dir)
+	for i := 0; i < 40; i++ {
+		tr := genTrajectory(fmt.Sprintf("t%03d", i), int64(i), 12)
+		if _, err := s.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+		want[tr.ID] = tr
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutations after the snapshot land in the WAL tail.
+	for i := 40; i < 55; i++ {
+		tr := genTrajectory(fmt.Sprintf("t%03d", i), int64(i), 12)
+		if _, err := s.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+		want[tr.ID] = tr
+	}
+	if err := s.Remove("t000"); err != nil {
+		t.Fatal(err)
+	}
+	delete(want, "t000")
+	rep := genTrajectory("t041", 4141, 3)
+	if _, err := s.Replace(rep); err != nil {
+		t.Fatal(err)
+	}
+	want["t041"] = rep
+	sameContent(t, s, want) // in-memory truth before the crash
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openTest(t, dir)
+	defer re.Close()
+	sameContent(t, re, want)
+	info, _ := re.Recovery()
+	if info.SnapshotRecords != 40 {
+		t.Fatalf("expected 40 snapshot records, got %+v", info)
+	}
+	if info.WALRecords != 17 {
+		t.Fatalf("expected 17 wal records, got %+v", info)
+	}
+}
+
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tear func(t *testing.T, wal string)
+	}{
+		{"truncated mid-record", func(t *testing.T, wal string) {
+			fi, err := os.Stat(wal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(wal, fi.Size()-7); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"corrupted crc", func(t *testing.T, wal string) {
+			raw, err := os.ReadFile(wal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[len(raw)-1] ^= 0xFF // flip a payload byte of the last record
+			if err := os.WriteFile(wal, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"garbage appended", func(t *testing.T, wal string) {
+			f, err := os.OpenFile(wal, os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte{0xDE, 0xAD, 0xBE}); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			want := make(map[string]model.Trajectory)
+			s := openTest(t, dir)
+			for i := 0; i < 10; i++ {
+				tr := genTrajectory(fmt.Sprintf("t%03d", i), int64(i), 8)
+				if _, err := s.Add(tr); err != nil {
+					t.Fatal(err)
+				}
+				want[tr.ID] = tr
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			wal := onlyWAL(t, dir)
+			tc.tear(t, wal)
+
+			re := openTest(t, dir)
+			defer re.Close()
+			info, _ := re.Recovery()
+			switch tc.name {
+			case "truncated mid-record", "corrupted crc":
+				// The last record is gone; the durable prefix survives.
+				delete(want, "t009")
+				if info.WALRecords != 9 || info.TruncatedBytes == 0 {
+					t.Fatalf("recovery info %+v", info)
+				}
+			case "garbage appended":
+				if info.WALRecords != 10 || info.TruncatedBytes != 3 {
+					t.Fatalf("recovery info %+v", info)
+				}
+			}
+			sameContent(t, re, want)
+
+			// Recovery truncated the torn tail; a further reopen is clean.
+			re.Close()
+			re2 := openTest(t, dir)
+			defer re2.Close()
+			info2, _ := re2.Recovery()
+			if info2.TruncatedBytes != 0 {
+				t.Fatalf("second recovery still truncating: %+v", info2)
+			}
+			sameContent(t, re2, want)
+		})
+	}
+}
+
+// onlyWAL returns the path of the single non-empty WAL segment in dir.
+func onlyWAL(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found string
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "wal-") {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil || fi.Size() == 0 {
+			continue
+		}
+		if found != "" {
+			t.Fatalf("multiple non-empty wal segments in %s", dir)
+		}
+		found = filepath.Join(dir, e.Name())
+	}
+	if found == "" {
+		t.Fatal("no non-empty wal segment")
+	}
+	return found
+}
+
+func TestSnapshotPrunesOldSegments(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	for i := 0; i < 20; i++ {
+		if _, err := s.Add(genTrajectory(fmt.Sprintf("t%03d", i), int64(i), 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Snapshots != 2 || st.SnapshotErrors != 0 {
+		t.Fatalf("snapshot counters %+v", st)
+	}
+	var wals, snaps int
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		switch {
+		case strings.HasPrefix(e.Name(), "wal-"):
+			wals++
+		case strings.HasPrefix(e.Name(), "snapshot-"):
+			snaps++
+		}
+	}
+	if wals != 1 || snaps != 1 {
+		t.Fatalf("expected 1 wal + 1 snapshot after pruning, got %d + %d", wals, snaps)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(genTrajectory("late", 1, 3)); err == nil {
+		t.Fatal("mutation after Close succeeded")
+	}
+}
+
+// TestConcurrentMutationAndSnapshot races mutators against frequent
+// snapshots (run under -race), then verifies a reopened store equals the
+// surviving in-memory content exactly.
+func TestConcurrentMutationAndSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{FsyncInterval: -1, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		workers = 4
+		rounds  = 60
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				id := fmt.Sprintf("w%d-t%02d", w, i%10)
+				tr := genTrajectory(id, int64(w*1000+i), 6)
+				switch i % 3 {
+				case 0:
+					if _, err := s.Replace(tr); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if _, err := s.Replace(tr); err != nil {
+						t.Error(err)
+						return
+					}
+					s.Get(id)
+				case 2:
+					s.Remove(id) // may or may not be present
+				}
+			}
+		}(w)
+	}
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for i := 0; i < 10; i++ {
+			if err := s.Snapshot(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	snapWG.Wait()
+
+	// Capture the surviving content, then crash-reopen and compare.
+	want := make(map[string]model.Trajectory)
+	for _, id := range s.IDs() {
+		tr, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("listed id %q not gettable", id)
+		}
+		want[id] = tr
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openTest(t, dir)
+	defer re.Close()
+	sameContent(t, re, want)
+}
