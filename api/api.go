@@ -175,6 +175,23 @@ type StoreStats struct {
 	RecoverySeconds float64 `json:"recovery_seconds"`
 }
 
+// ShardStats is one partition's statistics when the serving engine is
+// sharded (stsserved -shards > 1): the same per-kind counters as the
+// top-level StatsResponse, scoped to one shard. The top-level fields stay
+// the rolled-up totals, so dashboards built against a single-engine server
+// keep working unchanged.
+type ShardStats struct {
+	// Shard is the partition number (0-based), CorpusSize its share of the
+	// corpus.
+	Shard      int `json:"shard"`
+	CorpusSize int `json:"corpus_size"`
+
+	Prepared CacheStats  `json:"prepared_cache"`
+	Profile  *CacheStats `json:"profile_cache,omitempty"`
+	Prune    PruneStats  `json:"prune"`
+	Store    StoreStats  `json:"store"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	// Version is the server build version (module version + VCS revision).
@@ -194,8 +211,12 @@ type StatsResponse struct {
 	// pruning disabled.
 	Prune PruneStats `json:"prune"`
 	// Store are the columnar corpus store's footprint and persistence
-	// counters; CorpusSize is sourced from the same store.
+	// counters; CorpusSize is sourced from the same store. On a sharded
+	// engine these are aggregates over the per-shard stores.
 	Store StoreStats `json:"store"`
+	// Shards, present only when the engine is sharded, breaks the
+	// rolled-up counters above down per partition, in shard order.
+	Shards []ShardStats `json:"shards,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -53,6 +53,7 @@ func main() {
 		profBkt   = flag.Float64("profile-bucket", 0, "bucket width in seconds of the -bench profile_* benches (0 = library default)")
 		gate      = flag.Float64("gate", 0, "with -baseline: exit non-zero if any shared benchmark slowed by more than this percent")
 		wAxis     = flag.String("workers-axis", "", "comma-separated worker counts of the -bench parallel-scaling rows (default 1,NumCPU/2,NumCPU)")
+		shAxis    = flag.String("shards-axis", "", "comma-separated partition counts of the -bench sharded-scaling rows (default 1,2,4,8)")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		showVer   = flag.Bool("version", false, "print version and exit")
@@ -83,7 +84,11 @@ func main() {
 	var err error
 	switch {
 	case *bench:
-		axis, aerr := parseWorkersAxis(*wAxis)
+		axis, aerr := parseAxis("-workers-axis", *wAxis)
+		if aerr != nil {
+			fatal(aerr)
+		}
+		sAxis, aerr := parseAxis("-shards-axis", *shAxis)
 		if aerr != nil {
 			fatal(aerr)
 		}
@@ -94,6 +99,7 @@ func main() {
 			ProfileBucket: *profBkt,
 			GatePercent:   *gate,
 			WorkersAxis:   axis,
+			ShardsAxis:    sAxis,
 		}, *benchOut, os.Stdout)
 	case *all:
 		err = experiments.RunAll(cfg, os.Stdout)
@@ -130,9 +136,9 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// parseWorkersAxis parses the -workers-axis value ("1,2,4"). Empty selects
+// parseAxis parses a comma-separated count list ("1,2,4"). Empty selects
 // the library default.
-func parseWorkersAxis(s string) ([]int, error) {
+func parseAxis(name, s string) ([]int, error) {
 	if s == "" {
 		return nil, nil
 	}
@@ -140,7 +146,7 @@ func parseWorkersAxis(s string) ([]int, error) {
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("-workers-axis: %q is not a positive worker count", part)
+			return nil, fmt.Errorf("%s: %q is not a positive count", name, part)
 		}
 		axis = append(axis, n)
 	}

@@ -10,6 +10,7 @@
 //	stsserved -dataset mall.csv -profile-bucket 30         # bucketed profiles
 //	stsserved -dataset mall.csv -max-inflight 16 -timeout 5s
 //	stsserved -data-dir /var/lib/sts -sigma 3              # durable corpus
+//	stsserved -data-dir /var/lib/sts -shards 8 -sigma 3    # partitioned corpus
 //
 // The spatial scales (-grid, -sigma) default from the preloaded corpus the
 // same way stsmatch derives them; with no corpus they must be given. With
@@ -18,9 +19,16 @@
 // recovers the corpus (including after kill -9 — torn WAL tails are
 // truncated to the last durable record). A recovered corpus takes
 // precedence over -dataset; preloading streams the CSV one trajectory at a
-// time, so peak ingestion memory is one trajectory, not the dataset. The
-// process serves until SIGINT/SIGTERM, then drains in-flight requests for
-// up to -drain before exiting.
+// time, so peak ingestion memory is one trajectory, not the dataset.
+//
+// With -shards N (default min(8, NumCPU)) the corpus partitions across N
+// independent engine shards by trajectory-ID hash: each shard owns its own
+// store (data-dir/shard-NNN), caches, and locks, so concurrent ingestion
+// and queries scale across cores; shard WALs recover in parallel at boot.
+// Query results are bit-identical to a single engine over the same corpus.
+// A sharded data directory must be reopened with the same -shards count.
+// The process serves until SIGINT/SIGTERM, then drains in-flight requests
+// for up to -drain before exiting.
 package main
 
 import (
@@ -30,6 +38,9 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"runtime"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -61,6 +72,7 @@ func main() {
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget for in-flight requests")
 		cacheSz   = flag.Int("cache", 0, "prepared-trajectory LRU capacity (0 = engine default; negative = unbounded)")
 		workers   = flag.Int("workers", 0, "scoring worker pool size (0 = GOMAXPROCS)")
+		shards    = flag.Int("shards", 0, "engine shard count: trajectories partition across this many independent engines by ID hash (0 = min(8, NumCPU); 1 = single engine)")
 		strict    = flag.Bool("strict", false, "reject ingested trajectories with out-of-order samples instead of sorting them")
 		showVer   = flag.Bool("version", false, "print version and exit")
 	)
@@ -83,15 +95,48 @@ func main() {
 		stOpts.CoordStep = *coordStep
 	}
 
-	var st *store.Store
+	nShards := *shards
+	if nShards <= 0 {
+		nShards = runtime.NumCPU()
+		if nShards > 8 {
+			nShards = 8
+		}
+	}
 	if *dataDir != "" {
-		var err error
-		st, err = store.Open(*dataDir, stOpts)
-		check(err)
-		if info, ok := st.Recovery(); ok {
+		check(checkShardLayout(*dataDir, nShards))
+	}
+
+	// Open one store per shard. Persistent shards open — and replay their
+	// WALs — concurrently, so cold-start recovery time is the slowest
+	// shard's, not the sum.
+	stores := make([]*store.Store, nShards)
+	if *dataDir != "" {
+		check(engine.ForEach(context.Background(), nShards, nShards, func(i int) error {
+			dir := *dataDir
+			if nShards > 1 {
+				dir = store.ShardDir(*dataDir, i)
+			}
+			st, err := store.Open(dir, stOpts)
+			if err != nil {
+				return err
+			}
+			stores[i] = st
+			if info, ok := st.Recovery(); ok && nShards > 1 {
+				log.Info("shard recovered",
+					"shard", i,
+					"dir", dir,
+					"records", st.Len(),
+					"recovery_seconds", info.Duration.Seconds(),
+					"snapshot_records", info.SnapshotRecords,
+					"wal_records", info.WALRecords,
+					"truncated_bytes", info.TruncatedBytes)
+			}
+			return nil
+		}))
+		if info, ok := stores[0].Recovery(); ok && nShards == 1 {
 			log.Info("store recovered",
 				"dir", *dataDir,
-				"records", st.Len(),
+				"records", stores[0].Len(),
 				"recovery_seconds", info.Duration.Seconds(),
 				"snapshot_seq", info.SnapshotSeq,
 				"snapshot_records", info.SnapshotRecords,
@@ -99,21 +144,46 @@ func main() {
 				"wal_records", info.WALRecords,
 				"truncated_bytes", info.TruncatedBytes)
 		}
+		if nShards > 1 {
+			records, maxRecovery := 0, 0.0
+			for _, st := range stores {
+				records += st.Len()
+				if info, ok := st.Recovery(); ok && info.Duration.Seconds() > maxRecovery {
+					maxRecovery = info.Duration.Seconds()
+				}
+			}
+			log.Info("store recovered", "dir", *dataDir, "shards", nShards, "records", records, "recovery_seconds", maxRecovery)
+		}
 	} else {
-		st = store.New(stOpts)
+		for i := range stores {
+			stores[i] = store.New(stOpts)
+		}
+	}
+	corpusLen := 0
+	for _, st := range stores {
+		corpusLen += st.Len()
 	}
 
 	// Spatial scales come from whatever corpus exists at boot: the recovered
-	// store when non-empty, otherwise a streaming bounds pass over -dataset
-	// (nothing is retained), otherwise the explicit flags.
+	// store when non-empty (shard bounds are unioned), otherwise a streaming
+	// bounds pass over -dataset (nothing is retained), otherwise the
+	// explicit flags.
 	var (
 		bounds     geo.Rect
 		haveBounds bool
 	)
-	if st.Len() > 0 {
-		bounds, haveBounds = st.Bounds()
+	if corpusLen > 0 {
+		for _, st := range stores {
+			if b, ok := st.Bounds(); ok {
+				if !haveBounds {
+					bounds, haveBounds = b, true
+				} else {
+					bounds = bounds.Union(b)
+				}
+			}
+		}
 		if *dataPath != "" {
-			log.Info("recovered corpus is non-empty; skipping -dataset preload", "path", *dataPath, "records", st.Len())
+			log.Info("recovered corpus is non-empty; skipping -dataset preload", "path", *dataPath, "records", corpusLen)
 			*dataPath = ""
 		}
 	} else if *dataPath != "" {
@@ -135,36 +205,57 @@ func main() {
 	check(err)
 	if *coordStep < 0 {
 		step := store.StepForSigma(sigmaUsed)
-		st.SetCoordStep(step)
+		for _, st := range stores {
+			st.SetCoordStep(step)
+		}
 		log.Info("coordinate quantization derived from sigma", "sigma", sigmaUsed, "coord_step", step)
 	}
 
-	eng, err := engine.New(scorer, engine.Options{Workers: *workers, CacheSize: *cacheSz, Corpus: st})
+	var eng engine.Service
+	if nShards == 1 {
+		eng, err = engine.New(scorer, engine.Options{Workers: *workers, CacheSize: *cacheSz, Corpus: stores[0]})
+	} else {
+		perCache := *cacheSz
+		if perCache == 0 {
+			perCache = engine.DefaultCacheSize
+		}
+		if perCache > 0 {
+			perCache = (perCache + nShards - 1) / nShards
+		}
+		eng, err = engine.NewSharded(scorer, engine.ShardedOptions{
+			Shards:  nShards,
+			Workers: *workers,
+			ShardOptions: func(i int) (engine.Options, error) {
+				return engine.Options{
+					Workers:   engine.SplitWorkers(*workers, engine.DefaultFanOut),
+					CacheSize: perCache,
+					Corpus:    stores[i],
+				}, nil
+			},
+		})
+	}
 	check(err)
 
 	if *dataPath != "" {
 		// Streaming ingestion: each trajectory is encoded into the columnar
 		// store as soon as its rows end, so peak memory is O(1 trajectory)
-		// instead of a boxed copy of the whole dataset.
+		// instead of a boxed copy of the whole dataset. With a sharded
+		// engine the stream fans out to one writer per shard — writes to
+		// different shards share no lock, so preload scales with shards.
 		n := 0
-		check(dataset.StreamFile(*dataPath, readOpts, func(tr model.Trajectory) error {
-			if _, err := eng.Add(tr); err != nil {
-				return err
-			}
-			n++
-			return nil
-		}))
-		log.Info("dataset ingested", "path", *dataPath, "trajectories", n)
+		check(ingest(eng, nShards, *dataPath, readOpts, &n))
+		log.Info("dataset ingested", "path", *dataPath, "trajectories", n, "shards", nShards)
 	}
 
-	ss := st.Stats()
+	ss := eng.StoreStats()
 	log.Info("store ready",
-		"records", ss.Records,
+		"records", eng.Len(),
 		"live_bytes", ss.LiveBytes,
 		"resident_bytes", ss.ArenaBytes,
 		"coord_step", ss.CoordStep,
 		"persistent", ss.Persistent,
-		"wal_bytes", ss.WALBytes)
+		"wal_bytes", ss.WALBytes,
+		"shards", nShards)
 
 	srv, err := server.New(eng, server.Options{
 		QueryTimeout:  *timeout,
@@ -238,6 +329,88 @@ func buildScorer(bounds geo.Rect, haveBounds bool, gridSize, sigma, profileBucke
 		return eval.NewSTSScorerProfiled("STS-P", m, popts), sigma, nil
 	}
 	return eval.NewSTSScorer("STS", m), sigma, nil
+}
+
+// ingest streams the CSV into the engine. With one shard the stream adds
+// inline (preserving the O(1-trajectory) memory posture); with more it
+// feeds one writer goroutine per shard, so concurrent Adds land on
+// different shard locks and preload throughput scales with the partition
+// count. n receives the number of trajectories ingested.
+func ingest(eng engine.Service, nShards int, path string, readOpts dataset.ReadOptions, n *int) error {
+	if nShards == 1 {
+		return dataset.StreamFile(path, readOpts, func(tr model.Trajectory) error {
+			if _, err := eng.Add(tr); err != nil {
+				return err
+			}
+			*n++
+			return nil
+		})
+	}
+	ch := make(chan model.Trajectory, 4*nShards)
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		ingestErr error
+	)
+	for w := 0; w < nShards; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tr := range ch {
+				if _, err := eng.Add(tr); err != nil {
+					mu.Lock()
+					if ingestErr == nil {
+						ingestErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	err := dataset.StreamFile(path, readOpts, func(tr model.Trajectory) error {
+		mu.Lock()
+		failed := ingestErr
+		mu.Unlock()
+		if failed != nil {
+			return failed
+		}
+		ch <- tr
+		*n++
+		return nil
+	})
+	close(ch)
+	wg.Wait()
+	if err == nil {
+		err = ingestErr
+	}
+	return err
+}
+
+// checkShardLayout guards the data directory's on-disk layout: a corpus
+// partitioned into N shard-NNN subdirectories must be reopened with
+// -shards N (records do not migrate between shard stores), and a
+// single-engine store must not be reopened sharded (its records would be
+// invisible to every shard).
+func checkShardLayout(dir string, nShards int) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil // not created yet: any layout is fine
+	}
+	shardDirs, other := 0, 0
+	for _, e := range ents {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "shard-") {
+			shardDirs++
+		} else {
+			other++
+		}
+	}
+	switch {
+	case shardDirs > 0 && shardDirs != nShards:
+		return fmt.Errorf("data dir %s holds %d shard stores; pass -shards %d (resharding is not supported in place)", dir, shardDirs, shardDirs)
+	case shardDirs == 0 && other > 0 && nShards > 1:
+		return fmt.Errorf("data dir %s holds a single-engine store; pass -shards 1 or use a fresh directory", dir)
+	}
+	return nil
 }
 
 func check(err error) {

@@ -23,6 +23,24 @@ import (
 // it per request.
 type Engine = engine.Engine
 
+// EngineService is the corpus-and-query surface NewEngine returns: the
+// single Engine and the sharded coordinator (EngineOptions.Shards > 1)
+// both implement it, so callers — including NewServer — are agnostic to
+// whether the corpus is partitioned. See engine.Service for the ordering
+// and determinism contracts.
+type EngineService = engine.Service
+
+// ShardedEngine is the single-process partitioned engine NewEngine builds
+// when EngineOptions.Shards > 1: trajectories are routed to independent
+// engine shards by FNV-1a hash of their ID, mutations touch only the
+// owning shard, and top-k queries scatter-gather with the running global
+// k-th-best score forwarded as each wave's pruning floor.
+type ShardedEngine = engine.Sharded
+
+// EngineShardStats is one shard's observability snapshot (see
+// ShardedEngine.ShardStats).
+type EngineShardStats = engine.ShardStat
+
 // EngineMatch is one result of Engine.TopK: the matched trajectory's ID,
 // its corpus slot, and its similarity to the query.
 type EngineMatch = engine.Match
@@ -106,21 +124,82 @@ type EngineOptions struct {
 	// (WAL + snapshot recovery). Call Engine.Close when done with a
 	// persistent engine.
 	Store *StoreOptions
+	// Shards partitions the corpus across this many independent engine
+	// shards (0 or 1 keeps the single engine). Each shard owns its own
+	// store (under Store.Dir/shard-NNN when persistent), index, and
+	// derived-state caches — CacheSize and Workers are split across
+	// shards — and mutations route to one shard by ID hash, so concurrent
+	// writes stop contending on a global lock. Queries scatter-gather with
+	// bit-identical scores; see EngineService.
+	Shards int
+	// FanOut bounds how many shards one query scatters to concurrently
+	// (0 selects the engine default of 4; clamped to Shards). Only
+	// meaningful with Shards > 1.
+	FanOut int
 }
 
 // NewEngine builds an engine around a scorer (use NewScorer to wrap a
 // Measure — measure-backed scorers get the prepared-cache fast path).
 // Populate the corpus with Add/Replace; query with TopK and ScoreBatch.
-func NewEngine(scorer Scorer, opts EngineOptions) (*Engine, error) {
-	var pruner engine.Pruner
+// With EngineOptions.Shards > 1 the returned service is a ShardedEngine
+// partitioning the corpus across independent shards; otherwise it is a
+// single *Engine. Both satisfy EngineService with identical results.
+func NewEngine(scorer Scorer, opts EngineOptions) (EngineService, error) {
+	if opts.Shards > 1 {
+		return newShardedEngine(scorer, opts)
+	}
+	shardOpts, err := engineShardOptions(scorer, opts, -1)
+	if err != nil {
+		return nil, err
+	}
+	return engine.New(scorer, shardOpts)
+}
+
+// newShardedEngine builds the partitioned engine: CacheSize is split
+// evenly across shards, per-shard worker budgets are sized so one
+// saturating query uses ~Workers goroutines across a scatter wave, and
+// persistent shards open (and recover) concurrently under
+// Store.Dir/shard-NNN.
+func newShardedEngine(scorer Scorer, opts EngineOptions) (EngineService, error) {
+	return engine.NewSharded(scorer, engine.ShardedOptions{
+		Shards:  opts.Shards,
+		FanOut:  opts.FanOut,
+		Workers: opts.Workers,
+		ShardOptions: func(shard int) (engine.Options, error) {
+			return engineShardOptions(scorer, opts, shard)
+		},
+	})
+}
+
+// engineShardOptions resolves EngineOptions into one engine.Options —
+// for the single engine (shard < 0) or for one shard of a partitioned
+// engine (per-shard cache split, worker split, and store subdirectory).
+func engineShardOptions(scorer Scorer, opts EngineOptions, shard int) (engine.Options, error) {
+	out := engine.Options{
+		Workers:            opts.Workers,
+		CacheSize:          opts.CacheSize,
+		Profile:            opts.Profile,
+		DisablePruning:     opts.DisablePruning,
+		PruneBucketSeconds: opts.PruneBucketSeconds,
+	}
+	if shard >= 0 {
+		out.Workers = engine.SplitWorkers(opts.Workers, opts.FanOut)
+		cache := opts.CacheSize
+		if cache == 0 {
+			cache = engine.DefaultCacheSize
+		}
+		if cache > 0 {
+			cache = (cache + opts.Shards - 1) / opts.Shards
+		}
+		out.CacheSize = cache
+	}
 	if opts.Index != nil {
 		ix, err := index.New(*opts.Index)
 		if err != nil {
-			return nil, err
+			return engine.Options{}, err
 		}
-		pruner = ix
+		out.Pruner = ix
 	}
-	var corpus store.Corpus
 	if opts.Store != nil {
 		stOpts := store.Options{
 			CoordStep:     opts.Store.CoordStep,
@@ -128,24 +207,20 @@ func NewEngine(scorer Scorer, opts EngineOptions) (*Engine, error) {
 			SnapshotEvery: opts.Store.SnapshotEvery,
 		}
 		if opts.Store.Dir != "" {
-			st, err := store.Open(opts.Store.Dir, stOpts)
-			if err != nil {
-				return nil, err
+			dir := opts.Store.Dir
+			if shard >= 0 {
+				dir = store.ShardDir(dir, shard)
 			}
-			corpus = st
+			st, err := store.Open(dir, stOpts)
+			if err != nil {
+				return engine.Options{}, err
+			}
+			out.Corpus = st
 		} else {
-			corpus = store.New(stOpts)
+			out.Corpus = store.New(stOpts)
 		}
 	}
-	return engine.New(scorer, engine.Options{
-		Workers:            opts.Workers,
-		CacheSize:          opts.CacheSize,
-		Pruner:             pruner,
-		Profile:            opts.Profile,
-		DisablePruning:     opts.DisablePruning,
-		PruneBucketSeconds: opts.PruneBucketSeconds,
-		Corpus:             corpus,
-	})
+	return out, nil
 }
 
 // MatchContext is Match with cancellation: the full-matrix scoring runs on

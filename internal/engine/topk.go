@@ -358,15 +358,25 @@ func (e *Engine) topKPruned(ctx context.Context, query model.Trajectory, cands [
 	return h.sorted(), nil
 }
 
-// topKHeap is a bounded min-heap of the k best matches seen so far, with
-// the exhaustive path's exact ordering (score desc, slot asc): the root is
-// the current k-th best, i.e. the pruning threshold.
+// topKHeap is a bounded min-heap of the k best matches seen so far under a
+// total order supplied as a strict "ranks worse than" comparator: the root
+// is the current k-th best, i.e. the pruning threshold. The pruned top-k
+// uses the exhaustive path's exact ordering (score desc, slot asc); the
+// sharded coordinator merges shard results with an ID tie-break instead.
 type topKHeap struct {
-	k int
-	m []Match
+	k     int
+	worse func(a, b Match) bool
+	m     []Match
 }
 
-func newTopKHeap(k int) *topKHeap { return &topKHeap{k: k, m: make([]Match, 0, k)} }
+func newTopKHeap(k int) *topKHeap {
+	return &topKHeap{k: k, worse: worseMatch, m: make([]Match, 0, k)}
+}
+
+// newMatchHeap is newTopKHeap with an explicit comparator.
+func newMatchHeap(k int, worse func(a, b Match) bool) *topKHeap {
+	return &topKHeap{k: k, worse: worse, m: make([]Match, 0, k)}
+}
 
 func (h *topKHeap) full() bool { return len(h.m) == h.k }
 
@@ -391,7 +401,7 @@ func (h *topKHeap) offer(m Match) {
 		h.up(len(h.m) - 1)
 		return
 	}
-	if !worseMatch(h.m[0], m) {
+	if !h.worse(h.m[0], m) {
 		return
 	}
 	h.m[0] = m
@@ -401,7 +411,7 @@ func (h *topKHeap) offer(m Match) {
 func (h *topKHeap) up(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
-		if !worseMatch(h.m[i], h.m[p]) {
+		if !h.worse(h.m[i], h.m[p]) {
 			return
 		}
 		h.m[i], h.m[p] = h.m[p], h.m[i]
@@ -416,10 +426,10 @@ func (h *topKHeap) down(i int) {
 		if c >= n {
 			return
 		}
-		if r := c + 1; r < n && worseMatch(h.m[r], h.m[c]) {
+		if r := c + 1; r < n && h.worse(h.m[r], h.m[c]) {
 			c = r
 		}
-		if !worseMatch(h.m[c], h.m[i]) {
+		if !h.worse(h.m[c], h.m[i]) {
 			return
 		}
 		h.m[i], h.m[c] = h.m[c], h.m[i]
@@ -427,8 +437,8 @@ func (h *topKHeap) down(i int) {
 	}
 }
 
-// sorted drains the heap into a best-first slice (score desc, slot asc).
-// The heap is consumed.
+// sorted drains the heap into a best-first slice (the reverse of the
+// heap's comparator order). The heap is consumed.
 func (h *topKHeap) sorted() []Match {
 	out := make([]Match, len(h.m))
 	for i := len(out) - 1; i >= 0; i-- {

@@ -47,6 +47,10 @@ type PerfOptions struct {
 	// comparable across reports, and each carries its parallel efficiency
 	// against the canonical row. Empty selects DefaultWorkersAxis.
 	WorkersAxis []int
+	// ShardsAxis lists the partition counts the sharded-scaling rows run at
+	// (concurrent ingest and pruned top-k through the sharded coordinator,
+	// named "<bench>/shards=<n>"). Empty selects DefaultShardsAxis.
+	ShardsAxis []int
 }
 
 // DefaultWorkersAxis is the worker-count axis of the parallel-scaling rows:
@@ -68,6 +72,14 @@ func DefaultWorkersAxis() []int {
 	}
 	return axis
 }
+
+// DefaultShardsAxis is the partition-count axis of the sharded-scaling
+// rows: 1 (the single-engine baseline) through 8, doubling. It is fixed
+// rather than CPU-derived because the effect sharding targets — removing
+// the global write lock and the store coordinator from the mutation
+// path — shows up as reduced contention even when the shards timeshare
+// few cores; real parallel speedup additionally needs the cores.
+func DefaultShardsAxis() []int { return []int{1, 2, 4, 8} }
 
 // PerfBench is one benchmark row of the report.
 type PerfBench struct {
@@ -92,6 +104,9 @@ type PerfBench struct {
 	PruneRate float64 `json:"prune_rate,omitempty"`
 	// Workers is the worker count this row ran at.
 	Workers int `json:"workers,omitempty"`
+	// Shards is the partition count of the "/shards=<n>" sharded-scaling
+	// rows (0 on rows that do not go through the engine layer's router).
+	Shards int `json:"shards,omitempty"`
 	// BytesPerTrajectory is the live encoded footprint per corpus record,
 	// for the columnar-store benches (0 otherwise).
 	BytesPerTrajectory float64 `json:"bytes_per_trajectory,omitempty"`
@@ -121,10 +136,13 @@ type PerfReport struct {
 	Workers    int    `json:"workers"`
 	// WorkersAxis lists the worker counts the parallel-scaling rows ran at
 	// (schema ≥ 2).
-	WorkersAxis []int       `json:"workers_axis,omitempty"`
-	N           int         `json:"n"`
-	Seed        int64       `json:"seed"`
-	Benches     []PerfBench `json:"benches"`
+	WorkersAxis []int `json:"workers_axis,omitempty"`
+	// ShardsAxis lists the partition counts the sharded-scaling rows ran at
+	// (schema ≥ 3).
+	ShardsAxis []int       `json:"shards_axis,omitempty"`
+	N          int         `json:"n"`
+	Seed       int64       `json:"seed"`
+	Benches    []PerfBench `json:"benches"`
 }
 
 // measureLoop runs op repeatedly, testing-style: iteration counts grow until
@@ -183,6 +201,10 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 	if len(axis) == 0 {
 		axis = DefaultWorkersAxis()
 	}
+	shardsAxis := opts.ShardsAxis
+	if len(shardsAxis) == 0 {
+		shardsAxis = DefaultShardsAxis()
+	}
 	n := cfg.N
 	if n <= 0 {
 		n = 8
@@ -202,11 +224,12 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 		base = b
 	}
 	report := PerfReport{
-		Schema:      2,
+		Schema:      3,
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Workers:     workers,
 		WorkersAxis: axis,
+		ShardsAxis:  shardsAxis,
 		N:           n,
 		Seed:        seed,
 	}
@@ -590,6 +613,69 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+
+		// Sharded pruned top-k: the same corpus and query mix scattered
+		// across engine shards, each with its own index pruner, so the
+		// "/shards=<n>" family traces how scatter-gather with MinScore-floor
+		// forwarding scales with partition count (shards=1 restates the
+		// single engine so the curve is self-contained). Results are
+		// bit-identical across the axis; only the partitioning varies.
+		newSvc := func(nsh int) (engine.Service, error) {
+			if nsh == 1 {
+				return newEng(false, workers)
+			}
+			svc, err := engine.NewSharded(scorers[0], engine.ShardedOptions{
+				Shards:  nsh,
+				Workers: workers,
+				ShardOptions: func(int) (engine.Options, error) {
+					grid, err := sc.Grid(sc.GridSize, 0)
+					if err != nil {
+						return engine.Options{}, err
+					}
+					ix, err := index.New(index.Options{
+						Grid:         grid,
+						TimeBucket:   120,
+						SpatialSlack: 400,
+						TimeSlack:    120,
+					})
+					if err != nil {
+						return engine.Options{}, err
+					}
+					return engine.Options{
+						Workers: engine.SplitWorkers(workers, engine.DefaultFanOut),
+						Pruner:  ix,
+					}, nil
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, tr := range sc.D2 {
+				if _, err := svc.Add(tr); err != nil {
+					return nil, err
+				}
+			}
+			return svc, nil
+		}
+		for _, nsh := range shardsAxis {
+			svc, err := newSvc(nsh)
+			if err != nil {
+				return err
+			}
+			qs := 0
+			if err := add(fmt.Sprintf("pruned_topk/taxi/k=10/shards=%d", nsh), len(sc.D2), func() error {
+				q := sc.D1[qs%len(sc.D1)]
+				qs++
+				_, err := svc.TopK(context.Background(), q, 10)
+				return err
+			}); err != nil {
+				return err
+			}
+			row := &report.Benches[len(report.Benches)-1]
+			row.Shards = nsh
+			row.CacheHitRate = svc.CacheStats().HitRate()
+			row.PruneRate = pruneRate(svc.PruneStats())
+		}
 	}
 
 	// Repeated batch rescoring through a persistent engine: after the first
@@ -641,6 +727,63 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 		}
 		report.Benches[len(report.Benches)-1].CacheHitRate = eng.CacheStats().HitRate()
 		report.Benches[len(report.Benches)-1].PruneRate = pruneRate(eng.PruneStats())
+	}
+
+	// Concurrent ingest through the engine layer across the shards axis:
+	// 8 writer goroutines push a synthetic corpus into a fresh in-memory
+	// service per op. At shards=1 every Add serializes on the engine's
+	// write mutex and the store coordinator; with more shards writes to
+	// different partitions never share a lock, so the family measures how
+	// much of the mutation path the partitioned router takes off the
+	// contended spine (hardware parallelism additionally needs the cores).
+	{
+		const (
+			nTraj   = 2000
+			writers = 8
+		)
+		cfg := datagen.DefaultSynthConfig(nTraj)
+		trs := make([]model.Trajectory, nTraj)
+		for i := range trs {
+			trs[i] = datagen.SynthTrajectory(cfg, i)
+		}
+		scorers, err := BuildScorers(scenarios[0], scenarios[0].GridSize, 0, []string{MethodSTS})
+		if err != nil {
+			return err
+		}
+		newSvc := func(nsh int) (engine.Service, error) {
+			if nsh == 1 {
+				return engine.New(scorers[0], engine.Options{})
+			}
+			return engine.NewSharded(scorers[0], engine.ShardedOptions{
+				Shards:       nsh,
+				ShardOptions: func(int) (engine.Options, error) { return engine.Options{}, nil },
+			})
+		}
+		for _, nsh := range shardsAxis {
+			if err := add(fmt.Sprintf("sharded_ingest/synth/shards=%d", nsh), 0, func() error {
+				svc, err := newSvc(nsh)
+				if err != nil {
+					return err
+				}
+				if err := engine.ForEach(context.Background(), writers, writers, func(wi int) error {
+					for i := wi; i < nTraj; i += writers {
+						if _, err := svc.Add(trs[i]); err != nil {
+							return err
+						}
+					}
+					return nil
+				}); err != nil {
+					return err
+				}
+				if svc.Len() != nTraj {
+					return fmt.Errorf("sharded ingest: %d records, want %d", svc.Len(), nTraj)
+				}
+				return svc.Close()
+			}); err != nil {
+				return err
+			}
+			report.Benches[len(report.Benches)-1].Shards = nsh
+		}
 	}
 
 	// Columnar corpus ingest and recovery: the durability path end to end.

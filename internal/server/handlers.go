@@ -46,6 +46,29 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 		resp.Profile = &ps
 	}
 	resp.Store = wireStoreStats(s.eng.StoreStats())
+	if st, ok := s.eng.(engine.ShardStater); ok {
+		shards := st.ShardStats()
+		resp.Shards = make([]api.ShardStats, len(shards))
+		for i, sh := range shards {
+			ws := api.ShardStats{
+				Shard:      sh.Shard,
+				CorpusSize: sh.Len,
+				Prepared:   wireCacheStats(sh.Cache),
+				Prune: api.PruneStats{
+					Considered:  sh.Prune.Considered,
+					BoundPruned: sh.Prune.BoundPruned,
+					EarlyExited: sh.Prune.EarlyExited,
+					Refined:     sh.Prune.Refined,
+				},
+				Store: wireStoreStats(sh.Store),
+			}
+			if resp.Profiled {
+				pc := wireCacheStats(sh.ProfileCache)
+				ws.Profile = &pc
+			}
+			resp.Shards[i] = ws
+		}
+	}
 	return writeJSON(w, http.StatusOK, resp)
 }
 

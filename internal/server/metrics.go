@@ -86,8 +86,15 @@ func (m *metrics) observe(route string, code int, elapsed time.Duration) {
 // render writes the Prometheus text exposition: request counters and
 // latency histograms per route, the in-flight gauge and rejection counter,
 // and — read live from the engine — corpus size and per-kind cache
-// counters with hit ratios.
-func (m *metrics) render(w io.Writer, eng *engine.Engine) {
+// counters with hit ratios. On a sharded engine, store residency and the
+// prune counters additionally export one shard-labeled series per
+// partition next to the unlabeled rollup (sum the labeled series, not the
+// family, when aggregating).
+func (m *metrics) render(w io.Writer, eng engine.Service) {
+	var shards []engine.ShardStat
+	if st, ok := eng.(engine.ShardStater); ok {
+		shards = st.ShardStats()
+	}
 	m.mu.Lock()
 	names := make([]string, 0, len(m.routes))
 	for name := range m.routes {
@@ -138,6 +145,9 @@ func (m *metrics) render(w io.Writer, eng *engine.Engine) {
 	ss := eng.StoreStats()
 	fmt.Fprint(w, "# HELP sts_store_resident_bytes Arena bytes resident in the columnar corpus store (live records plus dead slack awaiting GC).\n# TYPE sts_store_resident_bytes gauge\n")
 	fmt.Fprintf(w, "sts_store_resident_bytes %d\n", ss.ArenaBytes)
+	for _, sh := range shards {
+		fmt.Fprintf(w, "sts_store_resident_bytes{shard=%q} %d\n", strconv.Itoa(sh.Shard), sh.Store.ArenaBytes)
+	}
 	fmt.Fprint(w, "# HELP sts_store_live_bytes Live encoded-record bytes in the columnar corpus store.\n# TYPE sts_store_live_bytes gauge\n")
 	fmt.Fprintf(w, "sts_store_live_bytes %d\n", ss.LiveBytes)
 	fmt.Fprint(w, "# HELP sts_wal_bytes Current write-ahead-log segment size (0 without persistence).\n# TYPE sts_wal_bytes gauge\n")
@@ -152,12 +162,24 @@ func (m *metrics) render(w io.Writer, eng *engine.Engine) {
 	ps := eng.PruneStats()
 	fmt.Fprint(w, "# HELP sts_prune_considered_total Candidate pairs entering pruned (filter-and-refine) queries.\n# TYPE sts_prune_considered_total counter\n")
 	fmt.Fprintf(w, "sts_prune_considered_total %d\n", ps.Considered)
+	for _, sh := range shards {
+		fmt.Fprintf(w, "sts_prune_considered_total{shard=%q} %d\n", strconv.Itoa(sh.Shard), sh.Prune.Considered)
+	}
 	fmt.Fprint(w, "# HELP sts_prune_ub_pruned_total Candidates decided by the admissible upper bound alone.\n# TYPE sts_prune_ub_pruned_total counter\n")
 	fmt.Fprintf(w, "sts_prune_ub_pruned_total %d\n", ps.BoundPruned)
+	for _, sh := range shards {
+		fmt.Fprintf(w, "sts_prune_ub_pruned_total{shard=%q} %d\n", strconv.Itoa(sh.Shard), sh.Prune.BoundPruned)
+	}
 	fmt.Fprint(w, "# HELP sts_prune_early_exit_total Refinements abandoned once the threshold became unreachable.\n# TYPE sts_prune_early_exit_total counter\n")
 	fmt.Fprintf(w, "sts_prune_early_exit_total %d\n", ps.EarlyExited)
+	for _, sh := range shards {
+		fmt.Fprintf(w, "sts_prune_early_exit_total{shard=%q} %d\n", strconv.Itoa(sh.Shard), sh.Prune.EarlyExited)
+	}
 	fmt.Fprint(w, "# HELP sts_prune_refined_total Refinements scored to completion.\n# TYPE sts_prune_refined_total counter\n")
 	fmt.Fprintf(w, "sts_prune_refined_total %d\n", ps.Refined)
+	for _, sh := range shards {
+		fmt.Fprintf(w, "sts_prune_refined_total{shard=%q} %d\n", strconv.Itoa(sh.Shard), sh.Prune.Refined)
+	}
 
 	kinds := []struct {
 		name  string

@@ -87,9 +87,12 @@ type Options struct {
 
 // Server serves one engine's corpus over HTTP. It implements http.Handler;
 // use Serve/ListenAndServe for the managed listener with graceful drain,
-// or mount it on any mux.
+// or mount it on any mux. The engine is any engine.Service — a single
+// *engine.Engine or the sharded coordinator; when the service also
+// implements engine.ShardStater, /v1/stats grows per-shard sections and
+// /metrics grows shard-labeled series.
 type Server struct {
-	eng     *engine.Engine
+	eng     engine.Service
 	opts    Options
 	log     *slog.Logger
 	metrics *metrics
@@ -98,7 +101,7 @@ type Server struct {
 }
 
 // New builds a Server over eng.
-func New(eng *engine.Engine, opts Options) (*Server, error) {
+func New(eng engine.Service, opts Options) (*Server, error) {
 	if eng == nil {
 		return nil, errors.New("server: engine is required")
 	}

@@ -1,0 +1,16 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+)
+
+// ShardDir returns the per-shard subdirectory of a sharded engine's data
+// directory: <dir>/shard-NNN. The root facade and stsserved both derive
+// shard store paths through it, so the on-disk layout of a partitioned
+// corpus has exactly one definition — a directory opened with N shards
+// must be reopened with the same N (records do not migrate between shard
+// stores).
+func ShardDir(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d", shard))
+}

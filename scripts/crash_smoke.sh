@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Crash-recovery smoke: generate a synthetic corpus, serve it from a
-# durable data directory, take a top-k answer, kill -9 the server, restart
-# it against the same directory, and require (a) the recovered corpus to
-# serve the identical top-k, (b) recovery to fit a time budget, and (c)
-# the store/persistence metrics to be live.
+# durable (optionally sharded) data directory, take a top-k answer, kill -9
+# the server, restart it against the same directory, and require (a) the
+# recovered corpus to serve the identical top-k, (b) recovery to fit a time
+# budget, (c) the store/persistence metrics to be live, and (d) with
+# SHARDS > 1, every shard store to recover in parallel (one "shard
+# recovered" log each) behind shard-labeled metrics.
 #
 #   N=100000 ./scripts/crash_smoke.sh       # corpus size (default 100000)
+#   SHARDS=4 ...                            # engine partitions (default 4)
 #   RECOVERY_BUDGET_SECONDS=10 ...          # recovery_seconds ceiling
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 N="${N:-100000}"
+SHARDS="${SHARDS:-4}"
 ADDR="${ADDR:-127.0.0.1:18095}"
 BUDGET="${RECOVERY_BUDGET_SECONDS:-10}"
 WORK="$(mktemp -d)"
@@ -25,7 +29,7 @@ go build -o "$WORK/" ./cmd/stsgen ./cmd/stsserved
 boot() {
   # -timeout is raised because the smoke's top-k is a cold exhaustive scan
   # of the whole corpus — worst case by construction, not a serving posture.
-  "$WORK/stsserved" -addr "$ADDR" -data-dir "$WORK/data" \
+  "$WORK/stsserved" -addr "$ADDR" -data-dir "$WORK/data" -shards "$SHARDS" \
     -grid 50 -sigma 50 -coord-step -1 -timeout 300s "$@" 2>>"$WORK/serve.log" &
   SRV=$!
   for _ in $(seq 1 900); do
@@ -51,12 +55,30 @@ grep -q '^sts_store_resident_bytes [1-9]' "$WORK/metrics_pre.txt"
 grep -q '^sts_wal_bytes' "$WORK/metrics_pre.txt"
 grep -q '^sts_snapshot_total' "$WORK/metrics_pre.txt"
 
+if [ "$SHARDS" -gt 1 ]; then
+  for i in $(seq 0 $((SHARDS - 1))); do
+    dir="$(printf '%s/data/shard-%03d' "$WORK" "$i")"
+    [ -d "$dir" ] || { echo "crash_smoke: missing shard store $dir" >&2; exit 1; }
+  done
+  grep -q '^sts_store_resident_bytes{shard="0"} [1-9]' "$WORK/metrics_pre.txt"
+fi
+
 echo "crash_smoke: kill -9"
 kill -9 "$SRV"
 wait "$SRV" 2>/dev/null || true
 
 echo "crash_smoke: restart from $WORK/data"
+: >"$WORK/serve.log" # so the per-shard recovery assertions see only this boot
 boot
+if [ "$SHARDS" -gt 1 ]; then
+  for i in $(seq 0 $((SHARDS - 1))); do
+    if ! grep -q "msg=\"shard recovered\" shard=$i " "$WORK/serve.log"; then
+      echo "crash_smoke: shard $i logged no recovery after restart" >&2
+      tail -20 "$WORK/serve.log" >&2
+      exit 1
+    fi
+  done
+fi
 curl -fsS "http://$ADDR/v1/topk?id=synth-0042&k=10" >"$WORK/topk_post.json"
 # The result set (IDs, in rank order) must be identical. Scores are allowed
 # the store's documented quantization budget (1e-9): the restarted process

@@ -22,8 +22,11 @@ type Server = server.Server
 // defaults (30s query timeout, 64 in-flight requests, 32 MiB bodies).
 type ServeOptions = server.Options
 
-// NewServer builds a Server over eng. Serve it with Server.ListenAndServe
-// (managed listener, graceful drain) or mount it as an http.Handler.
-func NewServer(eng *Engine, opts ServeOptions) (*Server, error) {
+// NewServer builds a Server over eng — a single Engine or the sharded
+// coordinator, anything satisfying EngineService. Serve it with
+// Server.ListenAndServe (managed listener, graceful drain) or mount it as
+// an http.Handler. A sharded engine additionally surfaces per-shard
+// sections in /v1/stats and shard-labeled series in /metrics.
+func NewServer(eng EngineService, opts ServeOptions) (*Server, error) {
 	return server.New(eng, opts)
 }
