@@ -71,6 +71,64 @@ type BatchResponse struct {
 	CorpusSize int `json:"corpus_size"`
 }
 
+// AppendRequest is the body of POST /v1/trajectories/{id}:append —
+// strictly time-ordered samples extending the resident trajectory past its
+// current last timestamp.
+type AppendRequest struct {
+	Samples [][3]float64 `json:"samples"`
+}
+
+// AppendResponse acknowledges an append.
+type AppendResponse struct {
+	ID string `json:"id"`
+	// N is the trajectory's sample count after the append.
+	N          int `json:"n"`
+	CorpusSize int `json:"corpus_size"`
+	// Alerts is the number of standing-query alerts this append fired.
+	Alerts int `json:"alerts"`
+}
+
+// Watch is the wire form of one standing co-location query: alert whenever
+// an appended trajectory scores >= Theta against any member. On
+// PUT /v1/watch/{name} the path name is authoritative; a body Name, when
+// present, must agree.
+type Watch struct {
+	Name    string   `json:"name,omitempty"`
+	Members []string `json:"members"`
+	Theta   float64  `json:"theta"`
+	// Webhook, when non-empty, is the URL alerts are POSTed to as JSON.
+	Webhook string `json:"webhook,omitempty"`
+}
+
+// WatchStats is one standing query's configuration and counters, as listed
+// by GET /v1/watch.
+type WatchStats struct {
+	Name    string  `json:"name"`
+	Members int     `json:"members"`
+	Theta   float64 `json:"theta"`
+	Webhook string  `json:"webhook,omitempty"`
+	// Evals counts standing evaluations; Pairs the candidate pairs they
+	// scored; Subthreshold the pairs disposed of below theta.
+	Evals        uint64 `json:"evals"`
+	Pairs        uint64 `json:"pairs"`
+	Subthreshold uint64 `json:"subthreshold"`
+	// Alerts counts threshold crossings; Delivered/Retries/DeadLettered
+	// count webhook delivery outcomes; Dropped counts alerts shed by the
+	// bounded delivery queue; QueueLen is the current backlog.
+	Alerts       uint64 `json:"alerts"`
+	Delivered    uint64 `json:"delivered"`
+	Retries      uint64 `json:"retries"`
+	DeadLettered uint64 `json:"dead_lettered"`
+	Dropped      uint64 `json:"dropped"`
+	QueueLen     int    `json:"queue_len"`
+}
+
+// WatchListResponse is the body of GET /v1/watch.
+type WatchListResponse struct {
+	Watches []WatchStats `json:"watches"`
+	Count   int          `json:"count"`
+}
+
 // ListResponse is the body of GET /v1/trajectories: the corpus IDs in
 // sorted order.
 type ListResponse struct {

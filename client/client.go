@@ -3,33 +3,77 @@
 // server into the engine's cancellable executor — and non-2xx responses
 // surface as *APIError carrying the HTTP status and, for 429s, the
 // server's Retry-After hint.
+//
+// By default the client absorbs the server's load-shedding posture:
+// 429 rejections (which the server issues before doing any work, so a
+// retry never double-applies) and connection-level transport failures are
+// retried with capped, jittered exponential backoff, honoring the
+// server's Retry-After hint when one is present. Options.NoRetry opts out
+// for callers that run their own retry policy.
 package client
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/stslib/sts/api"
 )
 
+// Default retry knobs, overridable through Options.
+const (
+	// DefaultMaxRetries bounds re-sends after the first attempt.
+	DefaultMaxRetries = 3
+	// DefaultBaseBackoff seeds the exponential backoff between attempts.
+	DefaultBaseBackoff = 100 * time.Millisecond
+	// DefaultMaxBackoff caps the backoff growth.
+	DefaultMaxBackoff = 2 * time.Second
+)
+
+// Options configures a Client. The zero value retries with the defaults
+// above over http.DefaultClient.
+type Options struct {
+	// HTTPClient is the transport (nil selects http.DefaultClient); pass one
+	// to control transport-level timeouts and connection pooling.
+	HTTPClient *http.Client
+	// NoRetry disables retries entirely: every attempt is final.
+	NoRetry bool
+	// MaxRetries bounds re-sends after the first attempt (0 selects
+	// DefaultMaxRetries; NoRetry is the way to ask for none).
+	MaxRetries int
+	// BaseBackoff and MaxBackoff shape the jittered exponential backoff
+	// between attempts (0 selects the defaults). A 429's Retry-After hint,
+	// when present, overrides the computed backoff for that wait.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
 // Client calls one stsserved base URL.
 type Client struct {
 	base string
 	http *http.Client
+	opts Options
 }
 
-// New builds a Client for the server at baseURL (e.g. "http://localhost:8080").
-// httpClient may be nil to use http.DefaultClient; pass one to control
-// transport-level timeouts and connection pooling.
+// New builds a Client for the server at baseURL (e.g. "http://localhost:8080")
+// with the default retry policy. httpClient may be nil to use
+// http.DefaultClient.
 func New(baseURL string, httpClient *http.Client) (*Client, error) {
+	return NewWithOptions(baseURL, Options{HTTPClient: httpClient})
+}
+
+// NewWithOptions is New with explicit retry and transport options.
+func NewWithOptions(baseURL string, opts Options) (*Client, error) {
 	u, err := url.Parse(baseURL)
 	if err != nil {
 		return nil, fmt.Errorf("client: bad base URL %q: %w", baseURL, err)
@@ -37,10 +81,19 @@ func New(baseURL string, httpClient *http.Client) (*Client, error) {
 	if u.Scheme == "" || u.Host == "" {
 		return nil, fmt.Errorf("client: base URL %q needs a scheme and host", baseURL)
 	}
-	if httpClient == nil {
-		httpClient = http.DefaultClient
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}, nil
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = DefaultMaxRetries
+	}
+	if opts.BaseBackoff <= 0 {
+		opts.BaseBackoff = DefaultBaseBackoff
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = DefaultMaxBackoff
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: opts.HTTPClient, opts: opts}, nil
 }
 
 // APIError is a non-2xx response from the server.
@@ -142,6 +195,43 @@ func (c *Client) Link(ctx context.Context, req api.LinkRequest) (api.LinkRespons
 	return resp, err
 }
 
+// Append extends a resident trajectory with samples strictly past its
+// current last timestamp (samples are [t, x, y] triples). The response
+// reports the grown sample count and how many standing-query alerts the
+// append fired.
+func (c *Client) Append(ctx context.Context, id string, samples [][3]float64) (api.AppendResponse, error) {
+	var resp api.AppendResponse
+	if id == "" {
+		return resp, fmt.Errorf("client: append needs a trajectory ID")
+	}
+	err := c.do(ctx, http.MethodPost, "/v1/trajectories/"+url.PathEscape(id)+":append",
+		api.AppendRequest{Samples: samples}, &resp)
+	return resp, err
+}
+
+// WatchPut registers or replaces the standing co-location query w.Name.
+func (c *Client) WatchPut(ctx context.Context, w api.Watch) (api.Watch, error) {
+	var resp api.Watch
+	if w.Name == "" {
+		return resp, fmt.Errorf("client: watch needs a name")
+	}
+	err := c.do(ctx, http.MethodPut, "/v1/watch/"+url.PathEscape(w.Name), w, &resp)
+	return resp, err
+}
+
+// WatchDelete removes one standing query.
+func (c *Client) WatchDelete(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/watch/"+url.PathEscape(name), nil, nil)
+}
+
+// Watches lists every standing query with its evaluation and delivery
+// counters.
+func (c *Client) Watches(ctx context.Context) (api.WatchListResponse, error) {
+	var resp api.WatchListResponse
+	err := c.do(ctx, http.MethodGet, "/v1/watch", nil, &resp)
+	return resp, err
+}
+
 // Stats reads the server's engine introspection.
 func (c *Client) Stats(ctx context.Context) (api.StatsResponse, error) {
 	var resp api.StatsResponse
@@ -149,22 +239,66 @@ func (c *Client) Stats(ctx context.Context) (api.StatsResponse, error) {
 	return resp, err
 }
 
-// do runs one request: marshal body, send, map non-2xx to *APIError,
-// decode the response into out when given.
+// do runs one request under the retry policy: marshal the body once, then
+// attempt until success, a non-retryable failure, the retry budget runs
+// out, or the context ends. Between attempts it waits the server's
+// Retry-After hint when one came back, else a jittered exponential
+// backoff.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
+		var err error
+		buf, err = json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("client: encode request: %w", err)
 		}
+	}
+	attempts := 1
+	if !c.opts.NoRetry {
+		attempts = c.opts.MaxRetries + 1
+	}
+	backoff := c.opts.BaseBackoff
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			delay := backoff/2 + rand.N(backoff/2+1)
+			var ae *APIError
+			if errors.As(lastErr, &ae) && ae.RetryAfter > 0 {
+				delay = ae.RetryAfter
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(delay):
+			}
+			if backoff *= 2; backoff > c.opts.MaxBackoff {
+				backoff = c.opts.MaxBackoff
+			}
+		}
+		err := c.once(ctx, method, path, buf, body != nil, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) || ctx.Err() != nil {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// once is a single request attempt: send, map non-2xx to *APIError,
+// decode the response into out when given.
+func (c *Client) once(ctx context.Context, method, path string, buf []byte, hasBody bool, out any) error {
+	var rd io.Reader
+	if hasBody {
 		rd = bytes.NewReader(buf)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
-	if body != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
@@ -183,6 +317,21 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return fmt.Errorf("client: decode response: %w", err)
 	}
 	return nil
+}
+
+// retryable reports whether an attempt's failure is worth re-sending: the
+// server's 429 load-shed (rejected before any work) or a connection-level
+// transport failure (reset, refusal, or a torn connection surfacing as an
+// unexpected EOF).
+func retryable(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.StatusCode == http.StatusTooManyRequests
+	}
+	return errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
 }
 
 // apiError builds the *APIError for a non-2xx response, preferring the

@@ -1,0 +1,196 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/stslib/sts/api"
+	"github.com/stslib/sts/client"
+	"github.com/stslib/sts/internal/server"
+)
+
+// flakyServer answers 429 (with a Retry-After hint) for the first fail
+// requests, then succeeds with the given JSON body.
+func flakyServer(t *testing.T, fail int, body string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= int64(fail) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"overloaded"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(body))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+// TestClientRetries429 checks the default policy rides out transient
+// load-shedding: two 429s then success resolves without surfacing an
+// error, honoring the server's Retry-After hint between attempts.
+func TestClientRetries429(t *testing.T) {
+	ts, hits := flakyServer(t, 2, `{"ids":["a"],"count":1}`)
+	c, err := client.NewWithOptions(ts.URL, client.Options{
+		HTTPClient: ts.Client(),
+		// Keep the test fast: the Retry-After hint of 1s is the floor the
+		// server imposes, so only shrink the computed backoff.
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	ids, err := c.IDs(context.Background())
+	if err != nil {
+		t.Fatalf("IDs after transient 429s: %v", err)
+	}
+	if len(ids) != 1 || ids[0] != "a" {
+		t.Fatalf("IDs = %v, want [a]", ids)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 rejected + 1 served)", got)
+	}
+	// Two waits, each the 1s Retry-After hint.
+	if elapsed := time.Since(start); elapsed < 2*time.Second {
+		t.Fatalf("resolved in %s, want >= 2s (Retry-After honored twice)", elapsed)
+	}
+}
+
+// TestClientNoRetry checks the opt-out: the first 429 is final.
+func TestClientNoRetry(t *testing.T) {
+	ts, hits := flakyServer(t, 1, `{"ids":[],"count":0}`)
+	c, err := client.NewWithOptions(ts.URL, client.Options{HTTPClient: ts.Client(), NoRetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.IDs(context.Background())
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want APIError 429", err)
+	}
+	if ae.RetryAfter != time.Second {
+		t.Fatalf("RetryAfter = %s, want 1s", ae.RetryAfter)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want exactly 1", got)
+	}
+}
+
+// TestClientRetryBudgetExhausted checks that a server that never stops
+// shedding eventually surfaces the 429 instead of retrying forever.
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		// No Retry-After header, so the client falls back to its own
+		// (shrunk) backoff and the test stays fast.
+		http.Error(w, `{"error":"overloaded"}`, http.StatusTooManyRequests)
+	}))
+	t.Cleanup(ts.Close)
+	c, err := client.NewWithOptions(ts.URL, client.Options{
+		HTTPClient:  ts.Client(),
+		MaxRetries:  2,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.IDs(context.Background())
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want APIError 429", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestClientRetryRespectsContext checks that cancellation wins over the
+// backoff wait.
+func TestClientRetryRespectsContext(t *testing.T) {
+	ts, _ := flakyServer(t, 1000, `{}`)
+	c, err := client.NewWithOptions(ts.URL, client.Options{HTTPClient: ts.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.IDs(ctx)
+	if err == nil {
+		t.Fatal("IDs succeeded under a doomed context")
+	}
+	// The 1s Retry-After hint must not outlive the 50ms context.
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("gave up after %s, want prompt cancellation", elapsed)
+	}
+}
+
+// TestClientAppendAndWatches round-trips the streaming endpoints through
+// the typed client against a real in-process server.
+func TestClientAppendAndWatches(t *testing.T) {
+	c, ds := newWorld(t, server.Options{})
+	ctx := context.Background()
+	if _, err := c.PutBatch(ctx, api.FromDataset(ds)); err != nil {
+		t.Fatalf("PutBatch: %v", err)
+	}
+	// Shadow copy of ds[0]: the grown original must alert against it.
+	shadow := api.FromTrajectory(ds[0])
+	shadow.ID = "shadow"
+	if _, err := c.Put(ctx, shadow); err != nil {
+		t.Fatalf("Put shadow: %v", err)
+	}
+	echoed, err := c.WatchPut(ctx, api.Watch{Name: "pals", Members: []string{"shadow"}, Theta: 0.001})
+	if err != nil {
+		t.Fatalf("WatchPut: %v", err)
+	}
+	if echoed.Name != "pals" || echoed.Theta != 0.001 {
+		t.Fatalf("WatchPut echoed %+v", echoed)
+	}
+
+	tr, err := c.Get(ctx, ds[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tr.Samples[len(tr.Samples)-1]
+	ar, err := c.Append(ctx, ds[0].ID, [][3]float64{{last[0] + 5, last[1], last[2]}})
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if ar.N != len(tr.Samples)+1 || ar.Alerts != 1 {
+		t.Fatalf("Append response %+v, want n=%d alerts=1", ar, len(tr.Samples)+1)
+	}
+
+	wl, err := c.Watches(ctx)
+	if err != nil {
+		t.Fatalf("Watches: %v", err)
+	}
+	if wl.Count != 1 || wl.Watches[0].Alerts != 1 {
+		t.Fatalf("Watches = %+v, want one watch with one alert", wl)
+	}
+
+	if err := c.WatchDelete(ctx, "pals"); err != nil {
+		t.Fatalf("WatchDelete: %v", err)
+	}
+	err = c.WatchDelete(ctx, "pals")
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound {
+		t.Fatalf("double WatchDelete err = %v, want 404", err)
+	}
+
+	if _, err := c.Append(ctx, "", nil); err == nil {
+		t.Fatal("Append with empty ID succeeded")
+	}
+	if _, err := c.WatchPut(ctx, api.Watch{Members: []string{"x"}, Theta: 0.5}); err == nil {
+		t.Fatal("WatchPut without a name succeeded")
+	}
+}

@@ -8,19 +8,31 @@
 //	stsgen -kind taxi -n 200 -o taxi.csv
 //	stsgen -kind mall -n 50 -split -o mall    # writes mall.d1.csv, mall.d2.csv
 //	stsgen -kind synth -n 100000 -o big.csv   # streamed, O(1) memory
+//	stsgen -kind synth -n 50 -stream -o s.jsonl  # time-ordered append stream
 //
 // The synth kind is a capacity workload: independent random-walk
 // trajectories generated per index and streamed straight to the output, so
 // corpus size is bounded by disk, not memory. It backs the persistence and
 // crash-recovery drills; mall and taxi remain the paper-shaped workloads.
+//
+// With -stream the synth workload is cut into a live-ingestion replay
+// instead of a static CSV: each trajectory is split into batches of -batch
+// samples, and the batches of all trajectories are emitted as one globally
+// time-ordered JSON-Lines stream — each line {"op","id","samples"} with op
+// "put" for a trajectory's first batch and "append" for the rest — which
+// maps one-to-one onto the serving API (PUT /v1/trajectories/{id}, then
+// POST {id}:append). The stream drives the streaming smoke drill and the
+// append_ingest bench family.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"github.com/stslib/sts/internal/datagen"
 	"github.com/stslib/sts/internal/dataset"
@@ -37,6 +49,8 @@ func main() {
 		split   = flag.Bool("split", false, "also perform the alternating split into paired matching datasets (mall and taxi only)")
 		min     = flag.Int("minlen", 20, "drop trajectories shorter than this many samples")
 		samples = flag.Int("samples", 0, "samples per trajectory for -kind synth (0 = default 30)")
+		strm    = flag.Bool("stream", false, "emit a time-ordered JSONL append stream instead of CSV (synth only)")
+		batch   = flag.Int("batch", 5, "samples per append batch with -stream")
 		ver     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -50,10 +64,19 @@ func main() {
 		if *split {
 			fatal(fmt.Errorf("-split is not supported with -kind synth"))
 		}
+		if *strm {
+			if err := writeStream(*out, *n, *seed, *samples, *batch); err != nil {
+				fatal(err)
+			}
+			return
+		}
 		if err := writeSynth(*out, *n, *seed, *samples); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *strm {
+		fatal(fmt.Errorf("-stream is only supported with -kind synth"))
 	}
 
 	var ds model.Dataset
@@ -134,6 +157,83 @@ func writeSynth(path string, n int, seed int64, samples int) error {
 			return err
 		}
 		fmt.Printf("wrote %d trajectories to %s\n", n, path)
+	}
+	return nil
+}
+
+// streamEvent is one line of the -stream output: a trajectory's first
+// batch travels as op "put" (the serving API requires the trajectory to
+// exist before it can be appended to), every later batch as op "append".
+type streamEvent struct {
+	Op      string       `json:"op"`
+	ID      string       `json:"id"`
+	Samples [][3]float64 `json:"samples"`
+}
+
+// writeStream cuts n synth trajectories into batches of batch samples and
+// emits them as one JSONL stream ordered by each batch's first timestamp,
+// so replaying the lines in order is a faithful live-ingestion simulation:
+// every append lands strictly after the samples already resident for its
+// trajectory, and concurrent objects interleave the way their timelines
+// do.
+func writeStream(path string, n int, seed int64, samples, batch int) error {
+	if batch <= 0 {
+		return fmt.Errorf("-batch must be positive, got %d", batch)
+	}
+	cfg := datagen.DefaultSynthConfig(n)
+	cfg.Seed = seed
+	if samples > 0 {
+		cfg.Samples = samples
+	}
+	var events []streamEvent
+	for i := 0; i < n; i++ {
+		tr := datagen.SynthTrajectory(cfg, i)
+		for lo := 0; lo < len(tr.Samples); lo += batch {
+			hi := lo + batch
+			if hi > len(tr.Samples) {
+				hi = len(tr.Samples)
+			}
+			ev := streamEvent{Op: "append", ID: tr.ID, Samples: make([][3]float64, hi-lo)}
+			if lo == 0 {
+				ev.Op = "put"
+			}
+			for j, s := range tr.Samples[lo:hi] {
+				ev.Samples[j] = [3]float64{s.T, s.Loc.X, s.Loc.Y}
+			}
+			events = append(events, ev)
+		}
+	}
+	// Stable sort on the first timestamp keeps each trajectory's batches in
+	// generation order (their times strictly increase), so a put always
+	// precedes its appends.
+	sort.SliceStable(events, func(i, j int) bool {
+		return events[i].Samples[0][0] < events[j].Samples[0][0]
+	})
+
+	var sink io.Writer = os.Stdout
+	var f *os.File
+	if path != "" {
+		var err error
+		if f, err = os.Create(path); err != nil {
+			return err
+		}
+		sink = f
+	}
+	bw := bufio.NewWriterSize(sink, 1<<20)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d stream events (%d trajectories) to %s\n", len(events), n, path)
 	}
 	return nil
 }

@@ -11,6 +11,7 @@
 //	stsserved -dataset mall.csv -max-inflight 16 -timeout 5s
 //	stsserved -data-dir /var/lib/sts -sigma 3              # durable corpus
 //	stsserved -data-dir /var/lib/sts -shards 8 -sigma 3    # partitioned corpus
+//	stsserved -data-dir /var/lib/sts -retention 1h         # sliding-window stream
 //
 // The spatial scales (-grid, -sigma) default from the preloaded corpus the
 // same way stsmatch derives them; with no corpus they must be given. With
@@ -27,6 +28,16 @@
 // and queries scale across cores; shard WALs recover in parallel at boot.
 // Query results are bit-identical to a single engine over the same corpus.
 // A sharded data directory must be reopened with the same -shards count.
+//
+// The server is also a live stream sink: POST {id}:append grows resident
+// trajectories sample-by-sample, and standing co-location queries
+// (PUT /v1/watch/{name}) are re-evaluated against every append, firing
+// webhook alerts when a watched pair crosses its threshold. With -data-dir
+// the watchlist persists next to the corpus and survives restarts. With
+// -retention the corpus becomes a sliding window over stream time: samples
+// older than the window behind the newest appended sample are periodically
+// trimmed away (and compacted out at the next snapshot).
+//
 // The process serves until SIGINT/SIGTERM, then drains in-flight requests
 // for up to -drain before exiting.
 package main
@@ -52,6 +63,7 @@ import (
 	"github.com/stslib/sts/internal/model"
 	"github.com/stslib/sts/internal/server"
 	"github.com/stslib/sts/internal/store"
+	"github.com/stslib/sts/internal/stream"
 	"github.com/stslib/sts/internal/version"
 )
 
@@ -74,6 +86,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "scoring worker pool size (0 = GOMAXPROCS)")
 		shards    = flag.Int("shards", 0, "engine shard count: trajectories partition across this many independent engines by ID hash (0 = min(8, NumCPU); 1 = single engine)")
 		strict    = flag.Bool("strict", false, "reject ingested trajectories with out-of-order samples instead of sorting them")
+		retention = flag.Duration("retention", 0, "sliding time-window retention: periodically drop samples older than this much stream time behind the newest appended sample (0 = keep everything)")
+		webhookTO = flag.Duration("webhook-timeout", 0, "per-attempt budget for standing-query webhook deliveries (0 = 5s default)")
 		showVer   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -257,19 +271,78 @@ func main() {
 		"wal_bytes", ss.WALBytes,
 		"shards", nShards)
 
+	// The standing-query registry persists its watchlist next to the corpus
+	// when -data-dir is set, so registered watches survive restarts the same
+	// way the corpus does.
+	watches, err := stream.NewRegistry(eng, stream.Options{
+		Dir:            *dataDir,
+		WebhookTimeout: *webhookTO,
+	})
+	check(err)
+	if n := len(watches.List()); n > 0 {
+		log.Info("watchlist recovered", "dir", *dataDir, "watches", n)
+	}
+
 	srv, err := server.New(eng, server.Options{
 		QueryTimeout:  *timeout,
 		IngestTimeout: *ingestTO,
 		MaxInFlight:   *inflight,
 		Strict:        *strict,
 		Logger:        log,
+		Watches:       watches,
 	})
 	check(err)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *retention > 0 {
+		go retainLoop(ctx, eng, watches, *retention, log)
+	}
+
 	check(srv.ListenAndServe(ctx, *addr, *drain))
+	watches.Close()
 	check(eng.Close())
+}
+
+// retainLoop enforces the sliding retention window: every tick it drops
+// samples older than the window measured from the stream high-water mark —
+// the newest appended sample's timestamp, not wall time, so replayed or
+// simulated streams age out on their own clock and an idle corpus is never
+// eroded.
+func retainLoop(ctx context.Context, eng engine.Service, watches *stream.Registry, retention time.Duration, log *slog.Logger) {
+	period := retention / 10
+	if period < time.Second {
+		period = time.Second
+	}
+	if period > time.Minute {
+		period = time.Minute
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		hw, ok := watches.HighWater()
+		if !ok {
+			continue // nothing appended yet: no stream clock to cut against
+		}
+		st, err := eng.TrimBefore(hw - retention.Seconds())
+		if err != nil {
+			log.Warn("retention sweep failed", "err", err)
+			continue
+		}
+		if st != (engine.TrimStats{}) {
+			log.Info("retention sweep",
+				"cutoff", hw-retention.Seconds(),
+				"removed", st.Removed,
+				"trimmed", st.Trimmed,
+				"dropped_samples", st.DroppedSamples)
+		}
+	}
 }
 
 // buildScorer assembles the STS scorer with scales derived from the boot

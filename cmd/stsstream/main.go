@@ -1,0 +1,298 @@
+// Command stsstream replays a JSONL append stream (stsgen -stream) against
+// a running stsserved instance and verifies the server's streaming alerts
+// against an independent offline re-evaluation — the end-to-end drill
+// behind the CI stream smoke step.
+//
+// Usage:
+//
+//	stsgen -kind synth -n 20 -stream -o s.jsonl
+//	stsserved -addr :8080 -grid 50 -sigma 25 &
+//	stsstream -addr http://localhost:8080 -file s.jsonl -grid 50 -sigma 25 \
+//	    -watch tail -theta 0.2 -mirror
+//
+// The tool registers one standing query pointed at a local webhook sink,
+// replays the stream line-by-line through the typed client (put →
+// PUT /v1/trajectories/{id}, append → POST {id}:append), and sums the
+// alert counts the server reports per append. It then re-evaluates the
+// whole stream offline: a fresh in-process engine built with the same
+// spatial scales as the server replays the same events, scoring each
+// grown trajectory against the watch members through the same
+// filter-and-refine floor the server uses. The two alert counts must be
+// equal — the streamed evaluation path and the offline batch path are the
+// same measure — and every streamed alert must reach the webhook sink.
+//
+// Synth trajectories are temporally disjoint, so a plain replay scores
+// nothing against anything. -mirror replays every event twice, the second
+// time under "<id>~b": each mirrored pair shares its whole timeline, so
+// appends reliably cross any reasonable theta and the drill exercises
+// real alert traffic. The watch members are the first -members mirrored
+// IDs.
+//
+// The spatial scales (-grid, -sigma) must match the flags the server was
+// started with: alert equality is bit-exact scoring equality, which needs
+// the identical measure on both sides.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"github.com/stslib/sts/api"
+	"github.com/stslib/sts/client"
+	"github.com/stslib/sts/internal/core"
+	"github.com/stslib/sts/internal/engine"
+	"github.com/stslib/sts/internal/eval"
+	"github.com/stslib/sts/internal/geo"
+	"github.com/stslib/sts/internal/model"
+	"github.com/stslib/sts/internal/version"
+)
+
+type streamEvent struct {
+	Op      string       `json:"op"`
+	ID      string       `json:"id"`
+	Samples [][3]float64 `json:"samples"`
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://localhost:8080", "stsserved base URL")
+		file    = flag.String("file", "", "JSONL append stream to replay (stsgen -stream)")
+		gridSz  = flag.Float64("grid", 0, "grid cell size in meters; must match the server's -grid")
+		sigma   = flag.Float64("sigma", 0, "location noise sigma in meters; must match the server's -sigma")
+		watch   = flag.String("watch", "smoke", "standing-query name to register")
+		theta   = flag.Float64("theta", 0.2, "standing-query similarity threshold")
+		members = flag.Int("members", 3, "watch the mirrors of the first this-many trajectories")
+		mirror  = flag.Bool("mirror", false, "replay every event twice, the second under <id>~b, so identical pairs cross theta")
+		wait    = flag.Duration("wait", 30*time.Second, "budget for webhook deliveries to drain after the replay")
+		ver     = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *ver {
+		fmt.Println("stsstream", version.String())
+		return
+	}
+	if *file == "" {
+		fatal(fmt.Errorf("-file is required"))
+	}
+	if *gridSz <= 0 && *sigma <= 0 {
+		fatal(fmt.Errorf("-grid or -sigma is required (must match the server)"))
+	}
+
+	events, err := readStream(*file)
+	check(err)
+	if *mirror {
+		mirrored := make([]streamEvent, 0, 2*len(events))
+		for _, ev := range events {
+			mirrored = append(mirrored, ev, streamEvent{Op: ev.Op, ID: ev.ID + "~b", Samples: ev.Samples})
+		}
+		events = mirrored
+	}
+	watchMembers := pickMembers(events, *members, *mirror)
+	if len(watchMembers) == 0 {
+		fatal(fmt.Errorf("stream %s has no trajectories to watch", *file))
+	}
+
+	// Local webhook sink: every delivered alert is one POST.
+	var delivered atomic.Int64
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	sink := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		delivered.Add(1)
+	})}
+	go sink.Serve(ln)
+	defer sink.Close()
+
+	ctx := context.Background()
+	c, err := client.New(*addr, nil)
+	check(err)
+	_, err = c.WatchPut(ctx, api.Watch{
+		Name:    *watch,
+		Members: watchMembers,
+		Theta:   *theta,
+		Webhook: "http://" + ln.Addr().String() + "/alert",
+	})
+	check(err)
+
+	// Replay. The server reports per-append alert counts; their sum is the
+	// streamed total the offline pass must reproduce.
+	streamed := 0
+	appends := 0
+	for _, ev := range events {
+		switch ev.Op {
+		case "put":
+			_, err = c.Put(ctx, api.Trajectory{ID: ev.ID, Samples: ev.Samples})
+		case "append":
+			var ar api.AppendResponse
+			ar, err = c.Append(ctx, ev.ID, ev.Samples)
+			streamed += ar.Alerts
+			appends++
+		default:
+			err = fmt.Errorf("unknown stream op %q", ev.Op)
+		}
+		check(err)
+	}
+
+	offline, err := offlineAlerts(ctx, events, watchMembers, *gridSz, *sigma, *theta)
+	check(err)
+
+	// Deliveries are asynchronous; give the queue time to drain.
+	deadline := time.Now().Add(*wait)
+	for delivered.Load() < int64(streamed) && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	fmt.Printf("replayed %d events (%d appends): streamed alerts %d, offline re-eval %d, delivered %d\n",
+		len(events), appends, streamed, offline, delivered.Load())
+	if streamed != offline {
+		fatal(fmt.Errorf("streamed alerts %d != offline re-evaluation %d", streamed, offline))
+	}
+	if got := delivered.Load(); got != int64(streamed) {
+		fatal(fmt.Errorf("webhook sink received %d alerts, want %d", got, streamed))
+	}
+}
+
+// readStream decodes the JSONL stream file.
+func readStream(path string) ([]streamEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var events []streamEvent
+	dec := json.NewDecoder(f)
+	for dec.More() {
+		var ev streamEvent
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// pickMembers selects the watch members: the first n distinct trajectory
+// IDs in stream order — their mirrors when mirroring, so the watched pair
+// of every member is its identical original.
+func pickMembers(events []streamEvent, n int, mirror bool) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, ev := range events {
+		if ev.Op != "put" || seen[ev.ID] {
+			continue
+		}
+		seen[ev.ID] = true
+		if mirror != isMirror(ev.ID) {
+			continue
+		}
+		out = append(out, ev.ID)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+func isMirror(id string) bool {
+	return len(id) >= 2 && id[len(id)-2:] == "~b"
+}
+
+// offlineAlerts is the independent re-evaluation: a fresh engine with the
+// server's exact spatial scales replays the stream, and every append is
+// scored against the resident watch members through ScoreBatchMin at
+// theta — the same floor the server's standing evaluation uses — counting
+// finite scores at or above it.
+func offlineAlerts(ctx context.Context, events []streamEvent, members []string, gridSize, sigma, theta float64) (int, error) {
+	scorer, err := buildScorer(gridSize, sigma)
+	if err != nil {
+		return 0, err
+	}
+	eng, err := engine.New(scorer, engine.Options{})
+	if err != nil {
+		return 0, err
+	}
+	defer eng.Close()
+	alerts := 0
+	for _, ev := range events {
+		tr := model.Trajectory{ID: ev.ID, Samples: make([]model.Sample, len(ev.Samples))}
+		for i, s := range ev.Samples {
+			tr.Samples[i] = model.Sample{T: s[0], Loc: geo.Point{X: s[1], Y: s[2]}}
+		}
+		if ev.Op == "put" {
+			if _, err := eng.Replace(tr); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if _, err := eng.Append(ev.ID, tr.Samples); err != nil {
+			return 0, err
+		}
+		grown, ok := eng.Get(ev.ID)
+		if !ok {
+			return 0, fmt.Errorf("appended %q not resident", ev.ID)
+		}
+		var cols model.Dataset
+		for _, m := range members {
+			if m == ev.ID {
+				continue
+			}
+			if mt, ok := eng.Get(m); ok {
+				cols = append(cols, mt)
+			}
+		}
+		if len(cols) == 0 {
+			continue
+		}
+		scores, err := eng.ScoreBatchMin(ctx, model.Dataset{grown}, cols, nil, theta)
+		if err != nil {
+			return 0, err
+		}
+		for _, v := range scores[0] {
+			if !math.IsInf(v, 0) && !math.IsNaN(v) && v >= theta {
+				alerts++
+			}
+		}
+	}
+	return alerts, nil
+}
+
+// buildScorer mirrors stsserved's empty-corpus scorer construction: the
+// same explicit scales must yield the bit-identical measure, or alert
+// equality is meaningless.
+func buildScorer(gridSize, sigma float64) (eval.Scorer, error) {
+	if gridSize <= 0 {
+		gridSize = sigma
+	}
+	if sigma <= 0 {
+		sigma = gridSize
+	}
+	half := 1000 * gridSize
+	bounds := geo.Rect{Min: geo.Point{X: -half, Y: -half}, Max: geo.Point{X: half, Y: half}}
+	grid, err := geo.NewGrid(bounds.Expand(4*sigma+gridSize), gridSize)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewSTS(grid, sigma)
+	if err != nil {
+		return nil, err
+	}
+	return eval.NewSTSScorer("STS", m), nil
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "stsstream: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,263 @@
+// Incremental maintenance of prepared state and bucketed profiles under
+// sample appends — the streaming path's alternative to re-deriving a
+// trajectory's state from scratch on every extension.
+//
+// Both entry points are bit-identical to a full rebuild of the extended
+// trajectory (the append goldens pin this):
+//
+//   - AppendPrepared reuses the old per-observation noise distributions
+//     verbatim — they depend only on the measure's grid, noise model, and
+//     support cap, never on the transition estimator — and computes fresh
+//     ones only for the tail. The transition spec is re-derived, since a
+//     personalized speed model gains speed observations with every append.
+//   - AppendProfile copies every prefix bucket entry a rebuild provably
+//     reproduces unchanged and recomputes the rest: buckets at or after the
+//     previous last observation always, plus — only when the transition
+//     provider is trajectory-dependent (personalized KDE) — the
+//     interpolated (weightless) prefix buckets, whose Markov estimates
+//     shift with the new speed samples. Weight-carrying buckets are exact
+//     cached noise distributions either way and are never re-derived. With
+//     a trajectory-independent provider (global speed, frequency
+//     transitions, fixed transition) the whole prefix is copied and the
+//     incremental build costs O(tail) interpolations.
+//
+// Bound metadata (reach envelopes, observation runs, entry stats) is
+// rebuilt through the same buildBoundData pass a fresh profile gets: it is
+// linear in samples and buckets with no interpolation work, and reusing the
+// one code path keeps admissibility and bit-identity trivially.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/stslib/sts/internal/model"
+	"github.com/stslib/sts/internal/stprob"
+)
+
+// providerStable reports whether a transition provider's spec is
+// independent of the trajectory it is asked about, making interpolated
+// profile entries stable under appends. Unknown providers are conservatively
+// treated as trajectory-dependent.
+func providerStable(p TransitionProvider) bool {
+	switch v := p.(type) {
+	case GlobalSpeed, FrequencyTransitions, FixedTransition:
+		return true
+	case StripRadial:
+		return providerStable(v.Provider)
+	default:
+		return false
+	}
+}
+
+// AppendPrepared extends a prepared trajectory with tail samples, reusing
+// the cached noise distributions of the existing observations. The result
+// is bit-identical to Prepare of the concatenated trajectory. The tail must
+// be strictly after the existing samples; old is not mutated.
+func (m *Measure) AppendPrepared(old *Prepared, tail []model.Sample) (*Prepared, error) {
+	if old == nil || old.Tr.Len() == 0 {
+		return nil, errors.New("core: AppendPrepared needs a non-empty prepared trajectory")
+	}
+	if len(tail) == 0 {
+		return nil, errors.New("core: AppendPrepared needs at least one tail sample")
+	}
+	n := old.Tr.Len()
+	samples := make([]model.Sample, n+len(tail))
+	copy(samples, old.Tr.Samples)
+	copy(samples[n:], tail)
+	tr := model.Trajectory{ID: old.Tr.ID, Samples: samples}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	spec, err := m.provider.For(tr)
+	if err != nil {
+		return nil, fmt.Errorf("core: transition model for %q: %w", tr.ID, err)
+	}
+	est := &stprob.Estimator{
+		Grid:              m.grid,
+		Noise:             m.noise,
+		Trans:             spec.Trans,
+		Radial:            spec.Radial,
+		MaxSpeed:          spec.MaxSpeed,
+		Exact:             m.exact,
+		MaxCandidateCells: m.maxCand,
+		MaxSupportCells:   m.maxSupp,
+		SpeedSlack:        m.slack,
+	}
+	p := &Prepared{Tr: tr, est: est, obs: make([]stprob.Dist, len(samples))}
+	copy(p.obs, old.obs)
+	for i := n; i < len(samples); i++ {
+		p.obs[i] = est.ObservedDist(samples[i].Loc)
+	}
+	return p, nil
+}
+
+// AppendProfile builds the profile of an extended trajectory from the
+// profile of its prefix: p must be the prepared state of the full
+// trajectory (typically from AppendPrepared) and old the profile of its
+// first old.SampleCount() samples, built with the same bucket width and
+// storage mode. The result is bit-identical to Measure.Profile(p, opts);
+// only the buckets a rebuild could change are recomputed (see the package
+// comment for the exact recompute set).
+func (m *Measure) AppendProfile(old *Profile, p *Prepared, opts ProfileOptions) (*Profile, error) {
+	w, err := opts.bucketWidth()
+	if err != nil {
+		return nil, err
+	}
+	if p == nil || p.Tr.Len() == 0 {
+		return nil, errors.New("core: AppendProfile needs a non-empty prepared trajectory")
+	}
+	if old == nil || old.ID != p.Tr.ID || old.BucketSeconds != w ||
+		old.compact != opts.Compact || old.n <= 0 || old.n >= p.Tr.Len() {
+		return nil, errors.New("core: AppendProfile needs the profile of a strict prefix of the prepared trajectory (same ID, bucket width, and storage mode)")
+	}
+	start, end := p.Tr.Start(), p.Tr.End()
+	b0, b1 := bucketIndex(start, w), bucketIndex(end, w)
+	if nb := b1 - b0 + 1; nb > maxProfileBuckets {
+		return nil, fmt.Errorf("core: profile of %q would span %d buckets (max %d); widen ProfileOptions.BucketSeconds",
+			p.Tr.ID, nb, maxProfileBuckets)
+	}
+	// Buckets strictly before the one holding the previous last observation
+	// keep their sample sets and (clamped) representative times under the
+	// append; whether their values survive too depends on the provider.
+	bTail := bucketIndex(p.Tr.Samples[old.n-1].T, w)
+	stable := providerStable(m.provider)
+	prof := &Profile{ID: p.Tr.ID, BucketSeconds: w, n: p.Tr.Len(), compact: opts.Compact}
+	ws := scratchPool.Get().(*pairScratch)
+	defer scratchPool.Put(ws)
+	si, oi := 0, 0
+	for b := b0; b <= b1; b++ {
+		bucketEnd := float64(b+1) * w
+		var weight int32
+		first := -1
+		for si < len(p.Tr.Samples) && p.Tr.Samples[si].T < bucketEnd {
+			if weight == 0 {
+				first = si
+			}
+			weight++
+			si++
+		}
+		for oi < len(old.buckets) && old.buckets[oi] < b {
+			oi++
+		}
+		hasOld := oi < len(old.buckets) && old.buckets[oi] == b
+		if b < bTail && (weight > 0 || stable) {
+			// A rebuild reproduces this prefix entry unchanged: mirror it
+			// verbatim, including its absence (an all-zero distribution is
+			// trimmed away by both builds).
+			if hasOld {
+				if old.weights[oi] != weight {
+					return nil, fmt.Errorf("core: AppendProfile: bucket %d weight %d != profile's %d; old profile is not a prefix of %q",
+						b, weight, old.weights[oi], p.Tr.ID)
+				}
+				copyProfileEntry(prof, old, oi)
+			}
+			continue
+		}
+		// Recomputed bucket: touched by the appended samples, or an
+		// interpolated estimate that moved with the trajectory-dependent
+		// transition model.
+		var d stprob.Dist
+		if weight > 0 {
+			d = p.obs[first]
+		} else {
+			t := (float64(b) + 0.5) * w
+			if t < start {
+				t = start
+			} else if t > end {
+				t = end
+			}
+			var derr error
+			d, derr = p.distAtWS(&ws.a, t)
+			if derr != nil {
+				return nil, derr
+			}
+		}
+		appendProfileEntry(prof, b, weight, d)
+	}
+	finishProfileViews(prof)
+	if opts.Bounds {
+		m.buildBoundData(prof, p)
+	}
+	return prof, nil
+}
+
+// copyProfileEntry appends old's i-th entry to prof's backing arrays
+// verbatim. Views are rebuilt by finishProfileViews.
+func copyProfileEntry(prof, old *Profile, i int) {
+	if old.compact {
+		d := old.dists32[i]
+		prof.cells = append(prof.cells, d.Cells...)
+		prof.probs32 = append(prof.probs32, d.Probs...)
+		prof.dists32 = append(prof.dists32, stprob.Dist32{Cells: d.Cells, Probs: d.Probs})
+	} else {
+		d := old.dists[i]
+		prof.cells = append(prof.cells, d.Cells...)
+		prof.probs = append(prof.probs, d.Probs...)
+		prof.dists = append(prof.dists, stprob.Dist{Cells: d.Cells, Probs: d.Probs})
+	}
+	prof.buckets = append(prof.buckets, old.buckets[i])
+	prof.weights = append(prof.weights, old.weights[i])
+}
+
+// appendProfileEntry appends one freshly computed bucket entry, trimming
+// zero-probability cells exactly as Measure.Profile does (in compact mode
+// the zero test runs on the stored float32 value). All-zero distributions
+// append nothing. Views are rebuilt by finishProfileViews.
+func appendProfileEntry(prof *Profile, b int64, weight int32, d stprob.Dist) {
+	off := len(prof.cells)
+	if prof.compact {
+		for k, c := range d.Cells {
+			if pv := float32(d.Probs[k]); pv > 0 {
+				prof.cells = append(prof.cells, c)
+				prof.probs32 = append(prof.probs32, pv)
+			}
+		}
+	} else {
+		for k, c := range d.Cells {
+			if pv := d.Probs[k]; pv > 0 {
+				prof.cells = append(prof.cells, c)
+				prof.probs = append(prof.probs, pv)
+			}
+		}
+	}
+	if len(prof.cells) == off {
+		return
+	}
+	prof.buckets = append(prof.buckets, b)
+	prof.weights = append(prof.weights, weight)
+	if prof.compact {
+		prof.dists32 = append(prof.dists32, stprob.Dist32{
+			Cells: prof.cells[off:len(prof.cells):len(prof.cells)],
+			Probs: prof.probs32[off:len(prof.probs32):len(prof.probs32)],
+		})
+	} else {
+		prof.dists = append(prof.dists, stprob.Dist{
+			Cells: prof.cells[off:len(prof.cells):len(prof.cells)],
+			Probs: prof.probs[off:len(prof.probs):len(prof.probs)],
+		})
+	}
+}
+
+// finishProfileViews rebuilds every entry's distribution view over the
+// final backing arrays, so all entries share one allocation even after the
+// appends above grew the arrays past earlier views.
+func finishProfileViews(prof *Profile) {
+	off := 0
+	for i := range prof.dists {
+		n := len(prof.dists[i].Cells)
+		prof.dists[i] = stprob.Dist{
+			Cells: prof.cells[off : off+n : off+n],
+			Probs: prof.probs[off : off+n : off+n],
+		}
+		off += n
+	}
+	for i := range prof.dists32 {
+		n := len(prof.dists32[i].Cells)
+		prof.dists32[i] = stprob.Dist32{
+			Cells: prof.cells[off : off+n : off+n],
+			Probs: prof.probs32[off : off+n : off+n],
+		}
+		off += n
+	}
+}

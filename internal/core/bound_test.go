@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"github.com/stslib/sts/internal/geo"
@@ -271,6 +272,34 @@ func FuzzUpperBoundAdmissible(f *testing.F) {
 		}
 		if d := math.Abs(prof - cprof); d > 1e-6*(1+math.Abs(prof)) {
 			t.Fatalf("compact profiled score %v deviates from float64 %v by %g", cprof, prof, d)
+		}
+
+		// Incremental maintenance must be indistinguishable from the
+		// rebuild: regrow a from a random prefix by appending its tail,
+		// require the resulting profile to be bit-identical to pa, and
+		// re-run the whole bound contract against it.
+		if n := a.Tr.Len(); n >= 3 {
+			cut := 1 + r.Intn(n-1)
+			head, err := m.Prepare(model.Trajectory{ID: a.Tr.ID, Samples: a.Tr.Samples[:cut]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ph, err := m.Profile(head, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			grown, err := m.AppendPrepared(head, a.Tr.Samples[cut:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			pg, err := m.AppendProfile(ph, grown, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(pg, pa) {
+				t.Fatalf("incremental profile differs from rebuild (cut %d of %d)", cut, n)
+			}
+			checkAdmissible(t, m, grown, b, pg, pb)
 		}
 	})
 }

@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/stslib/sts/internal/core"
+	"github.com/stslib/sts/internal/model"
+)
+
+// Append extends the corpus trajectory id with tail samples, which must be
+// strictly after its current last timestamp. The store logs only the
+// encoded tail (opAppend); pruner postings move incrementally; and when the
+// old generation's prepared state or profile is still cached, the new
+// generation's derived state is rebuilt incrementally (core.AppendPrepared
+// / core.AppendProfile — bit-identical to a from-scratch build) instead of
+// being dropped for the next query to re-derive.
+func (e *Engine) Append(id string, tail []model.Sample) (int, error) {
+	if id == "" {
+		return 0, errors.New("engine: corpus trajectories need a non-empty ID")
+	}
+	if len(tail) == 0 {
+		return 0, fmt.Errorf("engine: append to %q has no samples", id)
+	}
+	e.mu.Lock()
+	slot, ok := e.byID[id]
+	if !ok {
+		e.mu.Unlock()
+		return 0, fmt.Errorf("engine: trajectory %q %w", id, ErrNotFound)
+	}
+	oldRef := e.slots[slot].ref
+	// The pruner's postings are keyed by sample content, so moving them
+	// needs the old trajectory decoded — before the corpus mutates, like
+	// Remove and Replace.
+	var old, grown model.Trajectory
+	if e.pruner != nil {
+		var err error
+		if old, err = oldRef.Decode(); err != nil {
+			e.mu.Unlock()
+			return 0, fmt.Errorf("engine: %w", err)
+		}
+		samples := make([]model.Sample, len(old.Samples)+len(tail))
+		copy(samples, old.Samples)
+		copy(samples[len(old.Samples):], tail)
+		grown = model.Trajectory{ID: id, Samples: samples}
+	}
+	ref, err := e.corpus.Append(id, tail)
+	if err != nil {
+		e.mu.Unlock()
+		return 0, fmt.Errorf("engine: %w", err)
+	}
+	if e.pruner != nil {
+		e.pruner.Remove(slot, old)
+		e.pruner.Insert(slot, grown)
+	}
+	// Seize the superseded generation's derived state for incremental
+	// maintenance before forgetting it.
+	var oldPrep *core.Prepared
+	var oldProf *core.Profile
+	if e.measure != nil {
+		oldPrep, _ = e.cache.peek(refKey(oldRef))
+		if e.profiles != nil {
+			oldProf, _ = e.profiles.peek(refKey(oldRef))
+		}
+	}
+	e.forgetDerived(refKey(oldRef))
+	e.slots[slot].ref = ref
+	e.mu.Unlock()
+
+	// Refresh derived state outside the lock: cache keys are generation-
+	// scoped, so if a racing Remove/Replace supersedes ref meanwhile the
+	// entries are merely unused, never wrong. Failures here only lose the
+	// incremental head start — the next query rebuilds from scratch.
+	if oldPrep != nil {
+		p, err := e.measure.AppendPrepared(oldPrep, tail)
+		if err != nil {
+			return slot, nil
+		}
+		e.cache.put(refKey(ref), p)
+		if oldProf != nil {
+			if prof, err := e.measure.AppendProfile(oldProf, p, e.boundOpts); err == nil {
+				e.profiles.put(refKey(ref), prof)
+			}
+		}
+	}
+	return slot, nil
+}
+
+// TrimStats reports one retention sweep.
+type TrimStats struct {
+	// Removed counts trajectories dropped whole (every sample older than
+	// the cutoff); Trimmed counts trajectories whose head was cut.
+	Removed int `json:"removed"`
+	Trimmed int `json:"trimmed"`
+	// DroppedSamples counts samples discarded across both kinds.
+	DroppedSamples int `json:"dropped_samples"`
+}
+
+// TrimBefore drops every sample with timestamp < cutoff from the corpus:
+// trajectories that end before the cutoff are removed entirely, ones that
+// straddle it are rewritten without their expired head (a Replace in the
+// store, so the WAL stays replayable and the next snapshot compacts the
+// trimmed records). The sweep holds the engine's mutation lock, acting as
+// one atomic retention step against concurrent appends and queries.
+func (e *Engine) TrimBefore(cutoff float64) (TrimStats, error) {
+	var st TrimStats
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, id := range e.corpus.IDs() {
+		slot, ok := e.byID[id]
+		if !ok {
+			continue
+		}
+		ref := e.slots[slot].ref
+		tr, err := ref.Decode()
+		if err != nil {
+			return st, fmt.Errorf("engine: %w", err)
+		}
+		n := len(tr.Samples)
+		if n == 0 || !(tr.Samples[0].T < cutoff) {
+			continue
+		}
+		if tr.Samples[n-1].T < cutoff {
+			if err := e.corpus.Remove(id); err != nil {
+				return st, fmt.Errorf("engine: %w", err)
+			}
+			e.dropSlotLocked(slot, tr)
+			st.Removed++
+			st.DroppedSamples += n
+			continue
+		}
+		k := 0
+		for k < n && tr.Samples[k].T < cutoff {
+			k++
+		}
+		keep := make([]model.Sample, n-k)
+		copy(keep, tr.Samples[k:])
+		trimmed := model.Trajectory{ID: id, Samples: keep}
+		newRef, err := e.corpus.Replace(trimmed)
+		if err != nil {
+			return st, fmt.Errorf("engine: %w", err)
+		}
+		if e.pruner != nil {
+			e.pruner.Remove(slot, tr)
+			e.pruner.Insert(slot, trimmed)
+		}
+		e.forgetDerived(refKey(ref))
+		e.slots[slot].ref = newRef
+		st.Trimmed++
+		st.DroppedSamples += k
+	}
+	return st, nil
+}

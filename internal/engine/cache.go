@@ -234,6 +234,44 @@ func (s *cacheShard[V]) evictLocked() {
 	}
 }
 
+// peek returns key's completed value without blocking or counting toward
+// the hit/miss stats, and the zero V when the entry is absent or still in
+// flight. The append path uses it to seize a record's derived state for
+// incremental maintenance before the old generation is forgotten.
+func (c *lruCache[V]) peek(key prepKey) (V, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		if e := el.Value.(*cacheEntry[V]); e.done && e.err == nil {
+			return e.v, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// put inserts a completed value for key, dropping the least-recently-used
+// entries if the shard overflows. An existing entry (completed or in
+// flight) wins: the racing build produced the same generation's state, and
+// replacing an in-flight entry would strand its waiters.
+func (c *lruCache[V]) put(key prepKey, v V) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[key]; ok {
+		return
+	}
+	e := &cacheEntry[V]{key: key, ready: make(chan struct{}), done: true, v: v}
+	close(e.ready)
+	if s.size != nil {
+		e.bytes = int64(s.size(v))
+		s.bytes += e.bytes
+	}
+	s.entries[key] = s.order.PushFront(e)
+	s.evictLocked()
+}
+
 // forget removes a trajectory's entry (if completed) — corpus Remove and
 // Replace call it so stale derived state does not linger at full cache
 // capacity.

@@ -193,6 +193,33 @@ func (s *Sharded) Replace(tr model.Trajectory) (int, error) {
 	return s.shardFor(tr.ID).Replace(tr)
 }
 
+// Append extends id's trajectory on its owning shard; only that shard's
+// lock is taken, so concurrent appends to different shards never contend.
+func (s *Sharded) Append(id string, tail []model.Sample) (int, error) {
+	return s.shardFor(id).Append(id, tail)
+}
+
+// TrimBefore runs the retention sweep on every shard concurrently and sums
+// the per-shard stats. Atomicity is per shard (each shard's sweep holds its
+// own mutation lock), matching the coordinator's general consistency model.
+func (s *Sharded) TrimBefore(cutoff float64) (TrimStats, error) {
+	parts := make([]TrimStats, len(s.shards))
+	if err := ForEach(context.Background(), len(s.shards), s.fanOut, func(i int) error {
+		var err error
+		parts[i], err = s.shards[i].TrimBefore(cutoff)
+		return err
+	}); err != nil {
+		return TrimStats{}, err
+	}
+	var out TrimStats
+	for _, p := range parts {
+		out.Removed += p.Removed
+		out.Trimmed += p.Trimmed
+		out.DroppedSamples += p.DroppedSamples
+	}
+	return out, nil
+}
+
 // Get decodes id's trajectory from its owning shard's store.
 func (s *Sharded) Get(id string) (model.Trajectory, bool) { return s.shardFor(id).Get(id) }
 

@@ -14,11 +14,13 @@ import (
 	"github.com/stslib/sts/internal/datagen"
 	"github.com/stslib/sts/internal/engine"
 	"github.com/stslib/sts/internal/eval"
+	"github.com/stslib/sts/internal/geo"
 	"github.com/stslib/sts/internal/index"
 	"github.com/stslib/sts/internal/kde"
 	"github.com/stslib/sts/internal/linking"
 	"github.com/stslib/sts/internal/model"
 	"github.com/stslib/sts/internal/store"
+	"github.com/stslib/sts/internal/stream"
 )
 
 // PerfOptions configures the benchmark-regression harness behind
@@ -866,6 +868,142 @@ func RunPerf(cfg Config, opts PerfOptions, outPath string, w io.Writer) error {
 		row := &report.Benches[len(report.Benches)-1]
 		row.RecoverSeconds = rec.Duration.Seconds()
 		row.BytesPerTrajectory = float64(liveBytes) / nTraj
+	}
+
+	// Streaming ingestion and standing-query evaluation: the two hot paths
+	// of the live-subscription subsystem. append_ingest measures
+	// Engine.Append alone — tail validation, columnar re-encode, WAL frame,
+	// and the generation-scoped refresh of cached derived state — on a
+	// resident synth corpus. standing_eval adds the subscription work: each
+	// append re-evaluates one watchlist through the ScoreBatchMin floor, so
+	// the row's prune rate reports how much of the candidate set the
+	// admissible upper bound disposes of before refinement. The corpus pairs
+	// every original with a mirrored twin and watches the first mirrors:
+	// each evaluation scores one genuinely co-located pair (refines, alerts)
+	// against a majority of temporally disjoint ones (pruned), the
+	// steady-state shape of a live watchlist.
+	{
+		const (
+			nTraj  = 256
+			batch  = 5
+			nWatch = 8
+			theta  = 0.05
+		)
+		cfg := datagen.DefaultSynthConfig(nTraj)
+		originals := make([]model.Trajectory, nTraj)
+		var bounds geo.Rect
+		for i := range originals {
+			originals[i] = datagen.SynthTrajectory(cfg, i)
+			b := originals[i].Bounds()
+			if i == 0 {
+				bounds = b
+			} else {
+				bounds = bounds.Union(b)
+			}
+		}
+		const (
+			gridSize = 50.0
+			sigma    = 25.0
+		)
+		grid, err := geo.NewGrid(bounds.Expand(4*sigma+gridSize), gridSize)
+		if err != nil {
+			return err
+		}
+		m, err := core.NewSTS(grid, sigma)
+		if err != nil {
+			return err
+		}
+		newCorpus := func(mirrors bool) (*engine.Engine, []float64, error) {
+			eng, err := engine.New(eval.NewSTSScorer("STS", m), engine.Options{Workers: workers})
+			if err != nil {
+				return nil, nil, err
+			}
+			lastT := make([]float64, nTraj)
+			for i, tr := range originals {
+				if _, err := eng.Add(tr); err != nil {
+					return nil, nil, err
+				}
+				lastT[i] = tr.Samples[len(tr.Samples)-1].T
+				if mirrors {
+					mt := model.Trajectory{ID: tr.ID + "~b", Samples: tr.Samples}
+					if _, err := eng.Add(mt); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+			return eng, lastT, nil
+		}
+		// nextTail extends trajectory k past its high-water mark: the object
+		// holds position and keeps reporting, the cheapest valid continuation,
+		// so the row isolates the append machinery rather than the generator.
+		nextTail := func(lastT []float64, k int) []model.Sample {
+			tail := make([]model.Sample, batch)
+			t := lastT[k]
+			loc := originals[k].Samples[len(originals[k].Samples)-1].Loc
+			for j := range tail {
+				t += cfg.ReportPeriod
+				tail[j] = model.Sample{T: t, Loc: loc}
+			}
+			lastT[k] = t
+			return tail
+		}
+
+		eng, lastT, err := newCorpus(false)
+		if err != nil {
+			return err
+		}
+		ai := 0
+		if err := add(fmt.Sprintf("append_ingest/synth/batch=%d", batch), 0, func() error {
+			k := ai % nTraj
+			ai++
+			_, err := eng.Append(originals[k].ID, nextTail(lastT, k))
+			return err
+		}); err != nil {
+			return err
+		}
+		if err := eng.Close(); err != nil {
+			return err
+		}
+
+		eng, lastT, err = newCorpus(true)
+		if err != nil {
+			return err
+		}
+		members := make([]string, nWatch)
+		for i := range members {
+			members[i] = originals[i].ID + "~b"
+		}
+		reg, err := stream.NewRegistry(eng, stream.Options{})
+		if err != nil {
+			return err
+		}
+		if err := reg.Set(stream.Watch{Name: "bench", Members: members, Theta: theta}); err != nil {
+			return err
+		}
+		si := 0
+		if err := add(fmt.Sprintf("standing_eval/synth/watch=%d", nWatch), nWatch, func() error {
+			k := si % nTraj
+			si++
+			id := originals[k].ID
+			if _, err := eng.Append(id, nextTail(lastT, k)); err != nil {
+				return err
+			}
+			grown, ok := eng.Get(id)
+			if !ok {
+				return fmt.Errorf("appended %q not resident", id)
+			}
+			_, err := reg.OnAppend(context.Background(), grown, batch)
+			return err
+		}); err != nil {
+			return err
+		}
+		row := &report.Benches[len(report.Benches)-1]
+		row.PruneRate = pruneRate(eng.PruneStats())
+		row.CacheHitRate = eng.CacheStats().HitRate()
+		reg.Close()
+		if err := eng.Close(); err != nil {
+			return err
+		}
 	}
 
 	if base != nil {

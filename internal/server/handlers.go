@@ -22,7 +22,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.render(w, s.eng)
+	s.metrics.render(w, s.eng, s.watches)
 	return nil
 }
 

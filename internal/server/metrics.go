@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/stslib/sts/internal/engine"
+	"github.com/stslib/sts/internal/stream"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds, spanning
@@ -89,8 +90,10 @@ func (m *metrics) observe(route string, code int, elapsed time.Duration) {
 // counters with hit ratios. On a sharded engine, store residency and the
 // prune counters additionally export one shard-labeled series per
 // partition next to the unlabeled rollup (sum the labeled series, not the
-// family, when aggregating).
-func (m *metrics) render(w io.Writer, eng engine.Service) {
+// family, when aggregating). The streaming registry contributes the
+// append/standing-query/alert-delivery families (watch-labeled where a
+// per-watch breakdown helps), rendered by renderStream below.
+func (m *metrics) render(w io.Writer, eng engine.Service, reg *stream.Registry) {
 	var shards []engine.ShardStat
 	if st, ok := eng.(engine.ShardStater); ok {
 		shards = st.ShardStats()
@@ -215,6 +218,63 @@ func (m *metrics) render(w io.Writer, eng engine.Service) {
 	for _, k := range kinds {
 		fmt.Fprintf(w, "sts_cache_resident_bytes{cache=%q} %d\n", k.name, k.stats.Bytes)
 	}
+
+	if reg != nil {
+		renderStream(w, reg.Stats())
+	}
+}
+
+// renderStream writes the streaming subsystem's families: append ingest
+// counters, standing-query evaluation counters with the per-append
+// evaluation latency histogram, and webhook delivery outcomes. Alert and
+// delivery counters additionally export one watch-labeled series per
+// standing query next to the unlabeled rollup.
+func renderStream(w io.Writer, st stream.Stats) {
+	fmt.Fprint(w, "# HELP sts_append_total Sample-level trajectory appends evaluated by the streaming subsystem.\n# TYPE sts_append_total counter\n")
+	fmt.Fprintf(w, "sts_append_total %d\n", st.Appends)
+	fmt.Fprint(w, "# HELP sts_append_samples_total Samples ingested through appends.\n# TYPE sts_append_samples_total counter\n")
+	fmt.Fprintf(w, "sts_append_samples_total %d\n", st.AppendedSamples)
+
+	fmt.Fprint(w, "# HELP sts_watches Standing co-location queries registered.\n# TYPE sts_watches gauge\n")
+	fmt.Fprintf(w, "sts_watches %d\n", len(st.Watches))
+	fmt.Fprint(w, "# HELP sts_standing_evals_total Standing-query evaluations run against appended trajectories.\n# TYPE sts_standing_evals_total counter\n")
+	fmt.Fprintf(w, "sts_standing_evals_total %d\n", st.Evals)
+	fmt.Fprint(w, "# HELP sts_standing_pairs_total Candidate pairs scored by standing evaluations.\n# TYPE sts_standing_pairs_total counter\n")
+	fmt.Fprintf(w, "sts_standing_pairs_total %d\n", st.Pairs)
+	fmt.Fprint(w, "# HELP sts_standing_subthreshold_total Standing-query pairs disposed of below theta (upper-bound pruned or refined under it).\n# TYPE sts_standing_subthreshold_total counter\n")
+	fmt.Fprintf(w, "sts_standing_subthreshold_total %d\n", st.Subthreshold)
+
+	fmt.Fprint(w, "# HELP sts_alerts_total Standing-query alerts fired, by watch.\n# TYPE sts_alerts_total counter\n")
+	fmt.Fprintf(w, "sts_alerts_total %d\n", st.Alerts)
+	for _, ws := range st.Watches {
+		fmt.Fprintf(w, "sts_alerts_total{watch=%q} %d\n", ws.Name, ws.Alerts)
+	}
+	fmt.Fprint(w, "# HELP sts_alert_delivered_total Alerts delivered to their webhook, by watch.\n# TYPE sts_alert_delivered_total counter\n")
+	fmt.Fprintf(w, "sts_alert_delivered_total %d\n", st.Delivered)
+	for _, ws := range st.Watches {
+		fmt.Fprintf(w, "sts_alert_delivered_total{watch=%q} %d\n", ws.Name, ws.Delivered)
+	}
+	fmt.Fprint(w, "# HELP sts_alert_retries_total Webhook delivery retries.\n# TYPE sts_alert_retries_total counter\n")
+	fmt.Fprintf(w, "sts_alert_retries_total %d\n", st.Retries)
+	fmt.Fprint(w, "# HELP sts_alert_dead_letter_total Alerts abandoned after exhausting delivery attempts, by watch.\n# TYPE sts_alert_dead_letter_total counter\n")
+	fmt.Fprintf(w, "sts_alert_dead_letter_total %d\n", st.DeadLettered)
+	for _, ws := range st.Watches {
+		fmt.Fprintf(w, "sts_alert_dead_letter_total{watch=%q} %d\n", ws.Name, ws.DeadLettered)
+	}
+	fmt.Fprint(w, "# HELP sts_alert_dropped_total Alerts shed because a delivery queue was full.\n# TYPE sts_alert_dropped_total counter\n")
+	fmt.Fprintf(w, "sts_alert_dropped_total %d\n", st.Dropped)
+
+	fmt.Fprint(w, "# HELP sts_standing_eval_seconds Standing-query evaluation latency per append.\n# TYPE sts_standing_eval_seconds histogram\n")
+	h := st.EvalSeconds
+	cum := uint64(0)
+	for i, le := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(w, "sts_standing_eval_seconds_bucket{le=%q} %d\n", formatFloat(le), cum)
+	}
+	cum += h.Overflow
+	fmt.Fprintf(w, "sts_standing_eval_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "sts_standing_eval_seconds_sum %s\n", formatFloat(h.Sum))
+	fmt.Fprintf(w, "sts_standing_eval_seconds_count %d\n", h.Count)
 }
 
 func (m *metrics) route(name string) *routeMetrics {

@@ -20,7 +20,7 @@ func renderToString(t *testing.T, m *metrics) string {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	m.render(&sb, eng)
+	m.render(&sb, eng, nil)
 	return sb.String()
 }
 

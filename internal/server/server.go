@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"github.com/stslib/sts/internal/engine"
+	"github.com/stslib/sts/internal/stream"
 	"github.com/stslib/sts/internal/version"
 )
 
@@ -83,6 +84,11 @@ type Options struct {
 	// Version is surfaced in /v1/stats (empty selects the build stamp of
 	// the running binary).
 	Version string
+	// Watches is the standing-query registry behind the append and watch
+	// routes (nil builds a fresh in-memory registry over the engine, so
+	// the routes always exist; pass one to persist watch configurations or
+	// tune webhook delivery).
+	Watches *stream.Registry
 }
 
 // Server serves one engine's corpus over HTTP. It implements http.Handler;
@@ -97,6 +103,7 @@ type Server struct {
 	log     *slog.Logger
 	metrics *metrics
 	limiter *limiter
+	watches *stream.Registry
 	mux     *http.ServeMux
 }
 
@@ -129,12 +136,20 @@ func New(eng engine.Service, opts Options) (*Server, error) {
 	if opts.Version == "" {
 		opts.Version = version.String()
 	}
+	if opts.Watches == nil {
+		reg, err := stream.NewRegistry(eng, stream.Options{})
+		if err != nil {
+			return nil, err
+		}
+		opts.Watches = reg
+	}
 	s := &Server{
 		eng:     eng,
 		opts:    opts,
 		log:     opts.Logger,
 		metrics: newMetrics(),
 		limiter: newLimiter(opts.MaxInFlight),
+		watches: opts.Watches,
 		mux:     http.NewServeMux(),
 	}
 	s.routes()
@@ -160,6 +175,11 @@ func (s *Server) routes() {
 	s.handle("GET /v1/trajectories/{id}", "get", ingest, s.handleGetTrajectory)
 	s.handle("DELETE /v1/trajectories/{id}", "delete", ingest, s.handleDelete)
 	s.handle("POST /v1/trajectories:batch", "batch", ingest, s.handleBatch)
+	s.handle("POST /v1/trajectories/{idop}", "append", ingest, s.handleAppend)
+
+	s.handle("GET /v1/watch", "watch_list", ingest, s.handleWatchList)
+	s.handle("PUT /v1/watch/{name}", "watch_put", ingest, s.handleWatchPut)
+	s.handle("DELETE /v1/watch/{name}", "watch_delete", ingest, s.handleWatchDelete)
 
 	s.handle("GET /v1/similarity", "similarity", query, s.handleSimilarity)
 	s.handle("GET /v1/topk", "topk", query, s.handleTopK)

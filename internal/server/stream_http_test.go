@@ -1,0 +1,173 @@
+package server_test
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/stslib/sts/api"
+	"github.com/stslib/sts/internal/server"
+)
+
+// TestAppendEndpoint covers POST /v1/trajectories/{id}:append: the happy
+// path grows the resident trajectory and reports the new sample count, and
+// each rejection class maps to the right status.
+func TestAppendEndpoint(t *testing.T) {
+	_, eng, ds := mallWorld(t, 6)
+	ts := newTestServer(t, eng, server.Options{})
+
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/trajectories:batch",
+		api.BatchRequest{Trajectories: api.FromDataset(ds)}, nil); code != http.StatusOK {
+		t.Fatalf("batch ingest: code %d", code)
+	}
+	id := ds[0].ID
+	var tr api.Trajectory
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/trajectories/"+id, nil, &tr); code != http.StatusOK {
+		t.Fatalf("get %q: code %d", id, code)
+	}
+	last := tr.Samples[len(tr.Samples)-1]
+
+	var ar api.AppendResponse
+	tail := api.AppendRequest{Samples: [][3]float64{
+		{last[0] + 5, last[1], last[2]},
+		{last[0] + 10, last[1] + 1, last[2]},
+	}}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/trajectories/"+id+":append", tail, &ar); code != http.StatusOK {
+		t.Fatalf("append: code %d", code)
+	}
+	if ar.ID != id || ar.N != len(tr.Samples)+2 || ar.CorpusSize != len(ds) {
+		t.Fatalf("append response %+v, want id=%s n=%d corpus=%d", ar, id, len(tr.Samples)+2, len(ds))
+	}
+
+	// The grown trajectory is served back with the appended tail.
+	var grown api.Trajectory
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/trajectories/"+id, nil, &grown); code != http.StatusOK {
+		t.Fatalf("get grown: code %d", code)
+	}
+	if len(grown.Samples) != ar.N {
+		t.Fatalf("grown has %d samples, append reported %d", len(grown.Samples), ar.N)
+	}
+
+	rejects := []struct {
+		name string
+		url  string
+		body any
+		want int
+	}{
+		{"unknown op", ts.URL + "/v1/trajectories/" + id + ":compact", tail, http.StatusNotFound},
+		{"no id", ts.URL + "/v1/trajectories/:append", tail, http.StatusBadRequest},
+		{"missing trajectory", ts.URL + "/v1/trajectories/nobody:append", tail, http.StatusNotFound},
+		{"empty tail", ts.URL + "/v1/trajectories/" + id + ":append", api.AppendRequest{}, http.StatusBadRequest},
+		{"stale tail", ts.URL + "/v1/trajectories/" + id + ":append",
+			api.AppendRequest{Samples: [][3]float64{{last[0] - 1, last[1], last[2]}}}, http.StatusBadRequest},
+	}
+	for _, rj := range rejects {
+		if code := doJSON(t, http.MethodPost, rj.url, rj.body, nil); code != rj.want {
+			t.Errorf("%s: code %d, want %d", rj.name, code, rj.want)
+		}
+	}
+}
+
+// TestWatchEndpointsAndAlerts drives the standing-query lifecycle over
+// HTTP: register a watch on a shadow copy of a trajectory, append to the
+// original so the pair crosses theta, and check the alert shows up in the
+// append response, the per-watch stats, and /metrics.
+func TestWatchEndpointsAndAlerts(t *testing.T) {
+	_, eng, ds := mallWorld(t, 6)
+	ts := newTestServer(t, eng, server.Options{})
+
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/trajectories:batch",
+		api.BatchRequest{Trajectories: api.FromDataset(ds)}, nil); code != http.StatusOK {
+		t.Fatalf("batch ingest: code %d", code)
+	}
+	// Shadow is a bit-identical copy of ds[0] under another ID, so the
+	// grown ds[0] scores high against it and a tiny theta must alert.
+	shadow := ds[0]
+	shadow.ID = "shadow"
+	if code := doJSON(t, http.MethodPut, ts.URL+"/v1/trajectories/shadow",
+		api.FromTrajectory(shadow), nil); code != http.StatusOK {
+		t.Fatalf("put shadow: code %d", code)
+	}
+
+	for _, bad := range []struct {
+		name string
+		w    api.Watch
+	}{
+		{"no members", api.Watch{Theta: 0.5}},
+		{"zero theta", api.Watch{Members: []string{"shadow"}}},
+		{"theta above one", api.Watch{Members: []string{"shadow"}, Theta: 1.5}},
+		{"name mismatch", api.Watch{Name: "other", Members: []string{"shadow"}, Theta: 0.5}},
+	} {
+		if code := doJSON(t, http.MethodPut, ts.URL+"/v1/watch/pals", bad.w, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: code %d, want 400", bad.name, code)
+		}
+	}
+
+	var echoed api.Watch
+	if code := doJSON(t, http.MethodPut, ts.URL+"/v1/watch/pals",
+		api.Watch{Members: []string{"shadow"}, Theta: 0.001}, &echoed); code != http.StatusOK {
+		t.Fatalf("put watch: code %d", code)
+	}
+	if echoed.Name != "pals" {
+		t.Fatalf("echoed watch name %q, want pals", echoed.Name)
+	}
+
+	id := ds[0].ID
+	var tr api.Trajectory
+	doJSON(t, http.MethodGet, ts.URL+"/v1/trajectories/"+id, nil, &tr)
+	last := tr.Samples[len(tr.Samples)-1]
+	var ar api.AppendResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/trajectories/"+id+":append",
+		api.AppendRequest{Samples: [][3]float64{{last[0] + 5, last[1], last[2]}}}, &ar); code != http.StatusOK {
+		t.Fatalf("append: code %d", code)
+	}
+	if ar.Alerts != 1 {
+		t.Fatalf("append fired %d alerts, want 1 (grown %s vs identical shadow)", ar.Alerts, id)
+	}
+
+	var wl api.WatchListResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/watch", nil, &wl); code != http.StatusOK {
+		t.Fatalf("watch list: code %d", code)
+	}
+	if wl.Count != 1 || len(wl.Watches) != 1 {
+		t.Fatalf("watch list %+v, want exactly the one watch", wl)
+	}
+	ws := wl.Watches[0]
+	if ws.Name != "pals" || ws.Members != 1 || ws.Evals != 1 || ws.Alerts != 1 {
+		t.Fatalf("watch stats %+v, want pals members=1 evals=1 alerts=1", ws)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"sts_append_total 1",
+		"sts_append_samples_total 1",
+		"sts_watches 1",
+		"sts_standing_evals_total 1",
+		`sts_alerts_total{watch="pals"} 1`,
+		"sts_standing_eval_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/watch/pals", nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete watch: code %d", code)
+	}
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/watch/pals", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("double delete: code %d, want 404", code)
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/watch", nil, &wl); code != http.StatusOK || wl.Count != 0 {
+		t.Fatalf("watch list after delete: code %d count %d", code, wl.Count)
+	}
+}

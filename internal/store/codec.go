@@ -167,6 +167,27 @@ func recordCount(blob []byte) (int, error) {
 	return int(n), nil
 }
 
+// recordStep returns the quantization step a record was encoded with
+// (0 = lossless coordinates).
+func recordStep(blob []byte) (float64, error) {
+	if len(blob) == 0 {
+		return 0, fmt.Errorf("%w: empty", ErrCorrupt)
+	}
+	if blob[0]&flagQuantized == 0 {
+		return 0, nil
+	}
+	b := blob[1:]
+	_, k := binary.Uvarint(b)
+	if k <= 0 || len(b) < k+8 {
+		return 0, fmt.Errorf("%w: truncated quantization step", ErrCorrupt)
+	}
+	step := math.Float64frombits(binary.LittleEndian.Uint64(b[k:]))
+	if !(step > 0) || math.IsInf(step, 0) {
+		return 0, fmt.Errorf("%w: invalid quantization step %v", ErrCorrupt, step)
+	}
+	return step, nil
+}
+
 // decodeInto decodes a record into dst (reused when its capacity suffices)
 // and returns the decoded samples. It never panics on corrupt input.
 func decodeInto(blob []byte, dst []model.Sample) ([]model.Sample, error) {

@@ -91,9 +91,9 @@ var ErrNotFound = errors.New("store: trajectory not found")
 // (re)encoded record and never zero — {ID, Gen} identifies a record version
 // across the engine's derived-state caches.
 type Ref struct {
-	ID  string
-	Gen uint64
-	N   int
+	ID   string
+	Gen  uint64
+	N    int
 	blob []byte
 }
 
@@ -117,6 +117,7 @@ func (r Ref) Decode() (model.Trajectory, error) {
 type Corpus interface {
 	Add(tr model.Trajectory) (Ref, error)
 	Replace(tr model.Trajectory) (Ref, error)
+	Append(id string, tail []model.Sample) (Ref, error)
 	Remove(id string) error
 	Get(id string) (model.Trajectory, bool)
 	Len() int
@@ -173,10 +174,11 @@ type rec struct {
 
 // shard is one independently locked slice of the store.
 type shard struct {
-	mu      sync.Mutex
-	recs    map[string]*rec
-	cur     *block
-	scratch []byte
+	mu       sync.Mutex
+	recs     map[string]*rec
+	cur      *block
+	scratch  []byte
+	scratch2 []byte // second encode buffer for append frames
 }
 
 // Store is a sharded columnar trajectory corpus. All methods are safe for
@@ -340,6 +342,69 @@ func (s *Store) dropLocked(sh *shard, r *rec) {
 	}
 }
 
+// Append extends the resident record for id with a tail of samples, which
+// must be finite, time-ordered, and strictly after the record's last
+// timestamp. The WAL carries only the encoded tail plus the expected prior
+// sample count (so replay over a snapshot that already contains the append
+// is a no-op); the in-memory record is re-encoded in full under a fresh
+// generation, exactly as Replace would produce it.
+func (s *Store) Append(id string, tail []model.Sample) (Ref, error) {
+	if id == "" {
+		return Ref{}, errors.New("store: trajectory needs a non-empty ID")
+	}
+	if len(tail) == 0 {
+		return Ref{}, fmt.Errorf("store: append to %q has no samples", id)
+	}
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old, ok := sh.recs[id]
+	if !ok {
+		return Ref{}, fmt.Errorf("store: trajectory %q: %w", id, ErrNotFound)
+	}
+	oldN := old.ref.N
+	buf := make([]model.Sample, oldN+len(tail))
+	base, err := decodeInto(old.ref.blob, buf[:oldN])
+	if err != nil {
+		return Ref{}, fmt.Errorf("store: decode %q: %w", id, err)
+	}
+	prevT := base[oldN-1].T
+	for i, smp := range tail {
+		if !smp.Loc.IsFinite() || math.IsNaN(smp.T) || math.IsInf(smp.T, 0) {
+			return Ref{}, fmt.Errorf("store: append to %q: sample %d is not finite", id, i)
+		}
+		if !(smp.T > prevT) {
+			return Ref{}, fmt.Errorf("store: append to %q: sample %d (t=%v) not after t=%v", id, i, smp.T, prevT)
+		}
+		prevT = smp.T
+	}
+	merged := append(base, tail...)
+	step := s.CoordStep()
+	// WAL first: only the delta is logged. A failed append leaves the store
+	// unchanged.
+	if s.pers != nil {
+		sh.scratch = appendRecord(sh.scratch[:0], tail, step)
+		sh.scratch2 = appendAppendBlob(sh.scratch2[:0], oldN, sh.scratch)
+		trigger, err := s.pers.append(opAppend, id, sh.scratch2)
+		if err != nil {
+			return Ref{}, err
+		}
+		if trigger {
+			s.triggerSnapshot()
+		}
+	}
+	sh.scratch = appendRecord(sh.scratch[:0], merged, step)
+	ref := Ref{ID: id, Gen: s.gen.Add(1), N: len(merged)}
+	s.placeLocked(sh, &ref, sh.scratch)
+	s.dropLocked(sh, old)
+	sh.recs[id] = &rec{ref: ref, blk: sh.cur}
+	s.liveBytes.Add(int64(len(ref.blob)))
+	if s.dcache != nil {
+		s.dcache.forget(id)
+	}
+	return ref, nil
+}
+
 // Remove deletes the record with the given ID.
 func (s *Store) Remove(id string) error {
 	sh := s.shardOf(id)
@@ -399,6 +464,47 @@ func (s *Store) applyReplay(op byte, id string, blob []byte) error {
 			s.dropLocked(sh, r)
 			s.count.Add(-1)
 		}
+		return nil
+	case opAppend:
+		oldN, tailRec, err := splitAppendBlob(blob)
+		if err != nil {
+			return err
+		}
+		tailN, err := recordCount(tailRec)
+		if err != nil {
+			return err
+		}
+		sh := s.shardOf(id)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		r, ok := sh.recs[id]
+		if !ok || r.ref.N != oldN {
+			// The append is already reflected in the state replay started
+			// from (snapshot capture is concurrent with WAL writes), or a
+			// later frame supersedes this record. Skipping is the idempotent
+			// move either way.
+			return nil
+		}
+		buf := make([]model.Sample, oldN+tailN)
+		if _, err := decodeInto(r.ref.blob, buf[:oldN]); err != nil {
+			return err
+		}
+		if _, err := decodeInto(tailRec, buf[oldN:]); err != nil {
+			return err
+		}
+		// Re-encode with the tail's embedded step — the store step active
+		// when the append was logged — so the rebuilt record matches what
+		// the live path produced.
+		step, err := recordStep(tailRec)
+		if err != nil {
+			return err
+		}
+		sh.scratch = appendRecord(sh.scratch[:0], buf, step)
+		ref := Ref{ID: id, Gen: s.gen.Add(1), N: len(buf)}
+		s.placeLocked(sh, &ref, sh.scratch)
+		s.dropLocked(sh, r)
+		sh.recs[id] = &rec{ref: ref, blk: sh.cur}
+		s.liveBytes.Add(int64(len(ref.blob)))
 		return nil
 	default:
 		return fmt.Errorf("%w: unknown op %d", ErrCorrupt, op)

@@ -31,6 +31,11 @@ const (
 	opAdd     byte = 1
 	opRemove  byte = 2
 	opReplace byte = 3
+	// opAppend extends a resident record with a tail of samples. Its blob is
+	// a uvarint of the expected prior sample count followed by the tail
+	// encoded as its own columnar record — the WAL carries only the delta,
+	// not the whole re-encoded trajectory.
+	opAppend byte = 4
 )
 
 // maxFrame caps a frame's payload so corrupt length prefixes cannot drive
@@ -99,7 +104,29 @@ func splitPayload(payload []byte) (op byte, id string, blob []byte, err error) {
 	if op == opRemove && len(blob) != 0 {
 		return 0, "", nil, fmt.Errorf("%w: remove with record bytes", ErrCorrupt)
 	}
+	if op == opAppend && len(blob) == 0 {
+		return 0, "", nil, fmt.Errorf("%w: append without tail bytes", ErrCorrupt)
+	}
 	return op, id, blob, nil
+}
+
+// appendAppendBlob encodes an opAppend frame blob: the expected prior
+// sample count followed by the tail's columnar record.
+func appendAppendBlob(dst []byte, oldN int, tailRecord []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(oldN))
+	return append(dst, tailRecord...)
+}
+
+// splitAppendBlob decodes an opAppend frame blob.
+func splitAppendBlob(blob []byte) (oldN int, tail []byte, err error) {
+	n, k := binary.Uvarint(blob)
+	if k <= 0 || n > uint64(maxFrame) {
+		return 0, nil, fmt.Errorf("%w: bad append base count", ErrCorrupt)
+	}
+	if len(blob) == k {
+		return 0, nil, fmt.Errorf("%w: append without tail record", ErrCorrupt)
+	}
+	return int(n), blob[k:], nil
 }
 
 // persistence is the durable half of a Store: the open WAL segment and the

@@ -1,0 +1,81 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"time"
+)
+
+// deliver is one watch's delivery loop: drain the bounded queue, POST each
+// alert to the watch's webhook, retry transient failures with capped
+// jittered exponential backoff, and dead-letter alerts that exhaust their
+// attempts. It exits when the watch is deleted or the registry closes.
+func (r *Registry) deliver(ws *watchState) {
+	defer r.wg.Done()
+	client := &http.Client{Timeout: r.opts.WebhookTimeout}
+	for {
+		select {
+		case <-ws.stop:
+			return
+		case a := <-ws.queue:
+			r.deliverOne(client, ws, a)
+		}
+	}
+}
+
+// deliverOne pushes one alert through the retry schedule. The webhook URL
+// is re-read from the watch config per attempt, so a Set that retargets
+// the watch redirects in-flight retries too.
+func (r *Registry) deliverOne(client *http.Client, ws *watchState, a Alert) {
+	backoff := r.opts.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		url := ws.config().Webhook
+		if url == "" {
+			// Retargeted to "no webhook" mid-flight: the alert is already
+			// counted; nothing left to deliver.
+			return
+		}
+		if err := post(client, url, a); err == nil {
+			ws.delivered.Add(1)
+			return
+		}
+		if attempt >= r.opts.MaxAttempts {
+			ws.deadLettered.Add(1)
+			return
+		}
+		ws.retries.Add(1)
+		// Full jitter on the current rung: sleep U[backoff/2, backoff],
+		// then double toward the cap. Decorrelates retry storms across
+		// watches without stretching the worst case.
+		sleep := backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
+		select {
+		case <-ws.stop:
+			return
+		case <-time.After(sleep):
+		}
+		backoff *= 2
+		if backoff > r.opts.MaxBackoff {
+			backoff = r.opts.MaxBackoff
+		}
+	}
+}
+
+// post sends one alert as a JSON POST; any non-2xx status is a failure.
+func post(client *http.Client, url string, a Alert) error {
+	body, err := json.Marshal(a)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("webhook returned %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package stream
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// watchFileName is the persisted watch-configuration file inside
+// Options.Dir.
+const watchFileName = "watches.json"
+
+// watchFile is the on-disk shape: a versioned envelope so the format can
+// grow fields without breaking older files.
+type watchFile struct {
+	Version int     `json:"version"`
+	Watches []Watch `json:"watches"`
+}
+
+// loadWatches reads the persisted watch configurations from dir. A missing
+// file is an empty registry, not an error.
+func loadWatches(dir string) ([]Watch, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, watchFileName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("stream: read %s: %w", watchFileName, err)
+	}
+	var f watchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("stream: parse %s: %w", watchFileName, err)
+	}
+	return f.Watches, nil
+}
+
+// persistLocked writes the current watch set to Dir/watches.json via
+// tmp+rename (with fsync), so a crash mid-write leaves the previous file
+// intact. Callers hold r.mu. A registry without a Dir persists nothing.
+func (r *Registry) persistLocked() error {
+	if r.opts.Dir == "" {
+		return nil
+	}
+	watches := make([]Watch, 0, len(r.watches))
+	for _, ws := range r.watches {
+		watches = append(watches, ws.config())
+	}
+	sort.Slice(watches, func(i, j int) bool { return watches[i].Name < watches[j].Name })
+	raw, err := json.MarshalIndent(watchFile{Version: 1, Watches: watches}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("stream: encode %s: %w", watchFileName, err)
+	}
+	if err := os.MkdirAll(r.opts.Dir, 0o755); err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	path := filepath.Join(r.opts.Dir, watchFileName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	if f, err := os.Open(tmp); err == nil {
+		f.Sync()
+		f.Close()
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	if d, err := os.Open(r.opts.Dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,546 @@
+// Package stream is the live-subscription subsystem over the engine:
+// standing co-location queries ("alert when any trajectory co-locates with
+// a watchlist member above θ") evaluated on every append, with webhook
+// alert delivery and the streaming bookkeeping (append high-water mark)
+// the retention sweep keys off.
+//
+// A Registry holds named watches. The ingestion path calls OnAppend with
+// each freshly grown trajectory; the registry scores it against every
+// watch's member subset through the engine's thresholded batch path
+// (ScoreBatchMin), so the filter-and-refine upper bound disposes of
+// certified sub-threshold pairs without full scoring — a standing query
+// costs what the PR-5 pruning lets it cost, not |members| full STS
+// evaluations. Pairs that clear θ become Alerts: counted, handed to the
+// synchronous OnAlert hook when one is set, and queued to the watch's
+// webhook deliverer (delivery.go) when the watch names one.
+//
+// Watch configurations persist to watches.json in the registry directory
+// (persist.go) and survive restarts; per-watch counters are process-local.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"github.com/stslib/sts/internal/engine"
+	"github.com/stslib/sts/internal/model"
+)
+
+// ErrNotFound reports a watch name absent from the registry.
+var ErrNotFound = errors.New("watch not found")
+
+// Watch is one standing co-location query: alert whenever an appended
+// trajectory's STS score against any member reaches Theta.
+type Watch struct {
+	// Name identifies the watch; Set upserts by it.
+	Name string `json:"name"`
+	// Members are the corpus trajectory IDs watched. Members absent from
+	// the corpus at evaluation time are skipped, not errors — a watch may
+	// be registered before its members are ingested.
+	Members []string `json:"members"`
+	// Theta is the alert threshold: scores >= Theta fire (0 < Theta <= 1,
+	// matching the STS co-location probability's range).
+	Theta float64 `json:"theta"`
+	// Webhook, when non-empty, is the URL alerts are POSTed to as JSON,
+	// with bounded queueing and capped exponential-backoff retry. Empty
+	// records and counts alerts without delivering them.
+	Webhook string `json:"webhook,omitempty"`
+}
+
+func (w Watch) validate() error {
+	if w.Name == "" {
+		return errors.New("stream: watch needs a name")
+	}
+	if len(w.Members) == 0 {
+		return fmt.Errorf("stream: watch %q needs at least one member", w.Name)
+	}
+	seen := make(map[string]bool, len(w.Members))
+	for _, m := range w.Members {
+		if m == "" {
+			return fmt.Errorf("stream: watch %q has an empty member id", w.Name)
+		}
+		if seen[m] {
+			return fmt.Errorf("stream: watch %q repeats member %q", w.Name, m)
+		}
+		seen[m] = true
+	}
+	if !(w.Theta > 0 && w.Theta <= 1) {
+		return fmt.Errorf("stream: watch %q theta %v outside (0, 1]", w.Name, w.Theta)
+	}
+	return nil
+}
+
+// Alert is one standing-query hit: the appended trajectory id scored s >=
+// theta against the watch member at trajectory length N.
+type Alert struct {
+	Watch  string  `json:"watch"`
+	ID     string  `json:"id"`
+	Member string  `json:"member"`
+	Score  float64 `json:"score"`
+	// N is the appended trajectory's sample count at evaluation, LastT its
+	// last sample timestamp — together they pin which prefix of the stream
+	// fired, since the trajectory keeps growing after the alert.
+	N     int     `json:"n"`
+	LastT float64 `json:"last_t"`
+}
+
+// WatchStats is one watch's configuration and counters.
+type WatchStats struct {
+	Name    string  `json:"name"`
+	Members int     `json:"members"`
+	Theta   float64 `json:"theta"`
+	Webhook string  `json:"webhook,omitempty"`
+	// Evals counts standing evaluations run (one per append with at least
+	// one resident member); Pairs the candidate pairs scored across them;
+	// Subthreshold the pairs disposed of below theta (certified by the
+	// upper bound or refined under it — either way, no alert).
+	Evals        uint64 `json:"evals"`
+	Pairs        uint64 `json:"pairs"`
+	Subthreshold uint64 `json:"subthreshold"`
+	// Alerts counts pairs that cleared theta. Delivered/Retries/DeadLettered
+	// count webhook outcomes; Dropped counts alerts shed because the
+	// delivery queue was full; QueueLen is the current backlog.
+	Alerts       uint64 `json:"alerts"`
+	Delivered    uint64 `json:"delivered"`
+	Retries      uint64 `json:"retries"`
+	DeadLettered uint64 `json:"dead_lettered"`
+	Dropped      uint64 `json:"dropped"`
+	QueueLen     int    `json:"queue_len"`
+}
+
+// Stats is the registry-wide roll-up: totals over watches plus the
+// append-side counters and the standing-evaluation latency histogram.
+type Stats struct {
+	// Appends counts OnAppend calls; AppendedSamples the samples they
+	// carried; HighWater is the max sample timestamp seen (the retention
+	// sweep's clock), NaN before the first append.
+	Appends         uint64
+	AppendedSamples uint64
+	HighWater       float64
+
+	Evals        uint64
+	Pairs        uint64
+	Subthreshold uint64
+	Alerts       uint64
+	Delivered    uint64
+	Retries      uint64
+	DeadLettered uint64
+	Dropped      uint64
+
+	// EvalSeconds is the standing-evaluation latency histogram (one
+	// observation per watch evaluation).
+	EvalSeconds HistogramSnapshot
+
+	// Watches are the per-watch breakdowns, sorted by name.
+	Watches []WatchStats
+}
+
+// Options configures a Registry. The zero value evaluates watches with no
+// persistence and default delivery tuning.
+type Options struct {
+	// Dir, when non-empty, persists watch configurations to
+	// Dir/watches.json (written atomically on every Set/Delete, loaded by
+	// NewRegistry).
+	Dir string
+	// QueueSize bounds each watch's webhook delivery queue; alerts beyond
+	// it are dropped and counted (0 selects 256).
+	QueueSize int
+	// WebhookTimeout bounds each delivery attempt (0 selects 5s).
+	WebhookTimeout time.Duration
+	// MaxAttempts bounds delivery attempts per alert before it is
+	// dead-lettered (0 selects 5).
+	MaxAttempts int
+	// BaseBackoff is the first retry delay, doubled per attempt with
+	// jitter up to MaxBackoff (0 selects 100ms and 5s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// OnAlert, when set, is called synchronously with every alert, before
+	// any webhook queueing — the in-process subscription hook (tests, the
+	// smoke harness, embedding applications).
+	OnAlert func(Alert)
+}
+
+// watchState is one watch's runtime: config under mu, lock-free counters,
+// and the delivery queue its deliverer goroutine drains.
+type watchState struct {
+	mu  sync.Mutex
+	cfg Watch
+
+	evals, pairs, subthr        atomic.Uint64
+	alerts, delivered, retries  atomic.Uint64
+	deadLettered, droppedAlerts atomic.Uint64
+	queue                       chan Alert
+	stop                        chan struct{}
+}
+
+func (ws *watchState) config() Watch {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.cfg
+}
+
+// Registry is the standing-query subsystem over one engine service. All
+// methods are safe for concurrent use.
+type Registry struct {
+	eng  engine.Service
+	opts Options
+
+	mu      sync.RWMutex
+	watches map[string]*watchState
+	closed  bool
+	wg      sync.WaitGroup
+
+	appends         atomic.Uint64
+	appendedSamples atomic.Uint64
+	highWater       atomicFloat64
+	evalHist        histogram
+}
+
+// NewRegistry builds a Registry over eng, loading persisted watches from
+// opts.Dir when set (starting their deliverers).
+func NewRegistry(eng engine.Service, opts Options) (*Registry, error) {
+	if eng == nil {
+		return nil, errors.New("stream: engine service is required")
+	}
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = 256
+	}
+	if opts.WebhookTimeout <= 0 {
+		opts.WebhookTimeout = 5 * time.Second
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 5
+	}
+	if opts.BaseBackoff <= 0 {
+		opts.BaseBackoff = 100 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 5 * time.Second
+	}
+	r := &Registry{eng: eng, opts: opts, watches: make(map[string]*watchState)}
+	r.highWater.store(math.NaN())
+	if opts.Dir != "" {
+		persisted, err := loadWatches(opts.Dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range persisted {
+			if err := w.validate(); err != nil {
+				return nil, fmt.Errorf("stream: persisted %w", err)
+			}
+			r.watches[w.Name] = r.newState(w)
+		}
+	}
+	return r, nil
+}
+
+func (r *Registry) newState(w Watch) *watchState {
+	ws := &watchState{
+		cfg:   w,
+		queue: make(chan Alert, r.opts.QueueSize),
+		stop:  make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.deliver(ws)
+	return ws
+}
+
+// Set upserts a watch. An existing watch keeps its counters and queued
+// alerts; only the configuration swaps (the deliverer reads the webhook
+// per attempt, so retargeting takes effect on the next delivery).
+func (r *Registry) Set(w Watch) error {
+	if err := w.validate(); err != nil {
+		return err
+	}
+	// Copy the member list so callers mutating their slice later cannot
+	// race the evaluator.
+	w.Members = append([]string(nil), w.Members...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return errors.New("stream: registry is closed")
+	}
+	if ws, ok := r.watches[w.Name]; ok {
+		ws.mu.Lock()
+		ws.cfg = w
+		ws.mu.Unlock()
+	} else {
+		r.watches[w.Name] = r.newState(w)
+	}
+	return r.persistLocked()
+}
+
+// Delete removes a watch, stopping its deliverer (queued alerts are
+// abandoned, not dead-lettered).
+func (r *Registry) Delete(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ws, ok := r.watches[name]
+	if !ok {
+		return fmt.Errorf("stream: %q: %w", name, ErrNotFound)
+	}
+	delete(r.watches, name)
+	close(ws.stop)
+	return r.persistLocked()
+}
+
+// Get returns one watch's configuration.
+func (r *Registry) Get(name string) (Watch, bool) {
+	r.mu.RLock()
+	ws, ok := r.watches[name]
+	r.mu.RUnlock()
+	if !ok {
+		return Watch{}, false
+	}
+	return ws.config(), true
+}
+
+// List returns every watch's stats, sorted by name.
+func (r *Registry) List() []WatchStats {
+	r.mu.RLock()
+	states := make([]*watchState, 0, len(r.watches))
+	for _, ws := range r.watches {
+		states = append(states, ws)
+	}
+	r.mu.RUnlock()
+	out := make([]WatchStats, len(states))
+	for i, ws := range states {
+		out[i] = ws.snapshot()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (ws *watchState) snapshot() WatchStats {
+	cfg := ws.config()
+	return WatchStats{
+		Name:         cfg.Name,
+		Members:      len(cfg.Members),
+		Theta:        cfg.Theta,
+		Webhook:      cfg.Webhook,
+		Evals:        ws.evals.Load(),
+		Pairs:        ws.pairs.Load(),
+		Subthreshold: ws.subthr.Load(),
+		Alerts:       ws.alerts.Load(),
+		Delivered:    ws.delivered.Load(),
+		Retries:      ws.retries.Load(),
+		DeadLettered: ws.deadLettered.Load(),
+		Dropped:      ws.droppedAlerts.Load(),
+		QueueLen:     len(ws.queue),
+	}
+}
+
+// HighWater returns the max sample timestamp across everything OnAppend
+// has seen — the streaming clock a wall-time-free retention sweep trims
+// against. ok is false before the first append.
+func (r *Registry) HighWater() (t float64, ok bool) {
+	v := r.highWater.load()
+	return v, !math.IsNaN(v)
+}
+
+// OnAppend evaluates every watch against the freshly appended trajectory
+// tr (its full grown state), returning the alerts fired. appended is the
+// tail length of the append, for the ingest counters. The evaluation runs
+// through the engine's thresholded batch scorer, so sub-threshold members
+// are disposed of by the admissible upper bound wherever possible.
+func (r *Registry) OnAppend(ctx context.Context, tr model.Trajectory, appended int) ([]Alert, error) {
+	r.appends.Add(1)
+	if appended > 0 {
+		r.appendedSamples.Add(uint64(appended))
+	}
+	if n := len(tr.Samples); n > 0 {
+		r.highWater.max(tr.Samples[n-1].T)
+	}
+	r.mu.RLock()
+	states := make([]*watchState, 0, len(r.watches))
+	for _, ws := range r.watches {
+		states = append(states, ws)
+	}
+	r.mu.RUnlock()
+	if len(states) == 0 {
+		return nil, nil
+	}
+
+	var fired []Alert
+	for _, ws := range states {
+		cfg := ws.config()
+		cols := make(model.Dataset, 0, len(cfg.Members))
+		names := make([]string, 0, len(cfg.Members))
+		for _, m := range cfg.Members {
+			if m == tr.ID {
+				continue // a member's own appends never self-alert
+			}
+			if mt, ok := r.eng.Get(m); ok {
+				cols = append(cols, mt)
+				names = append(names, m)
+			}
+		}
+		if len(cols) == 0 {
+			continue
+		}
+		ws.evals.Add(1)
+		start := time.Now()
+		scores, err := r.eng.ScoreBatchMin(ctx, model.Dataset{tr}, cols, nil, cfg.Theta)
+		r.evalHist.observe(time.Since(start).Seconds())
+		if err != nil {
+			return fired, fmt.Errorf("stream: watch %q: %w", cfg.Name, err)
+		}
+		ws.pairs.Add(uint64(len(cols)))
+		lastT := tr.Samples[len(tr.Samples)-1].T
+		for j, s := range scores[0] {
+			if math.IsInf(s, -1) || math.IsNaN(s) || s < cfg.Theta {
+				ws.subthr.Add(1)
+				continue
+			}
+			a := Alert{
+				Watch:  cfg.Name,
+				ID:     tr.ID,
+				Member: names[j],
+				Score:  s,
+				N:      len(tr.Samples),
+				LastT:  lastT,
+			}
+			ws.alerts.Add(1)
+			fired = append(fired, a)
+			if r.opts.OnAlert != nil {
+				r.opts.OnAlert(a)
+			}
+			if cfg.Webhook != "" {
+				select {
+				case ws.queue <- a:
+				default:
+					ws.droppedAlerts.Add(1)
+				}
+			}
+		}
+	}
+	return fired, nil
+}
+
+// Stats returns the registry-wide roll-up.
+func (r *Registry) Stats() Stats {
+	watches := r.List()
+	st := Stats{
+		Appends:         r.appends.Load(),
+		AppendedSamples: r.appendedSamples.Load(),
+		HighWater:       r.highWater.load(),
+		EvalSeconds:     r.evalHist.snapshot(),
+		Watches:         watches,
+	}
+	for _, w := range watches {
+		st.Evals += w.Evals
+		st.Pairs += w.Pairs
+		st.Subthreshold += w.Subthreshold
+		st.Alerts += w.Alerts
+		st.Delivered += w.Delivered
+		st.Retries += w.Retries
+		st.DeadLettered += w.DeadLettered
+		st.Dropped += w.Dropped
+	}
+	return st
+}
+
+// Close stops every deliverer (abandoning queued alerts) and waits for
+// them to exit. The registry rejects Set afterwards; OnAppend still
+// evaluates nothing because the watch map is empty.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	for name, ws := range r.watches {
+		close(ws.stop)
+		delete(r.watches, name)
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+	return nil
+}
+
+// atomicFloat64 is a float64 with atomic load/store/monotonic-max, for the
+// append high-water mark (bit-cast through uint64).
+type atomicFloat64 struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat64) load() float64   { return math.Float64frombits(a.bits.Load()) }
+func (a *atomicFloat64) store(v float64) { a.bits.Store(math.Float64bits(v)) }
+
+func (a *atomicFloat64) max(v float64) {
+	for {
+		old := a.bits.Load()
+		cur := math.Float64frombits(old)
+		if !math.IsNaN(cur) && cur >= v {
+			return
+		}
+		if a.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// evalBuckets are the standing-evaluation latency histogram bounds in
+// seconds (same shape as the server's request histogram: sub-millisecond
+// cached evaluations through multi-second cold ones).
+var evalBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// histogram is a fixed-bucket latency histogram over evalBuckets.
+type histogram struct {
+	mu       sync.Mutex
+	buckets  [len0]uint64
+	overflow uint64
+	sum      float64
+	count    uint64
+}
+
+const len0 = 13 // len(evalBuckets); arrays need a constant
+
+// HistogramSnapshot is one histogram read: cumulative-style raw bucket
+// counts aligned with Bounds, plus the overflow (+Inf) count.
+type HistogramSnapshot struct {
+	Bounds   []float64
+	Counts   []uint64
+	Overflow uint64
+	Sum      float64
+	Count    uint64
+}
+
+func (h *histogram) observe(secs float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	placed := false
+	for i, le := range evalBuckets {
+		if secs <= le {
+			h.buckets[i]++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.overflow++
+	}
+	h.sum += secs
+	h.count++
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := HistogramSnapshot{
+		Bounds:   evalBuckets,
+		Counts:   append([]uint64(nil), h.buckets[:]...),
+		Overflow: h.overflow,
+		Sum:      h.sum,
+		Count:    h.count,
+	}
+	return out
+}
