@@ -98,6 +98,12 @@ type Watch struct {
 	Theta   float64  `json:"theta"`
 	// Webhook, when non-empty, is the URL alerts are POSTed to as JSON.
 	Webhook string `json:"webhook,omitempty"`
+	// DebounceSeconds overrides the server's per-pair alert debounce for
+	// this watch, in stream time: once a (trajectory, member) pair fires,
+	// repeat alerts are suppressed until the trajectory's clock advances
+	// past the window. 0 inherits the server default (-alert-debounce);
+	// negative disables debouncing for this watch.
+	DebounceSeconds float64 `json:"debounce_seconds,omitempty"`
 }
 
 // WatchStats is one standing query's configuration and counters, as listed
@@ -112,10 +118,13 @@ type WatchStats struct {
 	Evals        uint64 `json:"evals"`
 	Pairs        uint64 `json:"pairs"`
 	Subthreshold uint64 `json:"subthreshold"`
-	// Alerts counts threshold crossings; Delivered/Retries/DeadLettered
-	// count webhook delivery outcomes; Dropped counts alerts shed by the
-	// bounded delivery queue; QueueLen is the current backlog.
+	// Alerts counts threshold crossings that fired; Suppressed counts
+	// crossings silenced by the per-pair debounce window.
+	// Delivered/Retries/DeadLettered count webhook delivery outcomes;
+	// Dropped counts alerts shed by the bounded delivery queue; QueueLen
+	// is the current backlog.
 	Alerts       uint64 `json:"alerts"`
+	Suppressed   uint64 `json:"suppressed"`
 	Delivered    uint64 `json:"delivered"`
 	Retries      uint64 `json:"retries"`
 	DeadLettered uint64 `json:"dead_lettered"`
@@ -231,6 +240,14 @@ type StoreStats struct {
 	// RecoverySeconds is the duration of the boot-time recovery (snapshot
 	// load + WAL replay).
 	RecoverySeconds float64 `json:"recovery_seconds"`
+	// WarmProfiles is the number of derived-state sidecar entries
+	// revalidated at recovery (profiles the engine started warm with);
+	// WarmSeconds the sidecar load duration. SidecarWrites and
+	// SidecarErrors count sidecar capture attempts since open.
+	WarmProfiles  int     `json:"warm_profiles"`
+	WarmSeconds   float64 `json:"warm_seconds"`
+	SidecarWrites uint64  `json:"sidecar_writes"`
+	SidecarErrors uint64  `json:"sidecar_errors"`
 }
 
 // ShardStats is one partition's statistics when the serving engine is

@@ -50,6 +50,7 @@ func main() {
 		benchOut  = flag.String("benchout", "BENCH_1.json", "output path of the -bench JSON report")
 		baseline  = flag.String("baseline", "", "previous -bench report to compute speedups against")
 		benchTime = flag.Duration("benchtime", time.Second, "minimum measured time per -bench benchmark")
+		repeat    = flag.Int("repeat", 1, "measure each -bench benchmark this many times and report the median run (damps box noise for baseline gates)")
 		profBkt   = flag.Float64("profile-bucket", 0, "bucket width in seconds of the -bench profile_* benches (0 = library default)")
 		gate      = flag.Float64("gate", 0, "with -baseline: exit non-zero if any shared benchmark slowed by more than this percent")
 		wAxis     = flag.String("workers-axis", "", "comma-separated worker counts of the -bench parallel-scaling rows (default 1,NumCPU/2,NumCPU)")
@@ -100,6 +101,7 @@ func main() {
 			GatePercent:   *gate,
 			WorkersAxis:   axis,
 			ShardsAxis:    sAxis,
+			Repeat:        *repeat,
 		}, *benchOut, os.Stdout)
 	case *all:
 		err = experiments.RunAll(cfg, os.Stdout)

@@ -87,6 +87,8 @@ func main() {
 		shards    = flag.Int("shards", 0, "engine shard count: trajectories partition across this many independent engines by ID hash (0 = min(8, NumCPU); 1 = single engine)")
 		strict    = flag.Bool("strict", false, "reject ingested trajectories with out-of-order samples instead of sorting them")
 		retention = flag.Duration("retention", 0, "sliding time-window retention: periodically drop samples older than this much stream time behind the newest appended sample (0 = keep everything)")
+		warmCache = flag.Bool("warm-cache", true, "persist the profile cache to a derived-state sidecar at snapshots and warm-load it at recovery (needs -data-dir)")
+		debounce  = flag.Duration("alert-debounce", 0, "per-pair standing-alert debounce window in stream time: a (trajectory, member) pair that alerted stays silent until its stream clock advances this far (0 = alert on every crossing; per-watch debounce_seconds overrides)")
 		webhookTO = flag.Duration("webhook-timeout", 0, "per-attempt budget for standing-query webhook deliveries (0 = 5s default)")
 		showVer   = flag.Bool("version", false, "print version and exit")
 	)
@@ -101,9 +103,10 @@ func main() {
 
 	readOpts := dataset.ReadOptions{RejectUnsorted: *strict}
 	stOpts := store.Options{
-		FsyncInterval: *fsyncIv,
-		SnapshotEvery: *snapEvery,
-		Logger:        log,
+		FsyncInterval:  *fsyncIv,
+		SnapshotEvery:  *snapEvery,
+		DisableSidecar: !*warmCache,
+		Logger:         log,
 	}
 	if *coordStep > 0 {
 		stOpts.CoordStep = *coordStep
@@ -143,7 +146,9 @@ func main() {
 					"recovery_seconds", info.Duration.Seconds(),
 					"snapshot_records", info.SnapshotRecords,
 					"wal_records", info.WALRecords,
-					"truncated_bytes", info.TruncatedBytes)
+					"truncated_bytes", info.TruncatedBytes,
+					"warm_profiles", info.WarmProfiles,
+					"warm_seconds", info.WarmDuration.Seconds())
 			}
 			return nil
 		}))
@@ -156,7 +161,9 @@ func main() {
 				"snapshot_records", info.SnapshotRecords,
 				"wal_segments", info.WALSegments,
 				"wal_records", info.WALRecords,
-				"truncated_bytes", info.TruncatedBytes)
+				"truncated_bytes", info.TruncatedBytes,
+				"warm_profiles", info.WarmProfiles,
+				"warm_seconds", info.WarmDuration.Seconds())
 		}
 		if nShards > 1 {
 			records, maxRecovery := 0, 0.0
@@ -270,13 +277,17 @@ func main() {
 		"persistent", ss.Persistent,
 		"wal_bytes", ss.WALBytes,
 		"shards", nShards)
+	if n := eng.WarmLoaded(); n > 0 {
+		log.Info("profile cache warm-loaded", "profiles", n, "warm_seconds", ss.WarmSeconds)
+	}
 
 	// The standing-query registry persists its watchlist next to the corpus
 	// when -data-dir is set, so registered watches survive restarts the same
 	// way the corpus does.
 	watches, err := stream.NewRegistry(eng, stream.Options{
-		Dir:            *dataDir,
-		WebhookTimeout: *webhookTO,
+		Dir:                  *dataDir,
+		WebhookTimeout:       *webhookTO,
+		AlertDebounceSeconds: debounce.Seconds(),
 	})
 	check(err)
 	if n := len(watches.List()); n > 0 {
@@ -340,7 +351,8 @@ func retainLoop(ctx context.Context, eng engine.Service, watches *stream.Registr
 				"cutoff", hw-retention.Seconds(),
 				"removed", st.Removed,
 				"trimmed", st.Trimmed,
-				"dropped_samples", st.DroppedSamples)
+				"dropped_samples", st.DroppedSamples,
+				"decoded", st.Decoded)
 		}
 	}
 }

@@ -149,6 +149,11 @@ func (p *Profile) MemoryCells() int { return len(p.cells) }
 // Compact reports whether the profile stores float32 probabilities.
 func (p *Profile) Compact() bool { return p.compact }
 
+// HasBounds reports whether the profile carries filter-and-refine bound
+// state (built with ProfileOptions.Bounds), which UpperBound and the
+// thresholded scorers require.
+func (p *Profile) HasBounds() bool { return p.sufW != nil }
+
 // MemoryBytes estimates the profile's resident heap footprint: the shared
 // cell/probability backing arrays (the dominant term — float32 storage
 // halves the probability half), the per-entry metadata, and the

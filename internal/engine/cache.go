@@ -272,6 +272,31 @@ func (c *lruCache[V]) put(key prepKey, v V) {
 	s.evictLocked()
 }
 
+// each calls fn for every completed, error-free entry. Each shard's
+// entries are collected under its lock and fn runs after the shard
+// unlocks, so fn may be expensive (the sidecar capture encodes profile
+// blobs) without stalling concurrent lookups. Entries completing or
+// evicting during the walk may or may not be visited — callers that
+// need exactness must revalidate downstream (the store re-filters
+// captured entries against the snapshot's refs).
+func (c *lruCache[V]) each(fn func(prepKey, V)) {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		keys := make([]prepKey, 0, len(s.entries))
+		vals := make([]V, 0, len(s.entries))
+		for el := s.order.Front(); el != nil; el = el.Next() {
+			if e := el.Value.(*cacheEntry[V]); e.done && e.err == nil {
+				keys = append(keys, e.key)
+				vals = append(vals, e.v)
+			}
+		}
+		s.mu.Unlock()
+		for i := range keys {
+			fn(keys[i], vals[i])
+		}
+	}
+}
+
 // forget removes a trajectory's entry (if completed) — corpus Remove and
 // Replace call it so stale derived state does not linger at full cache
 // capacity.

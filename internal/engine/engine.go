@@ -154,13 +154,35 @@ type Engine struct {
 	slots  []corpusSlot
 	byID   map[string]int
 	free   []int
+
+	// warmProfiles counts profiles installed from the store's derived-
+	// state sidecar at construction — the engine started scoring-warm,
+	// not just data-warm.
+	warmProfiles int
 }
 
 // corpusSlot holds one corpus entry's record handle; freed slots are
-// reused by Add so pruner postings stay small.
+// reused by Add so pruner postings stay small. minT caches the record's
+// first (minimum) timestamp, read from the encoded header without a
+// full decode, so a retention sweep skips unexpired trajectories in
+// O(1) per slot. Append never lowers a record's first timestamp, so
+// minT stays valid across appends; Replace and trim recompute it.
 type corpusSlot struct {
 	ref  store.Ref
 	used bool
+	minT float64
+}
+
+// slotMinT reads a record's first timestamp without decoding its
+// samples. A header parse error degrades to -Inf: the sweep then
+// decodes that record and surfaces the real error there, so corrupt
+// data is never silently retained.
+func slotMinT(ref store.Ref) float64 {
+	t, err := ref.FirstTime()
+	if err != nil {
+		return math.Inf(-1)
+	}
+	return t
 }
 
 // New builds an Engine. The scorer is required; a MeasureScorer enables
@@ -236,8 +258,73 @@ func New(scorer Scorer, opts Options) (*Engine, error) {
 	}); err != nil {
 		return nil, fmt.Errorf("engine: load corpus: %w", err)
 	}
+	e.warmProfiles = e.warmFromSidecar()
 	return e, nil
 }
+
+// warmFromSidecar installs the corpus's recovered derived-state sidecar
+// entries into the profile cache and registers the capture callback the
+// store invokes at snapshot time. The store has already revalidated each
+// payload against its record's content and remapped it to the recovered
+// generation, so validation here is about configuration: a profile only
+// warms the cache if it was built with this engine's bound options (the
+// record identity is re-checked defensively anyway). Returns the number
+// of profiles warm-loaded; no-op for in-memory corpora and engines
+// without a profile cache.
+func (e *Engine) warmFromSidecar() int {
+	sc, ok := e.corpus.(store.SidecarCorpus)
+	if !ok || e.measure == nil || e.profiles == nil {
+		return 0
+	}
+	w := e.boundOpts.BucketSeconds
+	if w == 0 {
+		w = core.DefaultProfileBucketSeconds
+	}
+	loaded := 0
+	for _, ent := range sc.WarmEntries() {
+		prof, err := core.DecodeProfile(ent.Blob)
+		if err != nil {
+			continue
+		}
+		if prof.ID != ent.ID || prof.Compact() != e.boundOpts.Compact ||
+			prof.BucketSeconds != w || !prof.HasBounds() {
+			continue
+		}
+		slot, ok := e.byID[ent.ID]
+		if !ok {
+			continue
+		}
+		ref := e.slots[slot].ref
+		if ref.Gen != ent.Gen || prof.SampleCount() != ref.N {
+			continue
+		}
+		e.profiles.put(refKey(ref), prof)
+		loaded++
+	}
+	sc.SetSidecarSource(e.captureSidecar)
+	return loaded
+}
+
+// captureSidecar enumerates the profile cache for the store's snapshot
+// writer. Only corpus-record entries are captured — external query
+// profiles carry generation 0 and have no record to bind to. The store
+// re-filters captured entries against the snapshot's refs, so a stale
+// generation here is merely skipped, never persisted.
+func (e *Engine) captureSidecar() []store.SidecarEntry {
+	var out []store.SidecarEntry
+	e.profiles.each(func(k prepKey, p *core.Profile) {
+		if k.gen == 0 {
+			return
+		}
+		out = append(out, store.SidecarEntry{ID: k.id, Gen: k.gen, Blob: core.EncodeProfile(p)})
+	})
+	return out
+}
+
+// WarmLoaded reports how many profiles the engine installed from the
+// store's derived-state sidecar at construction (0 for cold starts and
+// in-memory corpora).
+func (e *Engine) WarmLoaded() int { return e.warmProfiles }
 
 // Corpus returns the engine's backing store.
 func (e *Engine) Corpus() store.Corpus { return e.corpus }
@@ -253,6 +340,16 @@ func (e *Engine) Recovery() (store.RecoveryInfo, bool) { return e.corpus.Recover
 // Close closes the backing store (flushing its WAL when persistent);
 // further corpus mutations fail.
 func (e *Engine) Close() error { return e.corpus.Close() }
+
+// Snapshot forces the backing store to capture a full snapshot now —
+// including the derived-state sidecar when the store carries one — instead
+// of waiting for the WAL-growth trigger. It errors on non-durable corpora.
+func (e *Engine) Snapshot() error {
+	if sn, ok := e.corpus.(interface{ Snapshot() error }); ok {
+		return sn.Snapshot()
+	}
+	return errors.New("engine: snapshot requires a durable corpus")
+}
 
 // Profiled reports whether the engine scores through bucketed profiles.
 func (e *Engine) Profiled() bool { return e.profOpts != nil }
@@ -398,7 +495,7 @@ func (e *Engine) Replace(tr model.Trajectory) (int, error) {
 			e.pruner.Insert(slot, tr)
 		}
 		e.forgetDerived(refKey(oldRef))
-		e.slots[slot].ref = ref
+		e.slots[slot] = corpusSlot{ref: ref, used: true, minT: slotMinT(ref)}
 		return slot, nil
 	}
 	ref, err := e.corpus.Replace(tr)
@@ -414,14 +511,15 @@ func (e *Engine) Replace(tr model.Trajectory) (int, error) {
 
 // takeSlotLocked records ref in a free (or new) slot. Caller holds e.mu.
 func (e *Engine) takeSlotLocked(ref store.Ref) int {
+	s := corpusSlot{ref: ref, used: true, minT: slotMinT(ref)}
 	var slot int
 	if n := len(e.free); n > 0 {
 		slot = e.free[n-1]
 		e.free = e.free[:n-1]
-		e.slots[slot] = corpusSlot{ref: ref, used: true}
+		e.slots[slot] = s
 	} else {
 		slot = len(e.slots)
-		e.slots = append(e.slots, corpusSlot{ref: ref, used: true})
+		e.slots = append(e.slots, s)
 	}
 	e.byID[ref.ID] = slot
 	return slot

@@ -62,6 +62,14 @@ type Service interface {
 	PruneStats() PruneStats
 	StoreStats() store.Stats
 	Recovery() (store.RecoveryInfo, bool)
+	// WarmLoaded reports how many profiles were installed from the
+	// store's derived-state sidecar at construction (summed over shards;
+	// 0 for cold starts and in-memory corpora).
+	WarmLoaded() int
+	// Snapshot forces an immediate store snapshot (every shard on the
+	// coordinator), capturing the derived-state sidecar alongside the
+	// corpus; it errors on non-durable corpora.
+	Snapshot() error
 	Close() error
 }
 

@@ -216,6 +216,7 @@ func (s *Sharded) TrimBefore(cutoff float64) (TrimStats, error) {
 		out.Removed += p.Removed
 		out.Trimmed += p.Trimmed
 		out.DroppedSamples += p.DroppedSamples
+		out.Decoded += p.Decoded
 	}
 	return out, nil
 }
@@ -502,11 +503,17 @@ func (s *Sharded) StoreStats() store.Stats {
 		out.WALBytes += st.WALBytes
 		out.Snapshots += st.Snapshots
 		out.SnapshotErrors += st.SnapshotErrors
+		out.WarmProfiles += st.WarmProfiles
+		out.SidecarWrites += st.SidecarWrites
+		out.SidecarErrors += st.SidecarErrors
 		if st.WALSeq > out.WALSeq {
 			out.WALSeq = st.WALSeq
 		}
 		if st.RecoverySeconds > out.RecoverySeconds {
 			out.RecoverySeconds = st.RecoverySeconds
+		}
+		if st.WarmSeconds > out.WarmSeconds {
+			out.WarmSeconds = st.WarmSeconds
 		}
 	}
 	return out
@@ -530,14 +537,27 @@ func (s *Sharded) Recovery() (store.RecoveryInfo, bool) {
 		out.WALSegments += info.WALSegments
 		out.WALRecords += info.WALRecords
 		out.TruncatedBytes += info.TruncatedBytes
+		out.WarmProfiles += info.WarmProfiles
 		if info.Duration > out.Duration {
 			out.Duration = info.Duration
+		}
+		if info.WarmDuration > out.WarmDuration {
+			out.WarmDuration = info.WarmDuration
 		}
 		if info.SnapshotSeq > out.SnapshotSeq {
 			out.SnapshotSeq = info.SnapshotSeq
 		}
 	}
 	return out, any
+}
+
+// WarmLoaded sums the shards' sidecar warm-load counts.
+func (s *Sharded) WarmLoaded() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.WarmLoaded()
+	}
+	return n
 }
 
 // ShardStats returns one observability snapshot per shard, in shard
@@ -556,6 +576,17 @@ func (s *Sharded) ShardStats() []ShardStat {
 		}
 	}
 	return out
+}
+
+// Snapshot captures a snapshot (with sidecar) on every shard's store
+// concurrently; all errors are joined.
+func (s *Sharded) Snapshot() error {
+	errs := make([]error, len(s.shards))
+	_ = ForEach(context.Background(), len(s.shards), s.fanOut, func(i int) error {
+		errs[i] = s.shards[i].Snapshot()
+		return nil
+	})
+	return errors.Join(errs...)
 }
 
 // Close closes every shard's store; all errors are joined.

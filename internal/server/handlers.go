@@ -26,6 +26,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	return nil
 }
 
+// handleSnapshot forces an immediate store snapshot — corpus plus the
+// derived-state sidecar — instead of waiting for the WAL-growth trigger;
+// the ops hook warm-restart drills use to persist cache warmth before a
+// crash. It answers with the post-snapshot store stats.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) error {
+	if err := s.eng.Snapshot(); err != nil {
+		return httpErrorf(http.StatusConflict, "%v", err)
+	}
+	return writeJSON(w, http.StatusOK, wireStoreStats(s.eng.StoreStats()))
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 	ps := s.eng.PruneStats()
 	resp := api.StatsResponse{
@@ -320,5 +331,9 @@ func wireStoreStats(st store.Stats) api.StoreStats {
 		Snapshots:       st.Snapshots,
 		SnapshotErrors:  st.SnapshotErrors,
 		RecoverySeconds: st.RecoverySeconds,
+		WarmProfiles:    st.WarmProfiles,
+		WarmSeconds:     st.WarmSeconds,
+		SidecarWrites:   st.SidecarWrites,
+		SidecarErrors:   st.SidecarErrors,
 	}
 }

@@ -83,10 +83,11 @@ func (s *Server) handleWatchPut(w http.ResponseWriter, r *http.Request) error {
 		return httpErrorf(http.StatusBadRequest, "watch %q theta is not a number", name)
 	}
 	err := s.watches.Set(stream.Watch{
-		Name:    name,
-		Members: wire.Members,
-		Theta:   wire.Theta,
-		Webhook: wire.Webhook,
+		Name:            name,
+		Members:         wire.Members,
+		Theta:           wire.Theta,
+		Webhook:         wire.Webhook,
+		DebounceSeconds: wire.DebounceSeconds,
 	})
 	if err != nil {
 		return httpErrorf(http.StatusBadRequest, "%v", err)
@@ -121,6 +122,7 @@ func (s *Server) handleWatchList(w http.ResponseWriter, r *http.Request) error {
 			Pairs:        ws.Pairs,
 			Subthreshold: ws.Subthreshold,
 			Alerts:       ws.Alerts,
+			Suppressed:   ws.Suppressed,
 			Delivered:    ws.Delivered,
 			Retries:      ws.Retries,
 			DeadLettered: ws.DeadLettered,

@@ -161,6 +161,14 @@ func (m *metrics) render(w io.Writer, eng engine.Service, reg *stream.Registry) 
 	fmt.Fprintf(w, "sts_snapshot_errors_total %d\n", ss.SnapshotErrors)
 	fmt.Fprint(w, "# HELP sts_recovery_seconds Duration of the boot-time recovery (snapshot load + WAL replay).\n# TYPE sts_recovery_seconds gauge\n")
 	fmt.Fprintf(w, "sts_recovery_seconds %s\n", formatFloat(ss.RecoverySeconds))
+	fmt.Fprint(w, "# HELP sts_cache_warm_loaded_total Profiles warm-loaded from the derived-state sidecar at recovery.\n# TYPE sts_cache_warm_loaded_total counter\n")
+	fmt.Fprintf(w, "sts_cache_warm_loaded_total %d\n", ss.WarmProfiles)
+	fmt.Fprint(w, "# HELP sts_recovery_warm_seconds Duration of the sidecar warm load during recovery.\n# TYPE sts_recovery_warm_seconds gauge\n")
+	fmt.Fprintf(w, "sts_recovery_warm_seconds %s\n", formatFloat(ss.WarmSeconds))
+	fmt.Fprint(w, "# HELP sts_sidecar_writes_total Derived-state sidecar files written at snapshots.\n# TYPE sts_sidecar_writes_total counter\n")
+	fmt.Fprintf(w, "sts_sidecar_writes_total %d\n", ss.SidecarWrites)
+	fmt.Fprint(w, "# HELP sts_sidecar_errors_total Derived-state sidecar write attempts that failed.\n# TYPE sts_sidecar_errors_total counter\n")
+	fmt.Fprintf(w, "sts_sidecar_errors_total %d\n", ss.SidecarErrors)
 
 	ps := eng.PruneStats()
 	fmt.Fprint(w, "# HELP sts_prune_considered_total Candidate pairs entering pruned (filter-and-refine) queries.\n# TYPE sts_prune_considered_total counter\n")
@@ -248,6 +256,11 @@ func renderStream(w io.Writer, st stream.Stats) {
 	fmt.Fprintf(w, "sts_alerts_total %d\n", st.Alerts)
 	for _, ws := range st.Watches {
 		fmt.Fprintf(w, "sts_alerts_total{watch=%q} %d\n", ws.Name, ws.Alerts)
+	}
+	fmt.Fprint(w, "# HELP sts_alerts_suppressed_total Threshold crossings silenced by the per-pair alert debounce, by watch.\n# TYPE sts_alerts_suppressed_total counter\n")
+	fmt.Fprintf(w, "sts_alerts_suppressed_total %d\n", st.Suppressed)
+	for _, ws := range st.Watches {
+		fmt.Fprintf(w, "sts_alerts_suppressed_total{watch=%q} %d\n", ws.Name, ws.Suppressed)
 	}
 	fmt.Fprint(w, "# HELP sts_alert_delivered_total Alerts delivered to their webhook, by watch.\n# TYPE sts_alert_delivered_total counter\n")
 	fmt.Fprintf(w, "sts_alert_delivered_total %d\n", st.Delivered)

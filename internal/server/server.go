@@ -169,6 +169,7 @@ func (s *Server) routes() {
 	s.handle("GET /healthz", "healthz", observe, s.handleHealthz)
 	s.handle("GET /metrics", "metrics", observe, s.handleMetrics)
 	s.handle("GET /v1/stats", "stats", routeOpts{}, s.handleStats)
+	s.handle("POST /v1/snapshot", "snapshot", ingest, s.handleSnapshot)
 
 	s.handle("GET /v1/trajectories", "list", ingest, s.handleList)
 	s.handle("PUT /v1/trajectories/{id}", "put", ingest, s.handlePut)

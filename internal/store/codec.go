@@ -167,6 +167,40 @@ func recordCount(blob []byte) (int, error) {
 	return int(n), nil
 }
 
+// recordFirstTime returns the first sample's timestamp of an encoded
+// record without decoding it: flags, count, the optional step, and the
+// first time varint are all it touches. Retention sweeps use it to skip
+// unexpired trajectories without materializing a single sample.
+func recordFirstTime(blob []byte) (float64, error) {
+	if len(blob) == 0 {
+		return 0, fmt.Errorf("%w: empty", ErrCorrupt)
+	}
+	flags := blob[0]
+	b := blob[1:]
+	n, k := binary.Uvarint(b)
+	if k <= 0 {
+		return 0, fmt.Errorf("%w: bad sample count", ErrCorrupt)
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("%w: empty record", ErrCorrupt)
+	}
+	b = b[k:]
+	if flags&flagQuantized != 0 {
+		if len(b) < 8 {
+			return 0, fmt.Errorf("%w: truncated quantization step", ErrCorrupt)
+		}
+		b = b[8:]
+	}
+	v, k := binary.Varint(b)
+	if k <= 0 {
+		return 0, fmt.Errorf("%w: truncated timestamps", ErrCorrupt)
+	}
+	if flags&flagIntTime != 0 {
+		return float64(v), nil
+	}
+	return unorderBits(v), nil
+}
+
 // recordStep returns the quantization step a record was encoded with
 // (0 = lossless coordinates).
 func recordStep(blob []byte) (float64, error) {

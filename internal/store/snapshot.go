@@ -61,6 +61,12 @@ type RecoveryInfo struct {
 	WALRecords  int
 	// TruncatedBytes is the size of the torn WAL tail cut during recovery.
 	TruncatedBytes int64
+	// WarmProfiles is the number of derived-state sidecar entries that
+	// revalidated against the recovered corpus (see sidecar.go);
+	// WarmDuration is the wall time of the sidecar load. Both are zero when
+	// no sidecar existed or Options.DisableSidecar was set.
+	WarmProfiles int
+	WarmDuration time.Duration
 }
 
 // Open builds a persistent store on dir, recovering any prior state:
@@ -110,6 +116,8 @@ func Open(dir string, opts Options) (*Store, error) {
 			break // later segments (if any) would replay over the hole
 		}
 	}
+
+	s.sidecarRecovery(dir, &info)
 
 	p := &persistence{
 		dir:           dir,
@@ -354,6 +362,7 @@ func (s *Store) Snapshot() error {
 		return fmt.Errorf("store: write manifest: %w", err)
 	}
 	s.pers.snapshots.Add(1)
+	s.writeSidecar(refs)
 	pruneObsolete(s.pers.dir, seq, s.log)
 	return nil
 }

@@ -73,6 +73,10 @@ type Options struct {
 	// Logger reports recovery and background-snapshot events (nil selects
 	// slog.Default).
 	Logger *slog.Logger
+	// DisableSidecar turns off the derived-state sidecar (profiles.snap):
+	// neither written during snapshots nor loaded during recovery. The
+	// default (zero) keeps warm restarts on. Only meaningful with Open.
+	DisableSidecar bool
 }
 
 // ExactFsync as Options.FsyncInterval syncs the WAL after every record.
@@ -102,6 +106,13 @@ func (r Ref) IsZero() bool { return r.Gen == 0 }
 
 // EncodedBytes returns the size of the encoded record.
 func (r Ref) EncodedBytes() int { return len(r.blob) }
+
+// FirstTime returns the record's first (oldest) timestamp without
+// decoding it — a handful of header bytes. Retention sweeps use it to
+// skip trajectories whose head is already past the cutoff.
+func (r Ref) FirstTime() (float64, error) {
+	return recordFirstTime(r.blob)
+}
 
 // Decode materializes the record into a freshly allocated trajectory.
 func (r Ref) Decode() (model.Trajectory, error) {
@@ -155,6 +166,14 @@ type Stats struct {
 	// RecoverySeconds is the duration of the Open-time recovery (0 for
 	// in-memory stores).
 	RecoverySeconds float64
+	// WarmProfiles is the number of derived-state sidecar entries
+	// revalidated during recovery; WarmSeconds the sidecar load's duration.
+	WarmProfiles int
+	WarmSeconds  float64
+	// SidecarWrites and SidecarErrors count sidecar write attempts since
+	// open.
+	SidecarWrites uint64
+	SidecarErrors uint64
 }
 
 // block is one arena allocation; records are immutable subslices of buf.
@@ -198,6 +217,12 @@ type Store struct {
 	snapMu   sync.Mutex   // serializes snapshots and Close
 	snapping atomic.Bool
 	recovery *RecoveryInfo
+
+	// Derived-state sidecar plumbing (see sidecar.go).
+	sidecarOff bool
+	sideMu     sync.Mutex
+	sideSrc    func() []SidecarEntry
+	warm       []SidecarEntry
 }
 
 // New builds an in-memory store (no durability). See Open for a persistent
@@ -213,6 +238,7 @@ func New(opts Options) *Store {
 		blockBytes: opts.BlockBytes,
 		shards:     make([]shard, opts.Shards),
 		log:        opts.Logger,
+		sidecarOff: opts.DisableSidecar,
 	}
 	if s.log == nil {
 		s.log = slog.Default()
@@ -628,9 +654,13 @@ func (s *Store) Stats() Stats {
 		st.WALBytes, st.WALSeq = s.pers.walStats()
 		st.Snapshots = s.pers.snapshots.Load()
 		st.SnapshotErrors = s.pers.snapErrs.Load()
+		st.SidecarWrites = s.pers.sidecarWrites.Load()
+		st.SidecarErrors = s.pers.sidecarErrs.Load()
 	}
 	if s.recovery != nil {
 		st.RecoverySeconds = s.recovery.Duration.Seconds()
+		st.WarmProfiles = s.recovery.WarmProfiles
+		st.WarmSeconds = s.recovery.WarmDuration.Seconds()
 	}
 	return st
 }

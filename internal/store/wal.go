@@ -145,8 +145,10 @@ type persistence struct {
 	payload  []byte
 	frame    []byte
 
-	snapshots atomic.Uint64
-	snapErrs  atomic.Uint64
+	snapshots     atomic.Uint64
+	snapErrs      atomic.Uint64
+	sidecarWrites atomic.Uint64
+	sidecarErrs   atomic.Uint64
 
 	stopSync chan struct{}
 	syncDone chan struct{}

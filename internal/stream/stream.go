@@ -52,6 +52,14 @@ type Watch struct {
 	// with bounded queueing and capped exponential-backoff retry. Empty
 	// records and counts alerts without delivering them.
 	Webhook string `json:"webhook,omitempty"`
+	// DebounceSeconds overrides the registry's per-pair alert debounce for
+	// this watch: once a (trajectory, member) pair fires, further alerts
+	// for the same pair are suppressed until the trajectory's stream clock
+	// advances past the window. 0 inherits Options.AlertDebounceSeconds; a
+	// negative value disables debouncing for this watch. Measured in
+	// stream time (sample timestamps), not wall time, so replays behave
+	// identically to live ingestion.
+	DebounceSeconds float64 `json:"debounce_seconds,omitempty"`
 }
 
 func (w Watch) validate() error {
@@ -73,6 +81,9 @@ func (w Watch) validate() error {
 	}
 	if !(w.Theta > 0 && w.Theta <= 1) {
 		return fmt.Errorf("stream: watch %q theta %v outside (0, 1]", w.Name, w.Theta)
+	}
+	if math.IsNaN(w.DebounceSeconds) || math.IsInf(w.DebounceSeconds, 0) {
+		return fmt.Errorf("stream: watch %q debounce %v is not finite", w.Name, w.DebounceSeconds)
 	}
 	return nil
 }
@@ -104,10 +115,13 @@ type WatchStats struct {
 	Evals        uint64 `json:"evals"`
 	Pairs        uint64 `json:"pairs"`
 	Subthreshold uint64 `json:"subthreshold"`
-	// Alerts counts pairs that cleared theta. Delivered/Retries/DeadLettered
-	// count webhook outcomes; Dropped counts alerts shed because the
-	// delivery queue was full; QueueLen is the current backlog.
+	// Alerts counts pairs that cleared theta and fired; Suppressed counts
+	// pairs that cleared theta but fell inside the per-pair debounce
+	// window. Delivered/Retries/DeadLettered count webhook outcomes;
+	// Dropped counts alerts shed because the delivery queue was full;
+	// QueueLen is the current backlog.
 	Alerts       uint64 `json:"alerts"`
+	Suppressed   uint64 `json:"suppressed"`
 	Delivered    uint64 `json:"delivered"`
 	Retries      uint64 `json:"retries"`
 	DeadLettered uint64 `json:"dead_lettered"`
@@ -129,6 +143,7 @@ type Stats struct {
 	Pairs        uint64
 	Subthreshold uint64
 	Alerts       uint64
+	Suppressed   uint64
 	Delivered    uint64
 	Retries      uint64
 	DeadLettered uint64
@@ -165,19 +180,58 @@ type Options struct {
 	// any webhook queueing — the in-process subscription hook (tests, the
 	// smoke harness, embedding applications).
 	OnAlert func(Alert)
+	// AlertDebounceSeconds is the default per-pair alert debounce window
+	// in stream time: once a (trajectory, member) pair fires, it stays
+	// silent until the trajectory's last sample timestamp has advanced by
+	// at least this much. 0 disables debouncing; Watch.DebounceSeconds
+	// overrides per watch. Suppressed alerts are counted, not delivered.
+	AlertDebounceSeconds float64
 }
 
-// watchState is one watch's runtime: config under mu, lock-free counters,
-// and the delivery queue its deliverer goroutine drains.
+// watchState is one watch's runtime: config and debounce memory under mu,
+// lock-free counters, and the delivery queue its deliverer goroutine
+// drains.
 type watchState struct {
 	mu  sync.Mutex
 	cfg Watch
+	// lastFired maps each alerted (trajectory, member) pair to the stream
+	// timestamp it last fired at — the debounce memory. Entries whose
+	// window has lapsed are pruned opportunistically on insert.
+	lastFired map[pairKey]float64
 
 	evals, pairs, subthr        atomic.Uint64
-	alerts, delivered, retries  atomic.Uint64
+	alerts, suppressed          atomic.Uint64
+	delivered, retries          atomic.Uint64
 	deadLettered, droppedAlerts atomic.Uint64
 	queue                       chan Alert
 	stop                        chan struct{}
+}
+
+// pairKey identifies one (appended trajectory, watch member) alert pair.
+type pairKey struct{ id, member string }
+
+// debounceLapsed reports whether the pair may fire at stream time t given
+// window d, recording the firing when it may. Caller guarantees d > 0.
+func (ws *watchState) debounceLapsed(id, member string, t, d float64) bool {
+	key := pairKey{id: id, member: member}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if prev, ok := ws.lastFired[key]; ok && t-prev < d {
+		return false
+	}
+	if ws.lastFired == nil {
+		ws.lastFired = make(map[pairKey]float64)
+	} else if len(ws.lastFired) >= 4096 {
+		// Bound the memory: entries whose window has already lapsed can
+		// never suppress again.
+		for k, prev := range ws.lastFired {
+			if t-prev >= d {
+				delete(ws.lastFired, k)
+			}
+		}
+	}
+	ws.lastFired[key] = t
+	return true
 }
 
 func (ws *watchState) config() Watch {
@@ -223,6 +277,9 @@ func NewRegistry(eng engine.Service, opts Options) (*Registry, error) {
 	}
 	if opts.MaxBackoff <= 0 {
 		opts.MaxBackoff = 5 * time.Second
+	}
+	if d := opts.AlertDebounceSeconds; d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+		return nil, fmt.Errorf("stream: AlertDebounceSeconds must be non-negative and finite, got %v", d)
 	}
 	r := &Registry{eng: eng, opts: opts, watches: make(map[string]*watchState)}
 	r.highWater.store(math.NaN())
@@ -329,6 +386,7 @@ func (ws *watchState) snapshot() WatchStats {
 		Pairs:        ws.pairs.Load(),
 		Subthreshold: ws.subthr.Load(),
 		Alerts:       ws.alerts.Load(),
+		Suppressed:   ws.suppressed.Load(),
 		Delivered:    ws.delivered.Load(),
 		Retries:      ws.retries.Load(),
 		DeadLettered: ws.deadLettered.Load(),
@@ -394,9 +452,17 @@ func (r *Registry) OnAppend(ctx context.Context, tr model.Trajectory, appended i
 		}
 		ws.pairs.Add(uint64(len(cols)))
 		lastT := tr.Samples[len(tr.Samples)-1].T
+		debounce := cfg.DebounceSeconds
+		if debounce == 0 {
+			debounce = r.opts.AlertDebounceSeconds
+		}
 		for j, s := range scores[0] {
 			if math.IsInf(s, -1) || math.IsNaN(s) || s < cfg.Theta {
 				ws.subthr.Add(1)
+				continue
+			}
+			if debounce > 0 && !ws.debounceLapsed(tr.ID, names[j], lastT, debounce) {
+				ws.suppressed.Add(1)
 				continue
 			}
 			a := Alert{
@@ -439,6 +505,7 @@ func (r *Registry) Stats() Stats {
 		st.Pairs += w.Pairs
 		st.Subthreshold += w.Subthreshold
 		st.Alerts += w.Alerts
+		st.Suppressed += w.Suppressed
 		st.Delivered += w.Delivered
 		st.Retries += w.Retries
 		st.DeadLettered += w.DeadLettered

@@ -17,6 +17,7 @@ import (
 	"github.com/stslib/sts/internal/geo"
 	"github.com/stslib/sts/internal/index"
 	"github.com/stslib/sts/internal/model"
+	"github.com/stslib/sts/internal/store"
 	"github.com/stslib/sts/internal/stream"
 )
 
@@ -233,6 +234,124 @@ func offlineAlerts(t *testing.T, svc engine.Service, shadow map[string]model.Tra
 		out = append(out, stream.Alert{Watch: "lane", ID: grown.ID, Member: names[j], Score: s, N: len(grown.Samples)})
 	}
 	return out
+}
+
+// TestAlertDebounce pins the per-pair debounce: a pair that clears theta
+// fires once, then stays silent until the trajectory's stream clock
+// advances past the window. The window resolves per watch (0 inherits the
+// registry default, negative disables), suppressed alerts are counted but
+// never delivered to webhooks, and the registry roll-up sums per-watch
+// suppression.
+func TestAlertDebounce(t *testing.T) {
+	var sinkHits atomic.Uint64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sinkHits.Add(1)
+	}))
+	defer srv.Close()
+
+	eng, err := engine.New(testScorer(t), streamOpts(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	a := walk("a", 100, 100, 4, 15, 6) // last sample at t=75, stride 15s
+	b := walk("b", 102, 100, 4, 15, 6)
+	for _, tr := range []model.Trajectory{a, b} {
+		if _, err := eng.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg, err := stream.NewRegistry(eng, stream.Options{AlertDebounceSeconds: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	for _, w := range []stream.Watch{
+		{Name: "def", Members: []string{"b"}, Theta: 0.001, Webhook: srv.URL},
+		{Name: "burst", Members: []string{"b"}, Theta: 0.001, DebounceSeconds: 14},
+		{Name: "off", Members: []string{"b"}, Theta: 0.001, DebounceSeconds: -1},
+		{Name: "slow", Members: []string{"b"}, Theta: 0.001, DebounceSeconds: 1000},
+	} {
+		if err := reg.Set(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Five appends of one sample each: stream clock hits 90, 105, 120,
+	// 135, 150. With the 40s default only 90 and 135 clear the window;
+	// the 14s override clears every 15s stride; negative never debounces;
+	// the 1000s window fires exactly once.
+	firedBy := make(map[string]int)
+	cur := a
+	for i := 0; i < 5; i++ {
+		tail := tailOf(cur, 1)
+		if _, err := eng.Append("a", tail); err != nil {
+			t.Fatal(err)
+		}
+		cur = model.Trajectory{ID: "a", Samples: append(append([]model.Sample{}, cur.Samples...), tail...)}
+		alerts, err := reg.OnAppend(context.Background(), cur, len(tail))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, al := range alerts {
+			firedBy[al.Watch]++
+		}
+	}
+
+	wantFired := map[string]int{"def": 2, "burst": 5, "off": 5, "slow": 1}
+	wantSupp := map[string]uint64{"def": 3, "burst": 0, "off": 0, "slow": 4}
+	for name, want := range wantFired {
+		if firedBy[name] != want {
+			t.Fatalf("watch %s fired %d alerts, want %d (all: %v)", name, firedBy[name], want, firedBy)
+		}
+	}
+	for _, ws := range reg.List() {
+		if ws.Suppressed != wantSupp[ws.Name] {
+			t.Fatalf("watch %s suppressed %d, want %d", ws.Name, ws.Suppressed, wantSupp[ws.Name])
+		}
+		if ws.Alerts != uint64(wantFired[ws.Name]) {
+			t.Fatalf("watch %s alert counter %d, want %d", ws.Name, ws.Alerts, wantFired[ws.Name])
+		}
+	}
+	st := reg.Stats()
+	if st.Suppressed != 7 || st.Alerts != 13 {
+		t.Fatalf("roll-up suppressed=%d alerts=%d, want 7/13", st.Suppressed, st.Alerts)
+	}
+
+	// Suppressed alerts must never reach the webhook: only "def"'s two
+	// fired alerts are queued for delivery.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && sinkHits.Load() < 2 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond) // would catch a third, spurious delivery
+	if got := sinkHits.Load(); got != 2 {
+		t.Fatalf("webhook delivered %d alerts, want 2", got)
+	}
+}
+
+func TestDebounceValidation(t *testing.T) {
+	svc, err := engine.New(testScorer(t), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := stream.NewRegistry(svc, stream.Options{AlertDebounceSeconds: bad}); err == nil {
+			t.Fatalf("registry accepted AlertDebounceSeconds=%v", bad)
+		}
+	}
+	reg, err := stream.NewRegistry(svc, stream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		w := stream.Watch{Name: "w", Members: []string{"a"}, Theta: 0.5, DebounceSeconds: bad}
+		if err := reg.Set(w); err == nil {
+			t.Fatalf("watch accepted DebounceSeconds=%v", bad)
+		}
+	}
 }
 
 func TestWatchValidationAndCRUD(t *testing.T) {
@@ -493,5 +612,127 @@ func TestConcurrentAppendWatch(t *testing.T) {
 	st := reg.Stats()
 	if st.Appends != 48 {
 		t.Fatalf("appends: %+v", st)
+	}
+}
+
+// TestConcurrentTrimAppendEvalSnapshot is the retention half of the
+// streaming -race gate: retention sweeps (TrimBefore) race appends,
+// standing-query evaluation (with a debounce window, so the per-pair
+// memory is hammered from every appender), snapshots of the backing
+// store, and stats reads — all against one persistent profiled engine.
+func TestConcurrentTrimAppendEvalSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := streamOpts(t, true)
+	opts.Corpus = st
+	eng, err := engine.New(testScorer(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	trs := make([]model.Trajectory, 6)
+	for i := range trs {
+		trs[i] = walk(fmt.Sprintf("t%02d", i), 100+float64(i)*6, 100, 4, 15, 6)
+		if _, err := eng.Add(trs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg, err := stream.NewRegistry(eng, stream.Options{AlertDebounceSeconds: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	if err := reg.Set(stream.Watch{Name: "w0", Members: []string{"t00", "t01", "t02"}, Theta: 0.001}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := range trs {
+		wg.Add(1)
+		go func(tr model.Trajectory) {
+			defer wg.Done()
+			cur := tr
+			for r := 0; r < 8; r++ {
+				tail := tailOf(cur, 1)
+				if _, err := eng.Append(tr.ID, tail); err != nil {
+					t.Error(err)
+					return
+				}
+				cur = model.Trajectory{ID: tr.ID, Samples: append(append([]model.Sample{}, cur.Samples...), tail...)}
+				if _, err := reg.OnAppend(context.Background(), cur, len(tail)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(trs[i])
+	}
+	wg.Add(3)
+	go func() {
+		// Retention sweeps with a rising cutoff that only ever trims
+		// heads: every trajectory keeps its tail past t=75, so appenders
+		// never lose their target.
+		defer wg.Done()
+		for r := 0; r < 12; r++ {
+			if _, err := eng.TrimBefore(float64(5 * (r % 8))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 6; r++ {
+			if err := st.Snapshot(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 20; r++ {
+			reg.Stats()
+			eng.StoreStats()
+			eng.ProfileCacheStats()
+		}
+	}()
+	wg.Wait()
+
+	if st := reg.Stats(); st.Appends != 48 {
+		t.Fatalf("appends: %+v", st)
+	}
+	// Standing evals score decoded member copies as external data, so they
+	// warm only gen-0 entries the sidecar skips; a resident top-k query
+	// builds the persistable per-ref profiles before the final snapshot.
+	if _, err := eng.TopK(context.Background(), walk("q", 100, 100, 4, 15, 10), 6); err != nil {
+		t.Fatal(err)
+	}
+	// The final snapshot-side state must reopen warm and intact.
+	if err := st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.Open(dir, store.Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts2 := streamOpts(t, true)
+	opts2.Corpus = st2
+	eng2, err := engine.New(testScorer(t), opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	if eng2.Len() != len(trs) {
+		t.Fatalf("reopened corpus has %d trajectories, want %d", eng2.Len(), len(trs))
+	}
+	if eng2.WarmLoaded() == 0 {
+		t.Fatal("reopen after snapshot loaded no warm profiles")
 	}
 }

@@ -7,6 +7,13 @@
 # SHARDS > 1, every shard store to recover in parallel (one "shard
 # recovered" log each) behind shard-labeled metrics.
 #
+# A second kill -9 cycle then drills the warm path: after the cold restart's
+# first query has rebuilt the profile cache, a forced snapshot persists it
+# into the derived-state sidecar, and the next restart must (e) report
+# warm-loaded profiles in its logs, stats, and metrics, (f) serve a top-k
+# byte-identical to the cold path's, and (g) beat the cold restart's
+# time-to-first-query.
+#
 #   N=100000 ./scripts/crash_smoke.sh       # corpus size (default 100000)
 #   SHARDS=4 ...                            # engine partitions (default 4)
 #   RECOVERY_BUDGET_SECONDS=10 ...          # recovery_seconds ceiling
@@ -28,9 +35,10 @@ go build -o "$WORK/" ./cmd/stsgen ./cmd/stsserved
 # which only answers once recovery and any -dataset ingest are complete.
 boot() {
   # -timeout is raised because the smoke's top-k is a cold exhaustive scan
-  # of the whole corpus — worst case by construction, not a serving posture.
+  # of the whole corpus — worst case by construction, not a serving posture;
+  # -ingest-timeout covers the forced full-corpus snapshot of the warm drill.
   "$WORK/stsserved" -addr "$ADDR" -data-dir "$WORK/data" -shards "$SHARDS" \
-    -grid 50 -sigma 50 -coord-step -1 -timeout 300s "$@" 2>>"$WORK/serve.log" &
+    -grid 50 -sigma 50 -coord-step -1 -timeout 300s -ingest-timeout 300s "$@" 2>>"$WORK/serve.log" &
   SRV=$!
   for _ in $(seq 1 900); do
     if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then return 0; fi
@@ -79,7 +87,9 @@ if [ "$SHARDS" -gt 1 ]; then
     fi
   done
 fi
+COLD_T0=$(date +%s%N)
 curl -fsS "http://$ADDR/v1/topk?id=synth-0042&k=10" >"$WORK/topk_post.json"
+COLD_NS=$(( $(date +%s%N) - COLD_T0 ))
 # The result set (IDs, in rank order) must be identical. Scores are allowed
 # the store's documented quantization budget (1e-9): the restarted process
 # derives its grid bounds from the quantized store rather than the raw CSV,
@@ -101,7 +111,42 @@ awk -v r="$RECOVERY" -v b="$BUDGET" 'BEGIN { exit !(r > 0 && r < b) }' || {
   exit 1
 }
 
+echo "crash_smoke: snapshot (persists the warm profile cache), then kill -9 again"
+curl -fsS -X POST "http://$ADDR/v1/snapshot" >"$WORK/snap.json"
+grep -q '"sidecar_writes":[1-9]' "$WORK/snap.json"
+kill -9 "$SRV"
+wait "$SRV" 2>/dev/null || true
+
+echo "crash_smoke: warm restart from $WORK/data"
+: >"$WORK/serve.log"
+boot
+if ! grep -Eq 'warm_profiles=[1-9]|msg="profile cache warm-loaded"' "$WORK/serve.log"; then
+  echo "crash_smoke: warm restart logged no warm-loaded profiles" >&2
+  tail -20 "$WORK/serve.log" >&2
+  exit 1
+fi
+curl -fsS "http://$ADDR/v1/stats" >"$WORK/stats_warm.json"
+grep -q '"warm_profiles":[1-9]' "$WORK/stats_warm.json"
+WARM_T0=$(date +%s%N)
+curl -fsS "http://$ADDR/v1/topk?id=synth-0042&k=10" >"$WORK/topk_warm.json"
+WARM_NS=$(( $(date +%s%N) - WARM_T0 ))
+# Warm-loaded profiles are revalidated bit-exact sidecar round-trips of the
+# ones the cold path built, so the answer must match byte for byte.
+if ! cmp -s "$WORK/topk_post.json" "$WORK/topk_warm.json"; then
+  echo "crash_smoke: warm top-k differs from the cold path's" >&2
+  diff <(ids "$WORK/topk_post.json") <(ids "$WORK/topk_warm.json") >&2 || true
+  exit 1
+fi
+curl -fsS "http://$ADDR/metrics" >"$WORK/metrics_warm.txt"
+grep -q '^sts_cache_warm_loaded_total [1-9]' "$WORK/metrics_warm.txt"
+grep -q '^sts_recovery_warm_seconds [0-9]' "$WORK/metrics_warm.txt"
+if [ "$WARM_NS" -ge "$COLD_NS" ]; then
+  echo "crash_smoke: warm first query (${WARM_NS}ns) not faster than cold (${COLD_NS}ns)" >&2
+  exit 1
+fi
+
 kill -TERM "$SRV"
 wait "$SRV" 2>/dev/null || true
 SRV=""
+awk -v c="$COLD_NS" -v w="$WARM_NS" 'BEGIN { printf "crash_smoke: warm first query %.2fs vs cold %.2fs (%.1fx)\n", w/1e9, c/1e9, c/w }'
 echo "crash_smoke: ok — $N trajectories, identical top-k, recovery ${RECOVERY}s"
